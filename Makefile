@@ -1,0 +1,34 @@
+# Convenience targets for the B-Cache reproduction.
+
+PYTHON ?= python
+
+.PHONY: install dev test bench experiments experiments-full examples clean
+
+install:
+	pip install -e .
+
+dev:
+	pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.cli all --scale default
+
+experiments-full:
+	$(PYTHON) -m repro.cli all --scale full
+
+examples:
+	$(PYTHON) examples/quickstart.py 50000
+	$(PYTHON) examples/custom_workload.py 30000
+	$(PYTHON) examples/design_space_exploration.py crafty 30000
+	$(PYTHON) examples/performance_energy_tradeoff.py equake 20000
+	$(PYTHON) examples/pipeline_models.py equake 15000
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at a reduced trace
+length (the ``BENCH`` scale), times the full pipeline via
+pytest-benchmark, prints the reproduced rows and archives them under
+``results/``.
+
+Scale up with ``bcache-repro <experiment> --scale full`` for the
+EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+#: Trace lengths for benchmark runs: long enough for stable shapes,
+#: short enough that the whole harness finishes in minutes.
+BENCH = ExperimentScale(data_n=20_000, instr_n=30_000, instructions=12_000, seed=2006)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Return a callable that prints and stores one experiment's output."""
+
+    def _archive(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _archive

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figures 8 (IPC) and 9 (energy) in one run.
+
+The paper derives both figures from the same per-configuration
+simulations, so the harness does too.
+"""
+
+from repro.experiments import perf_energy
+
+
+def test_fig8_ipc_and_fig9_energy(benchmark, bench_scale, archive):
+    result = benchmark.pedantic(
+        perf_energy.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    archive("fig8_ipc", result.render_fig8())
+    archive("fig9_energy", result.render_fig9())
+
+    bcache_gain = result.average_ipc_improvement("mf8_bas8")
+    # Figure 8: B-Cache improves IPC on average (paper: +5.9%) ...
+    assert bcache_gain > 0.0
+    # ... within a whisker of the 8-way cache (paper: 0.3% behind) ...
+    assert result.average_ipc_improvement("8way") - bcache_gain < 0.05
+    # ... and ahead of the victim buffer (paper: 3.7% ahead).
+    assert bcache_gain >= result.average_ipc_improvement("victim16")
+    # equake shows the largest gain (paper: +27.1%).
+    gains = {b: result.ipc_improvement("mf8_bas8", b) for b in result.benchmarks}
+    assert max(gains, key=gains.get) == "equake"
+
+    # Figure 9: B-Cache's energy lands below the baseline (paper: -2%)
+    # and far below the 8-way cache.
+    assert result.average_normalized_energy("mf8_bas8") < 1.0
+    assert (
+        result.average_normalized_energy("8way")
+        > result.average_normalized_energy("mf8_bas8")
+    )

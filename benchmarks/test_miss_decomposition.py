@@ -1,0 +1,38 @@
+"""Benchmark: 3C miss decomposition ablation.
+
+Verifies the mechanism behind the paper's title: the misses the B-Cache
+removes are the *conflict* bucket of the 3C model.
+"""
+
+from repro.experiments import miss_decomposition
+
+
+def test_3c_decomposition(benchmark, bench_scale, archive):
+    scale = bench_scale.scaled(0.5)
+    result = benchmark.pedantic(
+        miss_decomposition.run,
+        args=(scale,),
+        kwargs={"benchmarks": ("equake", "crafty", "gzip", "mcf", "art", "twolf")},
+        rounds=1,
+        iterations=1,
+    )
+    archive("miss_decomposition", result.render())
+
+    for benchmark_name in ("equake", "crafty", "twolf"):
+        dm = result.breakdowns["dm"][benchmark_name]
+        bc = result.breakdowns["mf8_bas8"][benchmark_name]
+        # The removed misses are conflict misses...
+        assert bc.conflict < dm.conflict
+        # ...while compulsory misses are untouched (same trace).
+        assert bc.compulsory == dm.compulsory
+        # The B-Cache takes out more conflict misses than the 2-way.
+        two = result.breakdowns["2way"][benchmark_name]
+        assert bc.conflict < two.conflict
+
+    # Uniform-miss benchmarks have little conflict to remove: every
+    # organisation's totals stay close to the baseline's (Sec 6.4).
+    for benchmark_name in ("mcf", "art"):
+        dm = result.breakdowns["dm"][benchmark_name]
+        bc = result.breakdowns["mf8_bas8"][benchmark_name]
+        assert dm.fraction("conflict") < 0.3
+        assert bc.total_misses > 0.8 * dm.total_misses

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (decoder timing analysis)."""
+
+from repro.experiments.circuit_tables import run_tab1
+
+
+def test_tab1_decoder_timing(benchmark, archive):
+    result = benchmark(run_tab1)
+    archive("tab1_decoder_timing", result.render())
+    # Section 5.1's conclusion: every B-Cache decoder has slack, so the
+    # B-Cache adds no access-time overhead.
+    assert result.all_have_slack
+    # And the B-Cache's NPD-vs-PD balance: the CAM path never dominates
+    # by more than the original decoder's slack.
+    for timing in result.timings:
+        assert timing.bcache_ns <= timing.original_ns

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 3 (energy per cache access)."""
+
+import pytest
+
+from repro.experiments.circuit_tables import run_tab3
+
+
+def test_tab3_energy_per_access(benchmark, archive):
+    result = benchmark(run_tab3)
+    archive("tab3_energy", result.render())
+    # Section 5.4: +10.5% over the baseline, yet 17.4% / 44.4% / 65.5%
+    # below same-sized 2-/4-/8-way caches.
+    assert result.overhead == pytest.approx(0.105, abs=0.005)
+    assert result.bcache_below(2) == pytest.approx(0.174, abs=0.02)
+    assert result.bcache_below(4) == pytest.approx(0.444, abs=0.02)
+    assert result.bcache_below(8) == pytest.approx(0.655, abs=0.02)

@@ -1,0 +1,39 @@
+"""Microbenchmarks: simulator throughput per cache organisation.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+simulator's hot loop, useful for tracking performance regressions in
+the models themselves.
+"""
+
+import random
+
+import pytest
+
+from repro.caches import make_cache
+
+TRACE_LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = random.Random(99)
+    conflict = [i * 16 * 1024 + 0x40 for i in range(10)]
+    return [
+        rng.choice(conflict) + rng.randrange(8) * 32
+        if rng.random() < 0.3
+        else rng.randrange(1 << 22)
+        for _ in range(TRACE_LENGTH)
+    ]
+
+
+@pytest.mark.parametrize("spec", ["dm", "2way", "8way", "victim16", "mf8_bas8"])
+def test_access_throughput(benchmark, trace, spec):
+    def run():
+        cache = make_cache(spec)
+        access = cache.access
+        for address in trace:
+            access(address)
+        return cache.stats.misses
+
+    misses = benchmark(run)
+    assert 0 < misses <= TRACE_LENGTH

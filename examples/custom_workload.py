@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Build a custom workload from primitives and evaluate cache designs.
+
+Models a software network-packet processor — the kind of embedded
+workload the B-Cache targets ("can be applied to both high performance
+and low-power" designs, Section 7):
+
+* a hot flow table (skewed reuse, resident),
+* four packet buffers that collide in the cache (ring buffers whose
+  strides align with the cache way size),
+* a streaming payload scan (misses nothing can remove).
+
+Shows how to declare components, synthesise a deterministic trace,
+persist it in the din text format and compare organisations on it.
+
+Usage::
+
+    python examples/custom_workload.py [n_accesses]
+"""
+
+import itertools
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import make_cache
+from repro.trace import load_trace, save_trace
+from repro.workloads import build_address_stream, capacity, conflict, hot
+from repro.workloads.synthesis import addresses_to_accesses
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+
+    # 1. Declare the workload as weighted components.
+    components = (
+        hot(0.70, region_kb=6, alpha=1.3),          # flow table
+        conflict(0.22, degree=4, span=8, set_region=13),  # packet rings
+        capacity(0.08, region_kb=4096, kind="scan"),      # payload scan
+    )
+    addresses = build_address_stream(components, seed=1234)
+    trace = list(
+        addresses_to_accesses(addresses, n, write_fraction=0.4, seed=1234)
+    )
+
+    # 2. Persist and reload the trace (din text format), showing the
+    #    interchange path for external simulators.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "packet_processor.din"
+        save_trace(trace, path)
+        reloaded = load_trace(path)
+        assert reloaded == trace
+        print(f"trace: {n} accesses, saved to din format "
+              f"({path.stat().st_size // 1024} kB) and reloaded")
+    print()
+
+    # 3. Compare every organisation in the study on the same trace.
+    specs = ("dm", "2way", "4way", "8way", "victim16",
+             "column", "skew2", "mf8_bas8")
+    print(f"{'config':<10} {'miss rate':>10} {'writebacks':>11}")
+    base_rate = None
+    for spec in specs:
+        cache = make_cache(spec)
+        for access in trace:
+            cache.access(access.address, access.is_write)
+        rate = cache.stats.miss_rate
+        if spec == "dm":
+            base_rate = rate
+        print(f"{spec:<10} {rate:>9.3%} {cache.stats.writebacks:>11}")
+    print()
+    assert base_rate is not None
+    bcache = make_cache("mf8_bas8")
+    for access in trace:
+        bcache.access(access.address, access.is_write)
+    saved = (base_rate - bcache.stats.miss_rate) / base_rate
+    print(f"B-Cache removes {saved:.1%} of the direct-mapped misses "
+          "while keeping one-cycle hits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Design-space exploration: pick (MF, BAS) for your own workload.
+
+Sweeps the mapping factor and B-Cache associativity over a workload
+mix, reporting for each design point the miss-rate reduction, the PD
+CAM width it requires (which bounds decoder delay), the storage
+overhead and the per-access energy — the full Section 6.3 tradeoff in
+one table, on *your* traffic instead of SPEC2K.
+
+Usage::
+
+    python examples/design_space_exploration.py [benchmark] [n_accesses]
+"""
+
+import sys
+
+from repro import BCache, BCacheGeometry, SPEC2K, make_cache
+from repro.energy import (
+    bcache_access_energy,
+    bcache_storage,
+    conventional_access_energy,
+    conventional_storage,
+)
+from repro.stats import miss_rate_reduction
+
+
+def explore(benchmark: str, n: int) -> None:
+    profile = SPEC2K[benchmark]
+    addresses = profile.data_addresses(n, seed=7)
+
+    baseline = make_cache("dm")
+    for address in addresses:
+        baseline.access(address)
+    base_rate = baseline.stats.miss_rate
+    base_energy = conventional_access_energy(16 * 1024).total_pj
+    base_bits = conventional_storage(16 * 1024).total_bits
+
+    print(f"workload: {benchmark}, {n} accesses; baseline miss rate {base_rate:.3%}")
+    print()
+    header = (
+        f"{'MF':>4} {'BAS':>4} {'PD bits':>8} {'reduction':>10} "
+        f"{'PD-hit@miss':>12} {'area ovh':>9} {'energy ovh':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    best = None
+    for bas in (2, 4, 8):
+        for mf in (2, 4, 8, 16):
+            geometry = BCacheGeometry(
+                16 * 1024, 32, mapping_factor=mf, associativity=bas
+            )
+            cache = BCache(geometry)
+            for address in addresses:
+                cache.access(address)
+            reduction = miss_rate_reduction(base_rate, cache.stats.miss_rate)
+            area = bcache_storage(geometry).total_bits / base_bits - 1
+            energy = bcache_access_energy(geometry).total_pj / base_energy - 1
+            print(
+                f"{mf:>4} {bas:>4} {geometry.pi_bits:>8} {reduction:>9.1%} "
+                f"{cache.stats.pd_hit_rate_during_miss:>11.1%} "
+                f"{area:>8.1%} {energy:>10.1%}"
+            )
+            # Score: reduction per % energy overhead, the Section 6.3
+            # flavour of "good enough PD kept as short as possible".
+            score = reduction - 2.0 * energy
+            if best is None or score > best[0]:
+                best = (score, mf, bas)
+
+    assert best is not None
+    print()
+    print(
+        f"suggested design for this workload: MF={best[1]}, BAS={best[2]} "
+        f"(PD = {(best[1].bit_length() - 1) + (best[2].bit_length() - 1)} bits)"
+    )
+    print("(the paper chooses MF=8, BAS=8: the longest PD that still has")
+    print(" decoder slack at every subarray size — see Table 1)")
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "crafty"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 80_000
+    if benchmark not in SPEC2K:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r}; choose from {', '.join(sorted(SPEC2K))}"
+        )
+    explore(benchmark, n)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Reproduction of "Balanced Cache: Reducing Conflict Misses of
+Direct-Mapped Caches through Programmable Decoders" (ISCA 2006).
+
+Public API
+----------
+Core contribution:
+    :class:`BCache`, :class:`BCacheGeometry`,
+    :class:`ProgrammableDecoderBank`
+
+Cache substrates:
+    :class:`DirectMappedCache`, :class:`SetAssociativeCache`,
+    :class:`FullyAssociativeCache`, :class:`VictimBufferCache`,
+    :class:`ColumnAssociativeCache`, :class:`SkewedAssociativeCache`,
+    :class:`HighlyAssociativeCache`, :func:`make_cache`
+
+System models:
+    :class:`MemoryHierarchy`, :class:`OoOProcessorModel`,
+    :class:`SystemEnergyModel`
+
+Workloads:
+    :data:`SPEC2K` (26 synthetic benchmark profiles),
+    :class:`BenchmarkProfile`
+
+Quickstart::
+
+    from repro import BCache, BCacheGeometry, SPEC2K
+
+    geometry = BCacheGeometry(size=16 * 1024, line_size=32,
+                              mapping_factor=8, associativity=8)
+    cache = BCache(geometry, policy="lru")
+    for access in SPEC2K["equake"].data_trace(200_000):
+        cache.access(access.address, access.is_write)
+    print(cache.stats.miss_rate)
+"""
+
+from repro.caches import (
+    Cache,
+    ColumnAssociativeCache,
+    DirectMappedCache,
+    FullyAssociativeCache,
+    HighlyAssociativeCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+    VictimBufferCache,
+    make_cache,
+)
+from repro.core import BCache, BCacheGeometry, ProgrammableDecoderBank
+from repro.cpu import OoOProcessorModel, ProcessorConfig
+from repro.energy import SystemEnergyModel, access_energy_for
+from repro.hierarchy import MemoryHierarchy
+from repro.stats import analyze_balance, miss_rate_reduction
+from repro.trace import Access, AccessType
+from repro.workloads import ALL_BENCHMARKS, SPEC2K, BenchmarkProfile, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "Access",
+    "AccessType",
+    "BCache",
+    "BCacheGeometry",
+    "BenchmarkProfile",
+    "Cache",
+    "ColumnAssociativeCache",
+    "DirectMappedCache",
+    "FullyAssociativeCache",
+    "HighlyAssociativeCache",
+    "MemoryHierarchy",
+    "OoOProcessorModel",
+    "ProcessorConfig",
+    "ProgrammableDecoderBank",
+    "SPEC2K",
+    "SetAssociativeCache",
+    "SkewedAssociativeCache",
+    "SystemEnergyModel",
+    "VictimBufferCache",
+    "access_energy_for",
+    "analyze_balance",
+    "get_profile",
+    "make_cache",
+    "miss_rate_reduction",
+    "__version__",
+]

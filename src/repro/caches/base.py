@@ -1,0 +1,124 @@
+"""Common cache interface shared by every organisation in the study.
+
+All caches are byte-addressed, write-back, write-allocate, and operate
+on whole cache blocks (the simulators are trace-driven miss-rate /
+latency models, so block *contents* are never stored).  Concrete
+subclasses implement :meth:`_access_block`; the base class handles
+block-address extraction and statistics plumbing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.stats.counters import CacheStats
+from repro.trace.access import Access
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, what: str) -> int:
+    """Return log2 of ``value`` or raise if it is not a power of two."""
+    if not _is_power_of_two(value):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of a single cache access.
+
+    Attributes:
+        hit: whether the reference hit in this cache.
+        set_index: physical set (row) that resolved the access.
+        evicted: block address evicted to make room, or None.
+        evicted_dirty: whether the evicted block needed a writeback.
+        pd_hit: for the B-Cache, whether the programmable decoder
+            matched (always True for conventional caches — their fixed
+            decoder always selects a set).
+    """
+
+    hit: bool
+    set_index: int
+    evicted: int | None = None
+    evicted_dirty: bool = False
+    pd_hit: bool = True
+
+
+class Cache(abc.ABC):
+    """Abstract trace-driven cache model."""
+
+    def __init__(self, size: int, line_size: int, num_sets: int, name: str = "") -> None:
+        self.size = size
+        self.line_size = line_size
+        self.offset_bits = log2_exact(line_size, "line_size")
+        if size % line_size:
+            raise ValueError(f"size {size} not a multiple of line_size {line_size}")
+        self.num_blocks = size // line_size
+        self.num_sets = num_sets
+        self.name = name or type(self).__name__
+        self.stats = CacheStats(num_sets=num_sets)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Reference ``address``; allocate on miss; update statistics."""
+        block = address >> self.offset_bits
+        result = self._access_block(block, is_write)
+        self.stats.record(result.set_index, result.hit, is_write)
+        if result.evicted is not None:
+            self.stats.evictions += 1
+            if result.evicted_dirty:
+                self.stats.writebacks += 1
+        if not result.hit:
+            if result.pd_hit:
+                self.stats.pd_hit_misses += 1
+            else:
+                self.stats.pd_miss_misses += 1
+        return result
+
+    def run(self, trace: Iterable[Access]) -> CacheStats:
+        """Run a whole trace through the cache; returns the stats object."""
+        access = self.access
+        for ref in trace:
+            access(ref.address, ref.kind == 1)
+        return self.stats
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating residency probe (no statistics side effects)."""
+        return self._probe_block(address >> self.offset_bits)
+
+    def flush(self) -> None:
+        """Invalidate all contents and reset statistics."""
+        self._flush_state()
+        self.stats.reset()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{self.name} size={self.size} line={self.line_size} "
+            f"sets={self.num_sets} miss_rate={self.stats.miss_rate:.4f}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        """Resolve one block reference, mutating cache state."""
+
+    @abc.abstractmethod
+    def _probe_block(self, block: int) -> bool:
+        """Return residency of ``block`` without mutating anything."""
+
+    @abc.abstractmethod
+    def _flush_state(self) -> None:
+        """Drop all cached blocks."""

@@ -1,0 +1,82 @@
+"""Conventional N-way set-associative cache.
+
+The paper compares the baseline against 2-, 4-, 8- and 32-way caches of
+the same size with LRU replacement (Figures 4, 5, 8, 9, 12).  An N-way
+cache shortens the index by log2(N) bits relative to the direct-mapped
+baseline and chooses a victim among N blocks per set.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import AccessResult, Cache, log2_exact
+from repro.replacement import ReplacementPolicy, make_policy
+
+
+class SetAssociativeCache(Cache):
+    """N-way set-associative cache with a pluggable replacement policy."""
+
+    def __init__(
+        self,
+        size: int,
+        line_size: int = 32,
+        ways: int = 2,
+        policy: str = "lru",
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        num_blocks = size // line_size
+        if num_blocks % ways:
+            raise ValueError(f"{size}B/{line_size}B cache cannot be {ways}-way")
+        num_sets = num_blocks // ways
+        super().__init__(
+            size, line_size, num_sets, name or f"{size // 1024}kB-{ways}way"
+        )
+        self.ways = ways
+        self.index_bits = log2_exact(num_sets, "number of sets")
+        self._index_mask = num_sets - 1
+        self.policy_name = policy
+        self._seed = seed
+        self._tags: list[list[int]] = [[-1] * ways for _ in range(num_sets)]
+        self._dirty: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
+        self._policies: list[ReplacementPolicy] = [
+            make_policy(policy, ways, seed=seed + i) for i in range(num_sets)
+        ]
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        index = block & self._index_mask
+        tag = block >> self.index_bits
+        tags = self._tags[index]
+        policy = self._policies[index]
+        for way in range(self.ways):
+            if tags[way] == tag:
+                policy.touch(way)
+                if is_write:
+                    self._dirty[index][way] = True
+                return AccessResult(hit=True, set_index=index)
+        way = policy.victim()
+        evicted = None
+        evicted_dirty = False
+        if tags[way] >= 0:
+            evicted = ((tags[way] << self.index_bits) | index) << self.offset_bits
+            evicted_dirty = self._dirty[index][way]
+        tags[way] = tag
+        self._dirty[index][way] = is_write
+        policy.touch(way)
+        return AccessResult(
+            hit=False, set_index=index, evicted=evicted, evicted_dirty=evicted_dirty
+        )
+
+    def _probe_block(self, block: int) -> bool:
+        index = block & self._index_mask
+        tag = block >> self.index_bits
+        return tag in self._tags[index]
+
+    def _flush_state(self) -> None:
+        for index in range(self.num_sets):
+            self._tags[index] = [-1] * self.ways
+            self._dirty[index] = [False] * self.ways
+            self._policies[index] = make_policy(
+                self.policy_name, self.ways, seed=self._seed + index
+            )

@@ -1,0 +1,159 @@
+"""Way-predicting set-associative caches — Section 7.2's prior art.
+
+Two latency-reduction techniques for set-associative caches that the
+paper contrasts with the B-Cache:
+
+* **Partial address matching** (Liu): the tag store is split into a
+  Partial Address Directory (a few low tag bits) and a Main Directory.
+  The PAD picks the predicted way fast; the MD verifies.  A wrong
+  prediction costs a second cycle.
+* **Predictive sequential associative cache** (Calder et al.): probe
+  the MRU-predicted way first; on a first-probe miss, probe the rest
+  sequentially — hits in a non-predicted way take extra cycles.
+
+Both reach a set-associative miss rate but with *variable hit
+latency*, which "disrupts the datapath pipeline" (Section 2.1) — the
+property the B-Cache's constant one-cycle hit avoids.  The models here
+track first-probe and slow hits so the latency comparison experiment
+can quantify that argument.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import AccessResult
+from repro.caches.set_associative import SetAssociativeCache
+
+
+class PartialAddressMatchingCache(SetAssociativeCache):
+    """Set-associative cache with PAD-based way prediction.
+
+    The PAD holds ``pad_bits`` low tag bits per way.  A lookup compares
+    the address's partial tag against every way's PAD entry; if exactly
+    one way matches it is predicted and, when the full tag verifies,
+    the access completes in one cycle.  Multiple PAD matches or a
+    mispredicted way cost a second cycle.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        line_size: int = 32,
+        ways: int = 2,
+        pad_bits: int = 5,
+        policy: str = "lru",
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            size, line_size, ways=ways, policy=policy, seed=seed,
+            name=name or f"PAM-{size // 1024}kB-{ways}way",
+        )
+        if pad_bits < 1:
+            raise ValueError("pad_bits must be >= 1")
+        self.pad_bits = pad_bits
+        self._pad_mask = (1 << pad_bits) - 1
+        self.fast_hits = 0
+        self.slow_hits = 0
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        index = block & self._index_mask
+        tag = block >> self.index_bits
+        partial = tag & self._pad_mask
+        tags = self._tags[index]
+        pad_matches = [
+            way
+            for way in range(self.ways)
+            if tags[way] >= 0 and (tags[way] & self._pad_mask) == partial
+        ]
+        result = super()._access_block(block, is_write)
+        if result.hit:
+            # Unique PAD match that is also the right way: fast hit.
+            if len(pad_matches) == 1 and tags[pad_matches[0]] == tag:
+                self.fast_hits += 1
+            else:
+                self.slow_hits += 1
+        return result
+
+    @property
+    def slow_hit_fraction(self) -> float:
+        total = self.fast_hits + self.slow_hits
+        if not total:
+            return 0.0
+        return self.slow_hits / total
+
+    def _flush_state(self) -> None:
+        super()._flush_state()
+        self.fast_hits = 0
+        self.slow_hits = 0
+
+
+class PredictiveSequentialCache(SetAssociativeCache):
+    """MRU way prediction with sequential fallback probes.
+
+    Tracks, per set, the most recently used way; a hit there is fast,
+    a hit anywhere else charges one extra probe per way tried (the
+    model reports the average via ``extra_probe_count``).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        line_size: int = 32,
+        ways: int = 2,
+        policy: str = "lru",
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            size, line_size, ways=ways, policy=policy, seed=seed,
+            name=name or f"PSA-{size // 1024}kB-{ways}way",
+        )
+        self._mru = [0] * self.num_sets
+        self.fast_hits = 0
+        self.slow_hits = 0
+        self.extra_probe_count = 0
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        index = block & self._index_mask
+        tag = block >> self.index_bits
+        predicted = self._mru[index]
+        tags = self._tags[index]
+        hit_way = None
+        for way in range(self.ways):
+            if tags[way] == tag:
+                hit_way = way
+                break
+        result = super()._access_block(block, is_write)
+        if result.hit:
+            assert hit_way is not None
+            if hit_way == predicted:
+                self.fast_hits += 1
+            else:
+                self.slow_hits += 1
+                # Probe order: predicted way first, then the others in
+                # way order — count the extra probes needed.
+                order = [predicted] + [w for w in range(self.ways) if w != predicted]
+                self.extra_probe_count += order.index(hit_way)
+            self._mru[index] = hit_way
+        else:
+            # Refill goes to whichever way the base class chose; it is
+            # now the MRU way.
+            for way in range(self.ways):
+                if tags[way] == tag:
+                    self._mru[index] = way
+                    break
+        return result
+
+    @property
+    def slow_hit_fraction(self) -> float:
+        total = self.fast_hits + self.slow_hits
+        if not total:
+            return 0.0
+        return self.slow_hits / total
+
+    def _flush_state(self) -> None:
+        super()._flush_state()
+        self._mru = [0] * self.num_sets
+        self.fast_hits = 0
+        self.slow_hits = 0
+        self.extra_probe_count = 0

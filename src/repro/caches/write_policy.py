@@ -1,0 +1,74 @@
+"""Write-policy wrapper: write-through and write-no-allocate variants.
+
+The study's caches are write-back, write-allocate (the common L1
+choice and the paper's implicit configuration).  Real deployments also
+use write-through and/or write-no-allocate L1s — embedded parts
+especially, the B-Cache's other target market — so this wrapper turns
+any organisation into any of the four policy combinations without
+touching the underlying models:
+
+* **write-through** — every write is propagated to the next level
+  immediately (counted in ``writethroughs``); lines are never dirty,
+  so evictions never write back.
+* **write-no-allocate** — a write miss does not fill the cache; the
+  write goes straight to the next level.
+
+Statistics are kept on the wrapper (the inner cache sees only the
+accesses the policy forwards), so miss rates remain comparable.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import AccessResult, Cache
+
+
+class WritePolicyCache(Cache):
+    """Wrap a cache with configurable write policies."""
+
+    def __init__(
+        self,
+        inner: Cache,
+        write_allocate: bool = True,
+        write_through: bool = False,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            inner.size,
+            inner.line_size,
+            inner.num_sets,
+            name or f"{inner.name}+{'WT' if write_through else 'WB'}"
+                    f"{'' if write_allocate else '-WNA'}",
+        )
+        self.inner = inner
+        self.write_allocate = write_allocate
+        self.write_through = write_through
+        #: Writes sent to the next level by the write-through policy
+        #: (or by no-allocate write misses).
+        self.writethroughs = 0
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        address = block << self.offset_bits
+        if is_write and not self.write_allocate and not self.inner.contains(address):
+            # Write miss without allocation: bypass the cache entirely.
+            self.writethroughs += 1
+            # Resolve the set index for statistics without disturbing
+            # the inner cache's contents: use the would-be home set of
+            # a probe-only mapping.  The inner stats are untouched.
+            return AccessResult(hit=False, set_index=0)
+        effective_write = is_write and not self.write_through
+        result = self.inner.access(address, effective_write)
+        if is_write and self.write_through:
+            self.writethroughs += 1
+        return result
+
+    def _probe_block(self, block: int) -> bool:
+        return self.inner.contains(block << self.offset_bits)
+
+    def _flush_state(self) -> None:
+        self.inner.flush()
+        self.writethroughs = 0
+
+    @property
+    def write_traffic(self) -> int:
+        """Total writes sent below: write-throughs plus writebacks."""
+        return self.writethroughs + self.inner.stats.writebacks

@@ -1,0 +1,192 @@
+"""Command-line runner: regenerate any paper figure or table.
+
+Usage::
+
+    bcache-repro list
+    bcache-repro fig3 [--scale smoke|default|full]
+    bcache-repro fig4
+    bcache-repro fig5
+    bcache-repro fig8
+    bcache-repro fig9
+    bcache-repro fig12
+    bcache-repro tab1 tab2 tab3 tab56 tab7
+    bcache-repro hac prior-art replacement
+    bcache-repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import DEFAULT, FULL, SMOKE, ExperimentScale
+from repro.experiments import circuit_tables, comparisons, extensions
+from repro.experiments import fig3_mf_sweep, latency_study, miss_decomposition
+from repro.experiments import missrate_figures, perf_energy
+from repro.experiments import sensitivity, tab56_tradeoff, tab7_balance
+
+_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def _render_fig3(scale: ExperimentScale) -> str:
+    return fig3_mf_sweep.run(scale).render()
+
+
+def _render_fig4(scale: ExperimentScale) -> str:
+    return missrate_figures.run_fig4(scale).render()
+
+
+def _render_fig5(scale: ExperimentScale) -> str:
+    return missrate_figures.run_fig5(scale).render()
+
+
+def _render_fig12(scale: ExperimentScale) -> str:
+    return missrate_figures.run_fig12(scale).render()
+
+
+def _render_fig8(scale: ExperimentScale) -> str:
+    return perf_energy.run(scale).render_fig8()
+
+
+def _render_fig9(scale: ExperimentScale) -> str:
+    return perf_energy.run(scale).render_fig9()
+
+
+def _render_tab1(scale: ExperimentScale) -> str:
+    return circuit_tables.run_tab1().render()
+
+
+def _render_tab2(scale: ExperimentScale) -> str:
+    return circuit_tables.run_tab2().render()
+
+
+def _render_tab3(scale: ExperimentScale) -> str:
+    return circuit_tables.run_tab3().render()
+
+
+def _render_tab56(scale: ExperimentScale) -> str:
+    return tab56_tradeoff.run(scale).render()
+
+
+def _render_tab7(scale: ExperimentScale) -> str:
+    return tab7_balance.run(scale).render()
+
+
+def _render_hac(scale: ExperimentScale) -> str:
+    return comparisons.run_hac(scale).render()
+
+
+def _render_prior_art(scale: ExperimentScale) -> str:
+    return comparisons.run_prior_art(scale).render(
+        "Section 7.1 prior art comparison"
+    )
+
+
+def _render_replacement(scale: ExperimentScale) -> str:
+    return comparisons.run_replacement_ablation(scale).render()
+
+
+def _render_sensitivity(scale: ExperimentScale) -> str:
+    return (
+        sensitivity.run_line_size(scale).render()
+        + "\n\n"
+        + sensitivity.run_cache_size(scale).render()
+    )
+
+
+def _render_3c(scale: ExperimentScale) -> str:
+    return miss_decomposition.run(scale).render()
+
+
+def _render_latency(scale: ExperimentScale) -> str:
+    return latency_study.run(scale).render()
+
+
+def _render_addressing(scale: ExperimentScale) -> str:
+    return extensions.run_addressing().render()
+
+
+def _render_drowsy(scale: ExperimentScale) -> str:
+    return extensions.run_drowsy(scale).render()
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
+    "fig3": _render_fig3,
+    "fig4": _render_fig4,
+    "fig5": _render_fig5,
+    "fig8": _render_fig8,
+    "fig9": _render_fig9,
+    "fig12": _render_fig12,
+    "tab1": _render_tab1,
+    "tab2": _render_tab2,
+    "tab3": _render_tab3,
+    "tab56": _render_tab56,
+    "tab7": _render_tab7,
+    "hac": _render_hac,
+    "prior-art": _render_prior_art,
+    "replacement": _render_replacement,
+    "latency": _render_latency,
+    "3c": _render_3c,
+    "sensitivity": _render_sensitivity,
+    "addressing": _render_addressing,
+    "drowsy": _render_drowsy,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-repro``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="bcache-repro",
+        description="Regenerate tables/figures from the B-Cache paper (ISCA 2006).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all' / 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="trace-length preset (default: default)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="additionally write the selected experiments into one "
+        "markdown report file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    scale = _SCALES[args.scale]
+    status = 0
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            status = 2
+            continue
+        started = time.time()
+        print(f"== {name} (scale={args.scale}) ==")
+        print(runner(scale))
+        print(f"[{time.time() - started:.1f}s]\n")
+
+    if args.report and status == 0:
+        from repro.experiments.report import write_report
+
+        valid = tuple(name for name in names if name in EXPERIMENTS)
+        path = write_report(args.report, scale, ids=valid)
+        print(f"report written to {path}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the Balanced Cache."""
+
+from repro.core.addressing import (
+    AddressingReport,
+    PDBit,
+    analyze_addressing,
+)
+from repro.core.bcache import BCache
+from repro.core.config import BCacheGeometry
+from repro.core.decoder import (
+    DecoderIntegrityError,
+    PDMatch,
+    ProgrammableDecoderBank,
+)
+
+__all__ = [
+    "AddressingReport",
+    "BCache",
+    "BCacheGeometry",
+    "DecoderIntegrityError",
+    "PDBit",
+    "PDMatch",
+    "ProgrammableDecoderBank",
+    "analyze_addressing",
+]

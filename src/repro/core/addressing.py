@@ -1,0 +1,110 @@
+"""Virtual/physical addressing analysis — Section 6.8 of the paper.
+
+The B-Cache's programmable decoder consumes ``log2(MF)`` *tag* bits no
+later than the set index.  In a virtually-indexed, physically-tagged
+(V/P) cache those tag bits normally come out of the TLB too late, so
+the paper analyses which bits the PD needs and when they are available:
+
+* bits inside the **page offset** are identical in virtual and physical
+  addresses — always safe;
+* bits above the page offset that the PD borrows from the tag must
+  either be translated early or "treated as virtual index", i.e. the
+  OS/page-colouring must keep them consistent (the same constraint
+  skewed-associative and way-halting caches impose, per the paper).
+
+This module classifies every PD input bit for a given geometry and
+page size, reproducing the paper's conclusion: for the headline 16 kB
+design with 4 kB pages, the three borrowed tag bits (address bits
+14-16) lie above the page offset, so a V/P B-Cache must treat them as
+virtual index bits; pure virtually- or physically-addressed caches
+need no care at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.base import log2_exact
+from repro.core.config import BCacheGeometry
+
+
+@dataclass(frozen=True)
+class PDBit:
+    """One programmable-decoder input bit and its translation status."""
+
+    address_bit: int
+    source: str  # "index" or "tag"
+    within_page_offset: bool
+
+
+@dataclass(frozen=True)
+class AddressingReport:
+    """Section 6.8 analysis for one (geometry, page size) pair."""
+
+    geometry: BCacheGeometry
+    page_size: int
+    pd_bits: tuple[PDBit, ...]
+
+    @property
+    def untranslated_tag_bits(self) -> tuple[PDBit, ...]:
+        """Borrowed tag bits needing early translation in a V/P cache."""
+        return tuple(
+            b for b in self.pd_bits
+            if b.source == "tag" and not b.within_page_offset
+        )
+
+    @property
+    def vp_compatible_without_care(self) -> bool:
+        """True when every PD input is available pre-translation."""
+        return not self.untranslated_tag_bits
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.geometry.describe()}",
+            f"page size {self.page_size} B "
+            f"(offset bits 0..{log2_exact(self.page_size, 'page_size') - 1})",
+        ]
+        for bit in self.pd_bits:
+            where = "page offset" if bit.within_page_offset else "translated"
+            lines.append(
+                f"  PD input A{bit.address_bit} ({bit.source} bit): {where}"
+            )
+        if self.vp_compatible_without_care:
+            lines.append(
+                "V/P compatible as-is: all PD inputs precede translation."
+            )
+        else:
+            bits = ", ".join(
+                f"A{b.address_bit}" for b in self.untranslated_tag_bits
+            )
+            lines.append(
+                f"V/P caches must treat {bits} as virtual index bits "
+                "(Section 6.8), or translate them early; virtually- or "
+                "physically-addressed caches need no change."
+            )
+        return "\n".join(lines)
+
+
+def analyze_addressing(
+    geometry: BCacheGeometry, page_size: int = 4096
+) -> AddressingReport:
+    """Classify every PD input bit for a V/P-tagged implementation."""
+    page_offset_bits = log2_exact(page_size, "page_size")
+    pd_bits = []
+    # PD inputs are the PI field: bas_bits index bits then mf_bits tag
+    # bits, at block-address positions npi..npi+pi-1, i.e. byte-address
+    # positions offset+npi .. offset+npi+pi-1.
+    first = geometry.offset_bits + geometry.npi_bits
+    for i in range(geometry.pi_bits):
+        address_bit = first + i
+        source = "index" if i < geometry.bas_bits else "tag"
+        pd_bits.append(
+            PDBit(
+                address_bit=address_bit,
+                source=source,
+                within_page_offset=address_bit < page_offset_bits,
+            )
+        )
+    return AddressingReport(
+        geometry=geometry, page_size=page_size, pd_bits=tuple(pd_bits)
+    )

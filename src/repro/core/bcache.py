@@ -1,0 +1,191 @@
+"""The Balanced Cache (B-Cache) — the paper's primary contribution.
+
+A direct-mapped cache whose local decoders are partially programmable.
+Exactly one data/tag array is probed per access (one-cycle hits, same
+access time as the baseline), but a replacement policy chooses among
+``BAS`` candidate sets whenever the programmable decoder misses.
+
+The three PD scenarios of Section 2.3 are implemented faithfully:
+
+1. **Cold start** — invalid PD entries are programmed with the
+   incoming address's PI; among clusters the victim is chosen by the
+   replacement policy.
+2. **Cache miss, PD hit** — the matching set *must* be the victim
+   (replacing any other set would require evicting two blocks to keep
+   decoding unique), so the replacement policy cannot help.  These
+   forced replacements are counted as ``pd_hit_misses``.
+3. **Cache miss, PD miss** — the miss is predetermined before any
+   array read (tag/data arrays stay quiet, which the energy model
+   credits); the victim is chosen from all ``BAS`` clusters and its PD
+   entry is reprogrammed with the new PI.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import AccessResult, Cache
+from repro.core.config import BCacheGeometry
+from repro.core.decoder import ProgrammableDecoderBank
+from repro.replacement import ReplacementPolicy, make_policy
+
+
+class BCache(Cache):
+    """Balanced cache with programmable decoders.
+
+    Args:
+        geometry: validated design point (size, line, MF, BAS).
+        policy: replacement policy name (``lru`` or ``random`` in the
+            paper; ``fifo``/``plru`` also accepted for ablations).
+        seed: seed for stochastic policies.
+    """
+
+    def __init__(
+        self,
+        geometry: BCacheGeometry,
+        policy: str = "lru",
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            geometry.size,
+            geometry.line_size,
+            geometry.num_sets,
+            name
+            or (
+                f"BCache-{geometry.size // 1024}kB-"
+                f"MF{geometry.mapping_factor}-BAS{geometry.associativity}"
+            ),
+        )
+        self.geometry = geometry
+        self.policy_name = policy
+        self._seed = seed
+        self.decoder = ProgrammableDecoderBank(
+            geometry.num_rows, geometry.num_clusters, geometry.pi_bits
+        )
+        # Stored tag per physical set (reduced by log2(MF) bits vs the
+        # baseline); -1 = invalid block.
+        self._tags = [-1] * geometry.num_sets
+        self._dirty = [False] * geometry.num_sets
+        # One replacement domain per row, across the BAS clusters.
+        self._policies: list[ReplacementPolicy] = [
+            make_policy(policy, geometry.num_clusters, seed=seed + row)
+            for row in range(geometry.num_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    def _evicted_address(self, row: int, cluster: int) -> tuple[int | None, bool]:
+        """Reconstruct the (address, dirty) of the block in (row, cluster)."""
+        set_index = self.geometry.set_index(row, cluster)
+        tag = self._tags[set_index]
+        if tag < 0:
+            return None, False
+        pd_value = self.decoder.value_at(row, cluster)
+        assert pd_value is not None, "valid block without a programmed PD entry"
+        block = self.geometry.compose_block(row, pd_value, tag)
+        return block << self.offset_bits, self._dirty[set_index]
+
+    def _fill(
+        self, row: int, cluster: int, pi: int, tag: int, is_write: bool
+    ) -> None:
+        set_index = self.geometry.set_index(row, cluster)
+        self._tags[set_index] = tag
+        self._dirty[set_index] = is_write
+        if self.decoder.value_at(row, cluster) != pi:
+            self.decoder.program(row, cluster, pi)
+        self._policies[row].touch(cluster)
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        geometry = self.geometry
+        row, pi, tag = geometry.decompose_block(block)
+        match = self.decoder.search(row, pi)
+
+        if match.hit:
+            cluster = match.cluster
+            assert cluster is not None
+            set_index = geometry.set_index(row, cluster)
+            if self._tags[set_index] == tag:
+                # One-cycle hit: exactly one word line fired.
+                self._policies[row].touch(cluster)
+                if is_write:
+                    self._dirty[set_index] = True
+                return AccessResult(hit=True, set_index=set_index)
+            # Scenario 2: PD hit but tag mismatch.  The matching set is
+            # the only legal victim (Section 2.3: replacing elsewhere
+            # would force a double eviction to keep decoding unique).
+            evicted, evicted_dirty = self._evicted_address(row, cluster)
+            self._fill(row, cluster, pi, tag, is_write)
+            return AccessResult(
+                hit=False,
+                set_index=set_index,
+                evicted=evicted,
+                evicted_dirty=evicted_dirty,
+                pd_hit=True,
+            )
+
+        # Scenario 1/3: PD miss — the miss is predetermined; choose the
+        # victim from all BAS clusters (invalid PD entries first, then
+        # the replacement policy).
+        invalid = self.decoder.invalid_clusters(row)
+        if invalid:
+            cluster = self._policies[row].victim_among(invalid)
+        else:
+            cluster = self._policies[row].victim()
+        set_index = geometry.set_index(row, cluster)
+        evicted, evicted_dirty = self._evicted_address(row, cluster)
+        self._fill(row, cluster, pi, tag, is_write)
+        return AccessResult(
+            hit=False,
+            set_index=set_index,
+            evicted=evicted,
+            evicted_dirty=evicted_dirty,
+            pd_hit=False,
+        )
+
+    # ------------------------------------------------------------------
+    def _probe_block(self, block: int) -> bool:
+        row, pi, tag = self.geometry.decompose_block(block)
+        cluster = self.decoder._lookup[row].get(pi)
+        if cluster is None:
+            return False
+        return self._tags[self.geometry.set_index(row, cluster)] == tag
+
+    def _flush_state(self) -> None:
+        geometry = self.geometry
+        self._tags = [-1] * geometry.num_sets
+        self._dirty = [False] * geometry.num_sets
+        self.decoder.flush()
+        self._policies = [
+            make_policy(self.policy_name, geometry.num_clusters, seed=self._seed + row)
+            for row in range(geometry.num_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def pd_hit_rate_during_miss(self) -> float:
+        """Fraction of misses where the PD hit (Figure 3 / Table 6)."""
+        return self.stats.pd_hit_rate_during_miss
+
+    def check_integrity(self) -> None:
+        """Validate structural invariants (used by property tests).
+
+        * PD uniqueness per row.
+        * Every valid block's PD entry is programmed.
+        * Every block is findable at the address it would be evicted as.
+        """
+        self.decoder.check_integrity()
+        geometry = self.geometry
+        for row in range(geometry.num_rows):
+            for cluster in range(geometry.num_clusters):
+                set_index = geometry.set_index(row, cluster)
+                if self._tags[set_index] >= 0:
+                    pd_value = self.decoder.value_at(row, cluster)
+                    if pd_value is None:
+                        raise AssertionError(
+                            f"set {set_index} holds a block but its PD is invalid"
+                        )
+                    block = geometry.compose_block(
+                        row, pd_value, self._tags[set_index]
+                    )
+                    if not self._probe_block(block):
+                        raise AssertionError(
+                            f"set {set_index}: resident block is not probeable"
+                        )

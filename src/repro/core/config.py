@@ -1,0 +1,143 @@
+"""B-Cache geometry: deriving PI/NPI/PD lengths from (size, MF, BAS).
+
+Terminology follows Section 3.1 of the paper exactly:
+
+* ``OI`` — index length of the original direct-mapped cache,
+  ``OI = log2(size / line_size)``.
+* ``NPI`` — non-programmable index length, ``NPI = OI - log2(BAS)``.
+  The NPI bits select one *row*; each row spans one candidate set per
+  cluster.
+* ``PI`` — programmable index length,
+  ``PI = log2(MF) + log2(BAS)``, stored in each set's CAM entry.
+  ``log2(BAS)`` of those bits come from the original index and
+  ``log2(MF)`` are borrowed from the original tag, so the stored tag
+  shrinks by ``log2(MF)`` bits.
+* ``MF = 2^(PI+NPI) / 2^OI`` — memory-address mapping factor: only
+  ``1/MF`` of the address space has a mapping to the cache at any
+  moment.
+* ``BAS = 2^OI / 2^NPI`` — B-Cache associativity: the number of
+  clusters a victim can be chosen from.
+
+The headline design point is ``size=16kB, line=32B, MF=8, BAS=8``
+giving ``OI=9, NPI=6, PI=6`` (Section 3.2 / Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.base import log2_exact
+from repro.trace.access import ADDRESS_BITS
+
+
+@dataclass(frozen=True)
+class BCacheGeometry:
+    """Validated B-Cache design point.
+
+    Attributes:
+        size: total data capacity in bytes.
+        line_size: cache block size in bytes.
+        mapping_factor: MF, power of two >= 1.
+        associativity: BAS, power of two >= 1.
+    """
+
+    size: int
+    line_size: int = 32
+    mapping_factor: int = 8
+    associativity: int = 8
+
+    # Derived fields (filled in __post_init__).
+    offset_bits: int = field(init=False)
+    original_index_bits: int = field(init=False)
+    npi_bits: int = field(init=False)
+    pi_bits: int = field(init=False)
+    num_sets: int = field(init=False)
+    num_rows: int = field(init=False)
+    num_clusters: int = field(init=False)
+    stored_tag_bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        offset_bits = log2_exact(self.line_size, "line_size")
+        if self.size % self.line_size:
+            raise ValueError(
+                f"size {self.size} is not a multiple of line_size {self.line_size}"
+            )
+        num_sets = self.size // self.line_size
+        oi = log2_exact(num_sets, "number of sets")
+        mf_bits = log2_exact(self.mapping_factor, "mapping_factor")
+        bas_bits = log2_exact(self.associativity, "associativity")
+        if bas_bits > oi:
+            raise ValueError(
+                f"associativity {self.associativity} exceeds set count {num_sets}"
+            )
+        npi = oi - bas_bits
+        pi = mf_bits + bas_bits
+        full_tag_bits = ADDRESS_BITS - offset_bits - oi
+        if mf_bits > full_tag_bits:
+            raise ValueError(
+                f"mapping_factor {self.mapping_factor} needs {mf_bits} tag bits "
+                f"but only {full_tag_bits} exist"
+            )
+        object.__setattr__(self, "offset_bits", offset_bits)
+        object.__setattr__(self, "original_index_bits", oi)
+        object.__setattr__(self, "npi_bits", npi)
+        object.__setattr__(self, "pi_bits", pi)
+        object.__setattr__(self, "num_sets", num_sets)
+        object.__setattr__(self, "num_rows", 1 << npi)
+        object.__setattr__(self, "num_clusters", self.associativity)
+        object.__setattr__(self, "stored_tag_bits", full_tag_bits - mf_bits)
+
+    # ------------------------------------------------------------------
+    @property
+    def mf_bits(self) -> int:
+        """Tag bits absorbed into the programmable decoder (log2 MF)."""
+        return self.pi_bits - self.bas_bits
+
+    @property
+    def bas_bits(self) -> int:
+        """Index bits moved from fixed to programmable decoding (log2 BAS)."""
+        return self.original_index_bits - self.npi_bits
+
+    @property
+    def decoder_extension_bits(self) -> int:
+        """How much longer the B-Cache index is than the baseline's.
+
+        ``(PI + NPI) - OI = log2(MF)``; the paper's headline design
+        extends the decoder by three bits (Section 1, contribution 1).
+        """
+        return self.mf_bits
+
+    def is_degenerate(self) -> bool:
+        """True when the geometry collapses to a plain direct-mapped cache.
+
+        Section 3.1: "The case MF = 1 or BAS = 1 is equivalent to a
+        traditional direct-mapped cache."
+        """
+        return self.mapping_factor == 1 or self.associativity == 1
+
+    # ------------------------------------------------------------------
+    def decompose_block(self, block: int) -> tuple[int, int, int]:
+        """Split a block address into (row, programmable index, stored tag)."""
+        row = block & (self.num_rows - 1)
+        pi = (block >> self.npi_bits) & ((1 << self.pi_bits) - 1)
+        tag = block >> (self.npi_bits + self.pi_bits)
+        return row, pi, tag
+
+    def compose_block(self, row: int, pi: int, tag: int) -> int:
+        """Inverse of :meth:`decompose_block`."""
+        return (tag << (self.npi_bits + self.pi_bits)) | (pi << self.npi_bits) | row
+
+    def set_index(self, row: int, cluster: int) -> int:
+        """Physical set number for (row, cluster)."""
+        return cluster * self.num_rows + row
+
+    def describe(self) -> str:
+        """Human-readable geometry summary."""
+        return (
+            f"B-Cache {self.size // 1024}kB/{self.line_size}B: "
+            f"MF={self.mapping_factor}, BAS={self.associativity}, "
+            f"OI={self.original_index_bits}, NPI={self.npi_bits}, "
+            f"PI={self.pi_bits} (PD CAM width {self.pi_bits} bits), "
+            f"{self.num_rows} rows x {self.num_clusters} clusters, "
+            f"stored tag {self.stored_tag_bits} bits"
+        )

@@ -1,0 +1,145 @@
+"""Programmable decoder (PD) model.
+
+The defining feature of the B-Cache (Section 2.3): each cache set owns
+a CAM entry holding a ``PI``-bit *programmable index*.  A set's word
+line fires only when its non-programmable decoder matches the address's
+NPI bits **and** its CAM entry matches the address's PI bits.
+
+Within one row (one NPI value) the valid CAM entries must be pairwise
+distinct — "The two PIs must be different to maintain unique address
+decoding" (Figure 1) — so at most one set can fire per access.  This
+invariant is maintained structurally: entries are only (re)programmed
+after a PD miss, with a value no valid entry in the row holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class DecoderIntegrityError(RuntimeError):
+    """Raised when an operation would violate unique address decoding."""
+
+
+@dataclass(frozen=True, slots=True)
+class PDMatch:
+    """Result of a programmable-decoder search within one row."""
+
+    hit: bool
+    cluster: int | None = None
+
+
+class ProgrammableDecoderBank:
+    """All PD entries of a B-Cache: ``rows x clusters`` CAM cells.
+
+    Each entry is a ``pi_bits``-wide value plus a valid bit.  Searches
+    are by (row, value); programming enforces the per-row uniqueness
+    invariant.
+    """
+
+    def __init__(self, num_rows: int, num_clusters: int, pi_bits: int) -> None:
+        if num_rows < 1 or num_clusters < 1:
+            raise ValueError("num_rows and num_clusters must be >= 1")
+        if pi_bits < 0:
+            raise ValueError("pi_bits must be >= 0")
+        self.num_rows = num_rows
+        self.num_clusters = num_clusters
+        self.pi_bits = pi_bits
+        self._values: list[list[int]] = [
+            [-1] * num_clusters for _ in range(num_rows)
+        ]
+        # Reverse map per row for O(1) CAM search: value -> cluster.
+        self._lookup: list[dict[int, int]] = [dict() for _ in range(num_rows)]
+        self.searches = 0
+        self.programs = 0
+
+    # ------------------------------------------------------------------
+    def search(self, row: int, value: int) -> PDMatch:
+        """CAM search: which cluster's entry matches ``value`` in ``row``?"""
+        self.searches += 1
+        cluster = self._lookup[row].get(value)
+        if cluster is None:
+            return PDMatch(hit=False)
+        return PDMatch(hit=True, cluster=cluster)
+
+    def value_at(self, row: int, cluster: int) -> int | None:
+        """Programmed value of one entry, or None if invalid."""
+        value = self._values[row][cluster]
+        return None if value < 0 else value
+
+    def is_valid(self, row: int, cluster: int) -> bool:
+        return self._values[row][cluster] >= 0
+
+    def invalid_clusters(self, row: int) -> list[int]:
+        """Clusters of ``row`` whose PD entry is still invalid (cold)."""
+        values = self._values[row]
+        return [c for c in range(self.num_clusters) if values[c] < 0]
+
+    # ------------------------------------------------------------------
+    def program(self, row: int, cluster: int, value: int) -> None:
+        """(Re)program one entry, preserving per-row uniqueness.
+
+        Reprogramming a cluster to the value it already holds is a
+        no-op; programming a value held by a *different* valid entry in
+        the same row raises :class:`DecoderIntegrityError`, because two
+        word lines would then fire for one address.
+        """
+        if not 0 <= value < (1 << self.pi_bits):
+            raise ValueError(f"value {value} does not fit in {self.pi_bits} bits")
+        lookup = self._lookup[row]
+        holder = lookup.get(value)
+        if holder is not None and holder != cluster:
+            raise DecoderIntegrityError(
+                f"row {row}: value {value:#x} already programmed in cluster {holder}"
+            )
+        old = self._values[row][cluster]
+        if old >= 0:
+            del lookup[old]
+        self._values[row][cluster] = value
+        lookup[value] = cluster
+        self.programs += 1
+
+    def invalidate(self, row: int, cluster: int) -> None:
+        """Mark one entry invalid (used at flush and for fault injection)."""
+        old = self._values[row][cluster]
+        if old >= 0:
+            del self._lookup[row][old]
+            self._values[row][cluster] = -1
+
+    def flush(self) -> None:
+        """Invalidate every entry (cache cold start)."""
+        for row in range(self.num_rows):
+            self._values[row] = [-1] * self.num_clusters
+            self._lookup[row].clear()
+
+    # ------------------------------------------------------------------
+    def check_integrity(self) -> None:
+        """Verify the uniqueness invariant over the whole bank.
+
+        Used by tests; raises :class:`DecoderIntegrityError` on any
+        duplicated valid value within a row or on a stale reverse map.
+        """
+        for row in range(self.num_rows):
+            seen: dict[int, int] = {}
+            for cluster in range(self.num_clusters):
+                value = self._values[row][cluster]
+                if value < 0:
+                    continue
+                if value in seen:
+                    raise DecoderIntegrityError(
+                        f"row {row}: clusters {seen[value]} and {cluster} "
+                        f"both hold {value:#x}"
+                    )
+                seen[value] = cluster
+            if seen != self._lookup[row]:
+                raise DecoderIntegrityError(f"row {row}: reverse map out of sync")
+
+    def occupancy(self) -> float:
+        """Fraction of PD entries that are valid."""
+        valid = sum(
+            1
+            for row in range(self.num_rows)
+            for c in range(self.num_clusters)
+            if self._values[row][c] >= 0
+        )
+        return valid / (self.num_rows * self.num_clusters)

@@ -1,0 +1,13 @@
+"""Processor timing model for IPC estimation."""
+
+from repro.cpu.pipeline import EventDrivenCore, PipelineConfig, PipelineResult
+from repro.cpu.timing import ExecutionResult, OoOProcessorModel, ProcessorConfig
+
+__all__ = [
+    "EventDrivenCore",
+    "ExecutionResult",
+    "OoOProcessorModel",
+    "PipelineConfig",
+    "PipelineResult",
+    "ProcessorConfig",
+]

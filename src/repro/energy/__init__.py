@@ -1,0 +1,61 @@
+"""Circuit models: access energy, storage, decoder timing (0.18 µm)."""
+
+from repro.energy.area import (
+    StorageCost,
+    bcache_storage,
+    conventional_storage,
+    set_associative_area_overhead,
+)
+from repro.energy.cacti_lite import (
+    BASELINE_16K_PJ,
+    EnergyBreakdown,
+    conventional_access_energy,
+    fully_associative_probe_energy,
+)
+from repro.energy.cam import CAMBankSpec, pd_banks_for
+from repro.energy.decay import DecayReport, simulate_decay
+from repro.energy.drowsy import DrowsyReport, estimate_drowsy_leakage
+from repro.energy.decoder_timing import (
+    DecoderTiming,
+    all_have_slack,
+    cam_search_delay_ns,
+    table1_timings,
+)
+from repro.energy.model import (
+    ConfigEnergy,
+    EnergyReport,
+    RunActivity,
+    SystemEnergyModel,
+    access_energy_for,
+    bcache_access_energy,
+)
+from repro.energy.technology import TSMC018, Technology
+
+__all__ = [
+    "BASELINE_16K_PJ",
+    "CAMBankSpec",
+    "ConfigEnergy",
+    "DecoderTiming",
+    "DecayReport",
+    "DrowsyReport",
+    "simulate_decay",
+    "estimate_drowsy_leakage",
+    "EnergyBreakdown",
+    "EnergyReport",
+    "RunActivity",
+    "StorageCost",
+    "SystemEnergyModel",
+    "TSMC018",
+    "Technology",
+    "access_energy_for",
+    "all_have_slack",
+    "bcache_access_energy",
+    "bcache_storage",
+    "cam_search_delay_ns",
+    "conventional_access_energy",
+    "conventional_storage",
+    "fully_associative_probe_energy",
+    "pd_banks_for",
+    "set_associative_area_overhead",
+    "table1_timings",
+]

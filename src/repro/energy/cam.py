@@ -1,0 +1,93 @@
+"""Programmable-decoder CAM bank: geometry, energy, area and delay.
+
+Section 3.2 fixes the headline PD organisation: the 16 kB B-Cache's new
+local decoders comprise **thirty-two 6x16 CAMs on the data side** (four
+subarrays x eight PDs, each covering 16 word lines) and **sixty-four
+6x8 CAMs on the tag side** (eight subarrays x eight PDs of 8 word
+lines).  Section 5.4 gives their measured search energies, to which
+:class:`repro.energy.technology.Technology` is calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BCacheGeometry
+from repro.energy.technology import TSMC018, Technology
+
+
+@dataclass(frozen=True)
+class CAMBankSpec:
+    """One group of identical CAM decoders (e.g. the data side's PDs)."""
+
+    count: int
+    bits: int
+    entries: int
+
+    @property
+    def cells(self) -> int:
+        """Total CAM cells across the bank."""
+        return self.count * self.bits * self.entries
+
+    def search_energy_pj(self, tech: Technology = TSMC018) -> float:
+        """Energy of one access: every CAM in the bank searches."""
+        return self.count * tech.cam_search_energy_pj(self.bits, self.entries)
+
+    def area_sram_equivalent_bits(self, tech: Technology = TSMC018) -> float:
+        """Storage cost in SRAM-bit equivalents (CAM cell is 25% larger)."""
+        return self.cells * tech.cam_area_ratio
+
+
+def npd_bits_for(
+    geometry: BCacheGeometry, subarrays: int
+) -> int:
+    """Non-programmable decoder width for one subarray partition.
+
+    Section 5.2's worked example: with the headline geometry the data
+    memory's four subarrays leave a 7-bit local index, of which 3 bits
+    move into the PD, so the data NPD is 4 bits; the tag memory's eight
+    subarrays leave 6 local bits and a 3-bit NPD.
+    """
+    sets_per_subarray = geometry.num_sets // subarrays
+    if geometry.num_sets % subarrays or sets_per_subarray < 1:
+        raise ValueError("set count must divide evenly into subarrays")
+    local_bits = sets_per_subarray.bit_length() - 1
+    npd = local_bits - geometry.bas_bits
+    if npd < 0:
+        raise ValueError(
+            f"{subarrays} subarrays leave only {local_bits} local bits; "
+            f"BAS={geometry.associativity} needs {geometry.bas_bits}"
+        )
+    return npd
+
+
+def pd_banks_for(
+    geometry: BCacheGeometry,
+    data_subarrays: int = 4,
+    tag_subarrays: int = 8,
+) -> tuple[CAMBankSpec, CAMBankSpec]:
+    """PD CAM banks (data, tag) for a B-Cache geometry.
+
+    Follows Section 5.2: tag and data memories keep their own subarray
+    partitions, both using the same PI length; each subarray carries
+    ``BAS`` programmable decoders whose entry count is the subarray's
+    rows divided by ``BAS``.
+    """
+    sets_per_data = geometry.num_sets // data_subarrays
+    sets_per_tag = geometry.num_sets // tag_subarrays
+    if geometry.num_sets % data_subarrays or geometry.num_sets % tag_subarrays:
+        raise ValueError("set count must divide evenly into subarrays")
+    clusters = geometry.num_clusters
+    data_entries = max(1, sets_per_data // clusters)
+    tag_entries = max(1, sets_per_tag // clusters)
+    data_bank = CAMBankSpec(
+        count=data_subarrays * clusters,
+        bits=geometry.pi_bits,
+        entries=data_entries,
+    )
+    tag_bank = CAMBankSpec(
+        count=tag_subarrays * clusters,
+        bits=geometry.pi_bits,
+        entries=tag_entries,
+    )
+    return data_bank, tag_bank

@@ -1,0 +1,63 @@
+"""0.18 µm technology constants for the circuit models.
+
+The paper's circuit numbers come from HSPICE at 0.18 µm plus Cacti 3.2
+(Section 5).  We cannot run either, so the models in this package are
+analytic, built from the standard logical-effort / capacitance-energy
+formulations and *calibrated* against every absolute number the paper
+publishes:
+
+* 6x8 CAM decoder: 0.78 pJ per search (Section 5.4);
+* 6x16 CAM decoder: 1.62 pJ per search (Section 5.4);
+* CAM cell area = 1.25x the SRAM cell area (Sections 5.1, 5.3);
+* B-Cache energy per access = baseline + 10.5 % (Section 5.4 /
+  Table 3), which pins the baseline cache's absolute energy scale;
+* direct-mapped vs 8-way per-access power: -68.8 % at 16 kB and
+  -74.7 % at 8 kB (Section 1).
+
+All constants below are in SI-flavoured engineering units: pJ, ns, µm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process parameters used by the array and gate models."""
+
+    name: str = "tsmc018"
+    feature_um: float = 0.18
+    vdd: float = 1.8
+    #: Logical-effort time unit tau (ns): delay of a fanout-1 inverter.
+    tau_ns: float = 0.025
+    #: Energy switched per bitline pair per row of array height (pJ).
+    bitline_pj_per_row: float = 0.00195
+    #: Energy per wordline per column driven (pJ).
+    wordline_pj_per_col: float = 0.00085
+    #: Energy per sense amplifier activation (pJ).
+    senseamp_pj: float = 0.057
+    #: Energy per decoder gate-equivalent switched (pJ).
+    decode_pj_per_gate: float = 0.012
+    #: Energy per output-driver bit (pJ).
+    output_pj_per_bit: float = 0.021
+    #: CAM search energy model, fitted to the paper's two published
+    #: points (Section 5.4: 6x8 CAM = 0.78 pJ, 6x16 CAM = 1.62 pJ per
+    #: search).  Energy scales linearly with search width (bits) and
+    #: slightly superlinearly with entry count — match/search-line
+    #: drivers are sized up with the array:
+    #: ``E = cam_pj_scale * (bits / 6) * entries ** cam_entry_exponent``.
+    cam_pj_scale: float = 0.08734
+    cam_entry_exponent: float = 1.0544
+    #: SRAM cell area (µm²) at 0.18 µm (6T cell).
+    sram_cell_um2: float = 4.65
+    #: CAM/SRAM cell area ratio (paper: "25% larger").
+    cam_area_ratio: float = 1.25
+
+    def cam_search_energy_pj(self, bits: int, entries: int) -> float:
+        """Energy of one search of a ``bits x entries`` CAM decoder."""
+        return self.cam_pj_scale * (bits / 6.0) * entries**self.cam_entry_exponent
+
+
+#: Default process used throughout the study.
+TSMC018 = Technology()

@@ -1,0 +1,23 @@
+"""Experiment harnesses: one module per paper figure/table."""
+
+from repro.experiments.common import (
+    DEFAULT,
+    FULL,
+    SMOKE,
+    ExperimentScale,
+    clear_trace_caches,
+    miss_rate,
+    run_side,
+    run_system,
+)
+
+__all__ = [
+    "DEFAULT",
+    "ExperimentScale",
+    "FULL",
+    "SMOKE",
+    "clear_trace_caches",
+    "miss_rate",
+    "run_side",
+    "run_system",
+]

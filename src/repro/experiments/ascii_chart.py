@@ -1,0 +1,71 @@
+"""ASCII bar charts for figure-style output.
+
+The paper's Figures 4, 5, 8, 9 and 12 are grouped bar charts; the
+tables the harness prints carry the same numbers, but a quick visual
+read of "who wins where" is worth having in a terminal-only
+environment.  `bcache-repro` appends these charts to the figure
+experiments' output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def horizontal_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "%",
+    max_value: float | None = None,
+    title: str = "",
+) -> str:
+    """Render labelled horizontal bars, one row per entry.
+
+    Negative values render as a leading ``<`` marker (the bar direction
+    cannot flip in a fixed-width chart without ambiguity).
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    limit = max_value if max_value is not None else max(
+        (abs(v) for v in values.values()), default=1.0
+    )
+    if limit <= 0:
+        limit = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = int(round(min(abs(value), limit) / limit * width))
+        bar = ("<" if value < 0 else "#") * filled
+        lines.append(f"{label!s:>{label_width}} |{bar:<{width}} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Sequence[str],
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "%",
+    title: str = "",
+) -> str:
+    """Render one bar block per group with all series inside.
+
+    ``series`` maps series name -> {group -> value}; the scale is
+    shared across the whole chart so bars are comparable between
+    groups, as in the paper's figures.
+    """
+    if not groups or not series:
+        raise ValueError("groups and series must be non-empty")
+    limit = max(
+        abs(values.get(group, 0.0))
+        for values in series.values()
+        for group in groups
+    )
+    blocks = [title] if title else []
+    for group in groups:
+        row = {name: values.get(group, 0.0) for name, values in series.items()}
+        blocks.append(
+            horizontal_bars(
+                row, width=width, unit=unit, max_value=limit, title=str(group)
+            )
+        )
+    return "\n\n".join(blocks)

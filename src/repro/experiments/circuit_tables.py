@@ -1,0 +1,155 @@
+"""Tables 1, 2 and 3 — the circuit-model tables (no simulation needed).
+
+* Table 1: decoder timing per subarray size; the claim is positive
+  slack everywhere, i.e. the B-Cache adds no access-time overhead.
+* Table 2: storage cost in SRAM-bit equivalents; +4.3 % for the
+  headline design, less than a 4-way cache's 7.98 %.
+* Table 3: energy per access by component; +10.5 % for the B-Cache,
+  still far below 2-/4-/8-way caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BCacheGeometry
+from repro.energy.area import (
+    StorageCost,
+    bcache_storage,
+    conventional_storage,
+    set_associative_area_overhead,
+)
+from repro.energy.cacti_lite import EnergyBreakdown, conventional_access_energy
+from repro.energy.decoder_timing import DecoderTiming, table1_timings
+from repro.energy.model import bcache_access_energy
+from repro.experiments.reporting import format_table
+
+HEADLINE = BCacheGeometry(16 * 1024, 32, mapping_factor=8, associativity=8)
+
+
+@dataclass(frozen=True)
+class Tab1Result:
+    timings: tuple[DecoderTiming, ...]
+
+    @property
+    def all_have_slack(self) -> bool:
+        return all(t.slack_ns >= 0 for t in self.timings)
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{t.address_bits}x{t.wordlines}",
+                t.original_composition,
+                f"{t.original_ns:.3f}",
+                t.bcache_npd_composition,
+                f"{t.bcache_npd_ns:.3f}",
+                f"{t.bcache_pd_ns:.3f}",
+                f"{t.bcache_ns:.3f}",
+                f"{t.slack_ns:+.3f}",
+            )
+            for t in self.timings
+        ]
+        return format_table(
+            ("decoder", "orig comp", "orig ns", "NPD comp", "NPD ns",
+             "PD ns", "BC ns", "slack ns"),
+            rows,
+            title="Table 1: decoder timing (slack >= 0 means no overhead)",
+        )
+
+
+def run_tab1() -> Tab1Result:
+    return Tab1Result(timings=tuple(table1_timings()))
+
+
+@dataclass(frozen=True)
+class Tab2Result:
+    baseline: StorageCost
+    bcache: StorageCost
+    fourway_overhead: float
+
+    @property
+    def overhead(self) -> float:
+        return self.bcache.overhead_vs(self.baseline)
+
+    def render(self) -> str:
+        rows = [
+            (
+                "baseline",
+                self.baseline.tag_decoder_bits,
+                self.baseline.tag_memory_bits,
+                self.baseline.data_decoder_bits,
+                self.baseline.data_memory_bits,
+                self.baseline.total_bits,
+            ),
+            (
+                "B-Cache",
+                self.bcache.tag_decoder_bits,
+                self.bcache.tag_memory_bits,
+                self.bcache.data_decoder_bits,
+                self.bcache.data_memory_bits,
+                self.bcache.total_bits,
+            ),
+        ]
+        table = format_table(
+            ("org", "tag dec", "tag mem", "data dec", "data mem", "total (bits)"),
+            rows,
+            title="Table 2: storage cost (SRAM-bit equivalents)",
+        )
+        return table + (
+            f"\nB-Cache overhead: {100 * self.overhead:.1f}% "
+            f"(4-way cache: {100 * self.fourway_overhead:.2f}%)"
+        )
+
+
+def run_tab2(geometry: BCacheGeometry = HEADLINE) -> Tab2Result:
+    return Tab2Result(
+        baseline=conventional_storage(geometry.size, geometry.line_size),
+        bcache=bcache_storage(geometry),
+        fourway_overhead=set_associative_area_overhead(4),
+    )
+
+
+@dataclass(frozen=True)
+class Tab3Result:
+    baseline: EnergyBreakdown
+    bcache: EnergyBreakdown
+    setassoc: dict[int, EnergyBreakdown]
+
+    @property
+    def overhead(self) -> float:
+        return self.bcache.total_pj / self.baseline.total_pj - 1.0
+
+    def bcache_below(self, ways: int) -> float:
+        """How far below a W-way cache the B-Cache's access energy is."""
+        return 1.0 - self.bcache.total_pj / self.setassoc[ways].total_pj
+
+    def render(self) -> str:
+        names = list(self.baseline.components) + ["PD"]
+        rows = []
+        for label, breakdown in (("baseline", self.baseline), ("B-Cache", self.bcache)):
+            row: list[object] = [label]
+            row.extend(round(breakdown.components.get(n, 0.0), 1) for n in names)
+            row.append(round(breakdown.total_pj, 1))
+            rows.append(row)
+        table = format_table(
+            ["org"] + names + ["Total (pJ)"],
+            rows,
+            title="Table 3: energy per cache access",
+        )
+        lines = [table, f"B-Cache overhead: +{100 * self.overhead:.1f}%"]
+        for ways in sorted(self.setassoc):
+            lines.append(
+                f"vs {ways}-way: {100 * self.bcache_below(ways):.1f}% lower"
+            )
+        return "\n".join(lines)
+
+
+def run_tab3(geometry: BCacheGeometry = HEADLINE) -> Tab3Result:
+    return Tab3Result(
+        baseline=conventional_access_energy(geometry.size, geometry.line_size),
+        bcache=bcache_access_energy(geometry),
+        setassoc={
+            ways: conventional_access_energy(geometry.size, geometry.line_size, ways)
+            for ways in (2, 4, 8)
+        },
+    )

@@ -1,0 +1,145 @@
+"""Shared infrastructure for the per-figure/per-table experiments.
+
+Traces are deterministic (seeded) and memoised per (benchmark, side,
+length, seed) so that sweeping many cache configurations over the same
+workload generates each trace once.
+
+Scale presets control trace lengths: the paper simulates 500 M
+instructions per benchmark; synthetic workloads reach stable miss
+rates far sooner.  ``SMOKE`` keeps the benchmark suite fast, ``DEFAULT``
+is the scale used for EXPERIMENTS.md, ``FULL`` for final runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.caches import make_cache
+from repro.caches.base import Cache
+from repro.cpu.timing import ExecutionResult, OoOProcessorModel, ProcessorConfig
+from repro.hierarchy.memory_system import MemoryHierarchy
+from repro.stats.counters import CacheStats
+from repro.workloads.spec2k import get_profile
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Trace lengths for one experiment run."""
+
+    data_n: int = 200_000
+    instr_n: int = 200_000
+    instructions: int = 120_000
+    seed: int = 2006  # ISCA 2006
+
+    def scaled(self, factor: float) -> "ExperimentScale":
+        return ExperimentScale(
+            data_n=max(1000, int(self.data_n * factor)),
+            instr_n=max(1000, int(self.instr_n * factor)),
+            instructions=max(1000, int(self.instructions * factor)),
+            seed=self.seed,
+        )
+
+
+SMOKE = ExperimentScale(data_n=20_000, instr_n=30_000, instructions=15_000)
+DEFAULT = ExperimentScale()
+FULL = ExperimentScale(data_n=1_000_000, instr_n=1_000_000, instructions=500_000)
+
+
+@lru_cache(maxsize=256)
+def data_addresses(benchmark: str, n: int, seed: int) -> tuple[int, ...]:
+    """Memoised data-address trace for one benchmark."""
+    return tuple(get_profile(benchmark).data_addresses(n, seed))
+
+
+@lru_cache(maxsize=256)
+def instr_addresses(benchmark: str, n: int, seed: int) -> tuple[int, ...]:
+    """Memoised instruction-address trace for one benchmark."""
+    return tuple(get_profile(benchmark).instr_addresses(n, seed))
+
+
+@lru_cache(maxsize=128)
+def combined_trace(benchmark: str, instructions: int, seed: int) -> tuple:
+    """Memoised combined (ifetch + data) trace for the system model."""
+    return tuple(get_profile(benchmark).combined_trace(instructions, seed))
+
+
+def run_side(
+    spec: str,
+    benchmark: str,
+    side: str,
+    scale: ExperimentScale,
+    size: int = 16 * 1024,
+    line_size: int = 32,
+    policy: str = "lru",
+) -> CacheStats:
+    """Run one benchmark's I- or D-stream through one cache config."""
+    if side == "data":
+        addresses = data_addresses(benchmark, scale.data_n, scale.seed)
+    elif side == "instr":
+        addresses = instr_addresses(benchmark, scale.instr_n, scale.seed)
+    else:
+        raise ValueError(f"side must be 'data' or 'instr', got {side!r}")
+    cache = make_cache(spec, size=size, line_size=line_size, policy=policy)
+    access = cache.access
+    for address in addresses:
+        access(address)
+    return cache.stats
+
+
+def run_side_cache(
+    spec: str,
+    benchmark: str,
+    side: str,
+    scale: ExperimentScale,
+    size: int = 16 * 1024,
+    policy: str = "lru",
+) -> Cache:
+    """Like :func:`run_side` but returns the cache (for balance stats)."""
+    if side == "data":
+        addresses = data_addresses(benchmark, scale.data_n, scale.seed)
+    else:
+        addresses = instr_addresses(benchmark, scale.instr_n, scale.seed)
+    cache = make_cache(spec, size=size, policy=policy)
+    access = cache.access
+    for address in addresses:
+        access(address)
+    return cache
+
+
+def miss_rate(
+    spec: str,
+    benchmark: str,
+    side: str,
+    scale: ExperimentScale,
+    size: int = 16 * 1024,
+) -> float:
+    """Miss rate of one (config, benchmark, side) run."""
+    return run_side(spec, benchmark, side, scale, size=size).miss_rate
+
+
+def run_system(
+    spec: str,
+    benchmark: str,
+    scale: ExperimentScale,
+    size: int = 16 * 1024,
+    config: ProcessorConfig | None = None,
+) -> ExecutionResult:
+    """Run the full processor + hierarchy model with ``spec`` L1 caches."""
+    trace = combined_trace(benchmark, scale.instructions, scale.seed)
+    hierarchy = MemoryHierarchy(
+        l1i=make_cache(spec, size=size),
+        l1d=make_cache(spec, size=size),
+    )
+    model = OoOProcessorModel(hierarchy, config)
+    result = model.run(trace)
+    # Keep the hierarchy reachable for callers needing raw counters.
+    result.hierarchy = hierarchy  # type: ignore[attr-defined]
+    return result
+
+
+def clear_trace_caches() -> None:
+    """Drop memoised traces (frees memory between large sweeps)."""
+    data_addresses.cache_clear()
+    instr_addresses.cache_clear()
+    combined_trace.cache_clear()

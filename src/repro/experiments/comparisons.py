@@ -1,0 +1,179 @@
+"""Section 6.6 / 6.7 / 7.1 comparisons and the replacement ablation.
+
+* Victim buffer (Section 6.6) — covered inside the Figure 4/5/12
+  panels; here we also expose the direct B-Cache-vs-buffer deltas.
+* Highly associative cache (Section 6.7) — the HAC reaches similar
+  miss rates but needs a 26-bit CAM against the B-Cache's 6 bits.
+* Column-associative and skewed-associative caches (Section 7.1) —
+  prior art the B-Cache should match or beat while keeping one-cycle
+  hits.
+* Replacement ablation (Section 3.3) — LRU vs random (the paper's two
+  policies) plus FIFO/PLRU extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.hac import HighlyAssociativeCache
+from repro.core.config import BCacheGeometry
+from repro.experiments.common import DEFAULT, ExperimentScale, run_side
+from repro.experiments.reporting import format_table
+from repro.stats.summary import average_reduction, miss_rate_reduction
+from repro.workloads.spec2k import ALL_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Average miss-rate reduction of several organisations (D$ and I$)."""
+
+    specs: tuple[str, ...]
+    data_reduction: dict[str, float]
+    instr_reduction: dict[str, float]
+
+    def render(self, title: str) -> str:
+        rows = [
+            (
+                spec,
+                100.0 * self.data_reduction[spec],
+                100.0 * self.instr_reduction[spec],
+            )
+            for spec in self.specs
+        ]
+        return format_table(("config", "D$ red %", "I$ red %"), rows, title=title)
+
+
+def run_comparison(
+    specs: tuple[str, ...],
+    scale: ExperimentScale = DEFAULT,
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+) -> ComparisonResult:
+    """Average reductions of ``specs`` over the suite (both cache sides)."""
+    data_red: dict[str, list[float]] = {spec: [] for spec in specs}
+    instr_red: dict[str, list[float]] = {spec: [] for spec in specs}
+    for benchmark in benchmarks:
+        data_base = run_side("dm", benchmark, "data", scale).miss_rate
+        instr_base = run_side("dm", benchmark, "instr", scale).miss_rate
+        for spec in specs:
+            data_rate = run_side(spec, benchmark, "data", scale).miss_rate
+            instr_rate = run_side(spec, benchmark, "instr", scale).miss_rate
+            data_red[spec].append(miss_rate_reduction(data_base, data_rate))
+            instr_red[spec].append(miss_rate_reduction(instr_base, instr_rate))
+    return ComparisonResult(
+        specs=specs,
+        data_reduction={s: average_reduction(v) for s, v in data_red.items()},
+        instr_reduction={s: average_reduction(v) for s, v in instr_red.items()},
+    )
+
+
+#: Prior-art comparison of Section 7.1 (plus the victim buffer of 6.6).
+PRIOR_ART_SPECS = ("victim16", "column", "skew2", "2way", "4way", "mf8_bas8")
+
+
+def run_prior_art(scale: ExperimentScale = DEFAULT) -> ComparisonResult:
+    return run_comparison(PRIOR_ART_SPECS, scale)
+
+
+@dataclass(frozen=True)
+class HACResult:
+    """Section 6.7: HAC vs B-Cache — miss rate similar, CAM width 26 vs 6."""
+
+    comparison: ComparisonResult
+    hac_cam_bits: int
+    bcache_pd_bits: int
+
+    def render(self) -> str:
+        return (
+            self.comparison.render("Section 6.7: HAC vs B-Cache")
+            + f"\nCAM width: HAC {self.hac_cam_bits} bits vs "
+            f"B-Cache PD {self.bcache_pd_bits} bits"
+        )
+
+
+def run_hac(scale: ExperimentScale = DEFAULT) -> HACResult:
+    comparison = run_comparison(("hac", "mf8_bas8", "32way"), scale)
+    hac = HighlyAssociativeCache(16 * 1024)
+    geometry = BCacheGeometry(16 * 1024, 32, 8, 8)
+    return HACResult(
+        comparison=comparison,
+        hac_cam_bits=hac.cam_entry_bits,
+        bcache_pd_bits=geometry.pi_bits,
+    )
+
+
+@dataclass(frozen=True)
+class ReplacementAblation:
+    """Section 3.3: the B-Cache under different replacement policies."""
+
+    policies: tuple[str, ...]
+    data_reduction: dict[str, float]
+
+    def render(self) -> str:
+        rows = [
+            (policy, 100.0 * self.data_reduction[policy])
+            for policy in self.policies
+        ]
+        return format_table(
+            ("policy", "avg D$ red %"),
+            rows,
+            title="Replacement-policy ablation (B-Cache MF=8 BAS=8)",
+        )
+
+
+@dataclass(frozen=True)
+class VictimSweep:
+    """Section 6.6's sizing claim: 'A victim buffer with more than 16
+    entries may not bring significant miss rate reduction.'"""
+
+    entries: tuple[int, ...]
+    data_reduction: dict[int, float]
+
+    def render(self) -> str:
+        rows = [
+            (f"victim{n}", 100.0 * self.data_reduction[n]) for n in self.entries
+        ]
+        return format_table(
+            ("buffer", "avg D$ red %"),
+            rows,
+            title="Victim-buffer size sweep (Section 6.6)",
+        )
+
+    def marginal_gain(self, from_entries: int, to_entries: int) -> float:
+        return self.data_reduction[to_entries] - self.data_reduction[from_entries]
+
+
+def run_victim_sweep(
+    scale: ExperimentScale = DEFAULT,
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    entries: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> VictimSweep:
+    """Sweep the victim-buffer entry count."""
+    reductions: dict[int, list[float]] = {n: [] for n in entries}
+    for benchmark in benchmarks:
+        base = run_side("dm", benchmark, "data", scale).miss_rate
+        for n in entries:
+            rate = run_side(f"victim{n}", benchmark, "data", scale).miss_rate
+            reductions[n].append(miss_rate_reduction(base, rate))
+    return VictimSweep(
+        entries=entries,
+        data_reduction={n: average_reduction(v) for n, v in reductions.items()},
+    )
+
+
+def run_replacement_ablation(
+    scale: ExperimentScale = DEFAULT,
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    policies: tuple[str, ...] = ("lru", "random", "fifo", "plru"),
+) -> ReplacementAblation:
+    reductions: dict[str, list[float]] = {policy: [] for policy in policies}
+    for benchmark in benchmarks:
+        base = run_side("dm", benchmark, "data", scale).miss_rate
+        for policy in policies:
+            rate = run_side(
+                "mf8_bas8", benchmark, "data", scale, policy=policy
+            ).miss_rate
+            reductions[policy].append(miss_rate_reduction(base, rate))
+    return ReplacementAblation(
+        policies=policies,
+        data_reduction={p: average_reduction(v) for p, v in reductions.items()},
+    )

@@ -1,0 +1,95 @@
+"""Markdown report generation: run experiments, emit one document.
+
+``bcache-repro`` prints tables to stdout; this module packages the same
+results into a single timestamp-free markdown report (suitable for
+committing next to EXPERIMENTS.md or diffing between runs)::
+
+    from repro.experiments.report import write_report
+    write_report("report.md", scale=SMOKE)
+
+The experiment registry is injectable so tests can run a stub subset.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.experiments.common import DEFAULT, ExperimentScale
+
+Renderer = Callable[[ExperimentScale], str]
+
+
+def default_registry() -> Mapping[str, Renderer]:
+    """The full experiment registry (same ids as the CLI)."""
+    from repro.cli import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+#: Section headers per experiment id, in report order.
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("tab1", "Table 1 — decoder timing"),
+    ("tab2", "Table 2 — storage cost"),
+    ("tab3", "Table 3 — energy per access"),
+    ("fig3", "Figure 3 — wupwise MF sweep"),
+    ("fig4", "Figure 4 — D$ miss-rate reductions"),
+    ("fig5", "Figure 5 — I$ miss-rate reductions"),
+    ("fig8", "Figure 8 — IPC"),
+    ("fig9", "Figure 9 — energy"),
+    ("fig12", "Figure 12 — 8/32 kB study"),
+    ("tab56", "Tables 5–6 — MF x BAS tradeoff"),
+    ("tab7", "Table 7 — set balance"),
+    ("hac", "Section 6.7 — HAC comparison"),
+    ("prior-art", "Section 7.1 — prior art"),
+    ("replacement", "Section 3.3 — replacement ablation"),
+    ("latency", "Hit-latency / AMAT study"),
+    ("3c", "3C miss decomposition"),
+    ("addressing", "Section 6.8 — addressing"),
+    ("drowsy", "Section 6.4 — drowsy leakage"),
+    ("sensitivity", "Geometry sensitivity"),
+)
+
+
+def generate_report(
+    scale: ExperimentScale = DEFAULT,
+    experiments: Mapping[str, Renderer] | None = None,
+    ids: tuple[str, ...] | None = None,
+) -> str:
+    """Render the selected experiments into one markdown document."""
+    registry = experiments if experiments is not None else default_registry()
+    selected = ids if ids is not None else tuple(
+        name for name, _ in _SECTIONS if name in registry
+    )
+    titles = dict(_SECTIONS)
+    parts = [
+        "# B-Cache reproduction report",
+        "",
+        f"Scale: {scale.data_n} data / {scale.instr_n} instruction "
+        f"references, {scale.instructions} instructions per benchmark, "
+        f"seed {scale.seed}.",
+        "",
+    ]
+    for name in selected:
+        renderer = registry.get(name)
+        if renderer is None:
+            raise KeyError(f"unknown experiment {name!r}")
+        parts.append(f"## {titles.get(name, name)}")
+        parts.append("")
+        parts.append("```")
+        parts.append(renderer(scale))
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    path: str | Path,
+    scale: ExperimentScale = DEFAULT,
+    experiments: Mapping[str, Renderer] | None = None,
+    ids: tuple[str, ...] | None = None,
+) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(generate_report(scale, experiments, ids))
+    return path

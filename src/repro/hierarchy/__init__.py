@@ -1,0 +1,6 @@
+"""Two-level memory hierarchy (L1I/L1D + unified L2 + memory)."""
+
+from repro.hierarchy.levels import CacheLevel, TimedAccess
+from repro.hierarchy.memory_system import HierarchyStats, MemoryHierarchy
+
+__all__ = ["CacheLevel", "HierarchyStats", "MemoryHierarchy", "TimedAccess"]

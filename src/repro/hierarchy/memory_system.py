@@ -1,0 +1,145 @@
+"""Two-level memory hierarchy matching the paper's Table 4.
+
+* L1: separate 16 kB instruction and data caches (any organisation),
+  1-cycle hits, 32 B lines.
+* L2: unified 256 kB 4-way LRU, 128 B lines, 6-cycle hits.
+* Main memory: infinite, 100-cycle access.
+
+The hierarchy is trace-driven: each L1 miss probes the L2; each L2
+miss pays the memory latency.  Dirty evictions are written back to the
+next level (writebacks update L2/memory state but are not charged to
+the access latency, modelling buffered write-backs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.caches.base import Cache
+from repro.caches.set_associative import SetAssociativeCache
+from repro.hierarchy.levels import CacheLevel
+from repro.trace.access import Access
+
+
+@dataclass
+class HierarchyStats:
+    """Access/latency accounting over a whole trace."""
+
+    instructions: int = 0
+    ifetches: int = 0
+    data_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    memory_accesses: int = 0
+    total_latency: int = 0
+
+    @property
+    def l1i_miss_rate(self) -> float:
+        """Instruction-cache misses per instruction fetch."""
+        return self.l1i_misses / self.ifetches if self.ifetches else 0.0
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        """Data-cache misses per data reference."""
+        return self.l1d_misses / self.data_accesses if self.data_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses per L2 access (demand plus writeback traffic)."""
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+
+class MemoryHierarchy:
+    """L1I + L1D over a unified L2 over main memory."""
+
+    def __init__(
+        self,
+        l1i: Cache,
+        l1d: Cache,
+        l2: Cache | None = None,
+        l1_hit_latency: int = 1,
+        l2_hit_latency: int = 6,
+        memory_latency: int = 100,
+        slow_hit_extra: int = 1,
+    ) -> None:
+        if l2 is None:
+            l2 = SetAssociativeCache(
+                256 * 1024, line_size=128, ways=4, policy="lru", name="L2-256kB-4way"
+            )
+        self.l1i = CacheLevel(l1i, l1_hit_latency, slow_hit_extra)
+        self.l1d = CacheLevel(l1d, l1_hit_latency, slow_hit_extra)
+        self.l2 = CacheLevel(l2, l2_hit_latency)
+        self.memory_latency = memory_latency
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------
+    def _access_l2(self, address: int, is_write: bool) -> int:
+        """Probe L2 (and memory on miss); returns cycles below L1."""
+        self.stats.l2_accesses += 1
+        timed = self.l2.access(address, is_write)
+        latency = timed.latency
+        if not timed.result.hit:
+            self.stats.l2_misses += 1
+            self.stats.memory_accesses += 1
+            latency += self.memory_latency
+        # L2's dirty victims go to memory; no extra latency charged
+        # (write buffers), but the traffic is counted for energy.
+        if timed.result.evicted is not None and timed.result.evicted_dirty:
+            self.stats.memory_accesses += 1
+        return latency
+
+    def _access_l1(self, level: CacheLevel, address: int, is_write: bool) -> int:
+        timed = level.access(address, is_write)
+        latency = timed.latency
+        if not timed.result.hit:
+            latency += self._access_l2(address, False)
+        if timed.result.evicted is not None and timed.result.evicted_dirty:
+            # Write the dirty victim back into L2 (state only).
+            self.stats.l2_accesses += 1
+            writeback = self.l2.access(timed.result.evicted, True)
+            if not writeback.result.hit:
+                self.stats.l2_misses += 1
+                self.stats.memory_accesses += 1
+            if writeback.result.evicted is not None and writeback.result.evicted_dirty:
+                self.stats.memory_accesses += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    def fetch_instruction(self, address: int) -> int:
+        """Instruction fetch; returns total cycles to first use."""
+        self.stats.ifetches += 1
+        self.stats.instructions += 1
+        latency = self._access_l1(self.l1i, address, False)
+        self.stats.total_latency += latency
+        return latency
+
+    def access_data(self, address: int, is_write: bool = False) -> int:
+        """Data reference; returns total cycles to completion."""
+        self.stats.data_accesses += 1
+        latency = self._access_l1(self.l1d, address, is_write)
+        self.stats.total_latency += latency
+        return latency
+
+    def run(self, trace: Iterable[Access]) -> HierarchyStats:
+        """Run a combined trace (ifetches + data references)."""
+        for access in trace:
+            if access.is_instruction:
+                self.fetch_instruction(access.address)
+            else:
+                self.access_data(access.address, access.is_write)
+        self._sync_miss_counts()
+        return self.stats
+
+    def _sync_miss_counts(self) -> None:
+        self.stats.l1i_misses = self.l1i.cache.stats.misses
+        self.stats.l1d_misses = self.l1d.cache.stats.misses
+
+    def flush(self) -> None:
+        """Invalidate every level and reset the hierarchy statistics."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+        self.stats = HierarchyStats()

@@ -1,0 +1,53 @@
+"""First-in first-out replacement.
+
+Not evaluated in the paper but included as a conventional baseline
+policy: FIFO only reorders on *fills*, never on hits, so it is the
+natural control for measuring how much of the B-Cache's gain comes
+from recency information versus from the extra victim choices.
+"""
+
+from __future__ import annotations
+
+from repro.replacement.base import PolicyError, ReplacementPolicy
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict in fill order; hits do not refresh a way's position."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._queue: list[int] = []
+        self._free: list[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise PolicyError(f"way {way} out of range 0..{self.ways - 1}")
+        if way in self._free:
+            self._free.remove(way)
+            self._queue.append(way)
+        # A hit on a resident way leaves the queue untouched: FIFO.
+
+    def victim(self) -> int:
+        if self._free:
+            return self._free[0]
+        return self._queue[0]
+
+    def invalidate(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise PolicyError(f"way {way} out of range 0..{self.ways - 1}")
+        if way in self._queue:
+            self._queue.remove(way)
+        if way not in self._free:
+            self._free.insert(0, way)
+
+    def victim_among(self, candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        free_candidates = [c for c in candidates if c in self._free]
+        if free_candidates:
+            return free_candidates[0]
+        candidate_set = set(candidates)
+        for way in self._queue:
+            if way in candidate_set:
+                return way
+        raise PolicyError("candidates contain unknown ways")

@@ -1,0 +1,78 @@
+"""Tree pseudo-LRU replacement.
+
+Tree-PLRU is the policy most hardware set-associative caches actually
+implement (one bit per internal node of a binary tree over the ways).
+It is included as an extension beyond the paper's LRU/random pair so
+the replacement-policy ablation bench can show where the B-Cache's
+miss-rate reduction sits between exact LRU and cheap approximations.
+
+Requires a power-of-two way count.
+"""
+
+from __future__ import annotations
+
+from repro.replacement.base import PolicyError, ReplacementPolicy
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU over ``ways`` ways (power of two)."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise PolicyError(f"tree-PLRU requires power-of-two ways, got {ways}")
+        # One bit per internal node, heap layout: node 1 is the root,
+        # children of node i are 2i and 2i+1.  Bit 0 points left,
+        # bit 1 points right, towards the pseudo-LRU leaf.
+        self._bits = [0] * (2 * ways)
+        self._valid = [False] * ways
+
+    def _leaf(self, way: int) -> int:
+        return way + self.ways
+
+    def touch(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise PolicyError(f"way {way} out of range 0..{self.ways - 1}")
+        self._valid[way] = True
+        node = self._leaf(way)
+        while node > 1:
+            parent = node >> 1
+            # Point the parent *away* from the touched child.
+            self._bits[parent] = 0 if node & 1 else 1
+            node = parent
+
+    def victim(self) -> int:
+        for way, valid in enumerate(self._valid):
+            if not valid:
+                return way
+        node = 1
+        while node < self.ways:
+            node = (node << 1) | self._bits[node]
+        return node - self.ways
+
+    def invalidate(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise PolicyError(f"way {way} out of range 0..{self.ways - 1}")
+        self._valid[way] = False
+
+    def victim_among(self, candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        invalid = [c for c in candidates if not self._valid[c]]
+        if invalid:
+            return invalid[0]
+        # Walk the tree but only descend into subtrees containing a
+        # candidate; prefer the pseudo-LRU direction when possible.
+        candidate_set = set(candidates)
+
+        def subtree_has_candidate(node: int) -> bool:
+            if node >= self.ways:
+                return (node - self.ways) in candidate_set
+            return subtree_has_candidate(node << 1) or subtree_has_candidate((node << 1) | 1)
+
+        node = 1
+        while node < self.ways:
+            preferred = (node << 1) | self._bits[node]
+            other = preferred ^ 1
+            node = preferred if subtree_has_candidate(preferred) else other
+        return node - self.ways

@@ -1,0 +1,46 @@
+"""Seeded random replacement.
+
+The paper evaluates random replacement as the cheap alternative to LRU
+for the B-Cache (Section 3.3): "The random policy is simple to design
+and needs trivial extra hardware."  Invalid ways are preferred so a
+cold structure fills before evicting anything, which every hardware
+random policy also guarantees via valid bits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.replacement.base import PolicyError, ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random victim selection with an explicit free pool."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+        self._free: set[int] = set(range(ways))
+
+    def touch(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise PolicyError(f"way {way} out of range 0..{self.ways - 1}")
+        self._free.discard(way)
+
+    def victim(self) -> int:
+        if self._free:
+            return min(self._free)
+        return self._rng.randrange(self.ways)
+
+    def invalidate(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise PolicyError(f"way {way} out of range 0..{self.ways - 1}")
+        self._free.add(way)
+
+    def victim_among(self, candidates: list[int]) -> int:
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        free_candidates = [c for c in candidates if c in self._free]
+        if free_candidates:
+            return free_candidates[0]
+        return self._rng.choice(candidates)

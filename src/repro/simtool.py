@@ -1,0 +1,153 @@
+"""``bcache-sim`` — Dinero-style trace-driven simulator front end.
+
+Runs a trace (a ``.din``/``.txt``/binary file or a built-in synthetic
+benchmark) through one or more cache configurations and prints the
+statistics, making the library usable as a drop-in miss-rate tool:
+
+    bcache-sim --trace app.din dm 4way mf8_bas8
+    bcache-sim --benchmark equake --side data --n 200000 dm mf8_bas8
+    bcache-sim --benchmark gcc --side instr mf8_bas8 --balance
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.caches import make_cache
+from repro.stats.balance import analyze_balance
+from repro.trace.trace_file import load_trace
+from repro.workloads.spec2k import ALL_BENCHMARKS, get_profile
+
+
+def _load_accesses(args: argparse.Namespace) -> list:
+    if args.trace:
+        return load_trace(args.trace)
+    profile = get_profile(args.benchmark)
+    if args.side == "data":
+        return list(profile.data_trace(args.n, seed=args.seed))
+    if args.side == "instr":
+        return list(profile.instruction_trace(args.n, seed=args.seed))
+    return list(profile.combined_trace(args.n, seed=args.seed))
+
+
+def _run_json(args: argparse.Namespace, accesses: list) -> int:
+    """Run all specs and dump one JSON document to stdout."""
+    import json
+
+    results = {"trace_length": len(accesses), "configs": {}}
+    status = 0
+    for spec in args.specs:
+        try:
+            cache = make_cache(
+                spec, size=args.size, line_size=args.line, policy=args.policy
+            )
+        except ValueError as exc:
+            print(f"{spec}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        for access in accesses:
+            cache.access(access.address, access.is_write)
+        entry = cache.stats.as_dict()
+        if args.balance:
+            report = analyze_balance(cache.stats)
+            entry["balance"] = {
+                "frequent_hit_sets": report.frequent_hit_sets,
+                "frequent_hit_share": report.frequent_hit_share,
+                "frequent_miss_sets": report.frequent_miss_sets,
+                "frequent_miss_share": report.frequent_miss_share,
+                "less_accessed_sets": report.less_accessed_sets,
+                "less_accessed_share": report.less_accessed_share,
+            }
+        results["configs"][spec] = entry
+    print(json.dumps(results, indent=2))
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-sim``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="bcache-sim",
+        description="Trace-driven cache simulator (B-Cache reproduction).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", help="trace file (.din/.txt text or binary)")
+    source.add_argument(
+        "--benchmark",
+        choices=ALL_BENCHMARKS,
+        help="built-in synthetic SPEC2K benchmark",
+    )
+    parser.add_argument(
+        "--side",
+        choices=("data", "instr", "combined"),
+        default="data",
+        help="which reference stream of the benchmark (default: data)",
+    )
+    parser.add_argument("--n", type=int, default=200_000,
+                        help="trace length for synthetic benchmarks")
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--size", type=int, default=16 * 1024,
+                        help="cache size in bytes (default 16384)")
+    parser.add_argument("--line", type=int, default=32,
+                        help="line size in bytes (default 32)")
+    parser.add_argument("--policy", default="lru",
+                        help="replacement policy where applicable")
+    parser.add_argument("--balance", action="store_true",
+                        help="also print the Table 7 balance classification")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of the table")
+    parser.add_argument("specs", nargs="+",
+                        help="cache specs, e.g. dm 4way victim16 mf8_bas8")
+    args = parser.parse_args(argv)
+
+    try:
+        accesses = _load_accesses(args)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error loading trace: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        return _run_json(args, accesses)
+
+    print(f"trace: {len(accesses)} accesses")
+    header = (
+        f"{'config':<12} {'miss rate':>10} {'hits':>9} {'misses':>8} "
+        f"{'evict':>7} {'wb':>6} {'PDhit@miss':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    status = 0
+    for spec in args.specs:
+        try:
+            cache = make_cache(
+                spec, size=args.size, line_size=args.line, policy=args.policy
+            )
+        except ValueError as exc:
+            print(f"{spec:<12} error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        for access in accesses:
+            cache.access(access.address, access.is_write)
+        stats = cache.stats
+        pd = (
+            f"{stats.pd_hit_rate_during_miss:>10.1%}"
+            if spec.startswith("mf")
+            else f"{'-':>10}"
+        )
+        print(
+            f"{spec:<12} {stats.miss_rate:>9.3%} {stats.hits:>9} "
+            f"{stats.misses:>8} {stats.evictions:>7} {stats.writebacks:>6} {pd}"
+        )
+        if args.balance:
+            report = analyze_balance(stats)
+            fhs, ch, fms, cm, las, tca = report.as_percent_row()
+            print(
+                f"{'':12} balance: fhs {fhs:.1f}% hold {ch:.1f}% of hits; "
+                f"fms {fms:.1f}% hold {cm:.1f}% of misses; "
+                f"las {las:.1f}% get {tca:.1f}% of accesses"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Statistics: counters, set-balance analysis and summaries."""
+
+from repro.stats.balance import BalanceReport, analyze_balance
+from repro.stats.confidence import Estimate, Z_95, estimate, replicate
+from repro.stats.counters import CacheStats
+from repro.stats.summary import (
+    ConfigSummary,
+    average_reduction,
+    geometric_mean,
+    improvement,
+    miss_rate_reduction,
+)
+
+__all__ = [
+    "BalanceReport",
+    "Estimate",
+    "Z_95",
+    "estimate",
+    "replicate",
+    "CacheStats",
+    "ConfigSummary",
+    "analyze_balance",
+    "average_reduction",
+    "geometric_mean",
+    "improvement",
+    "miss_rate_reduction",
+]

@@ -1,0 +1,111 @@
+"""Set-balance analysis — Table 7 of the paper.
+
+Section 6.4 classifies cache sets from per-set counters:
+
+* **frequent hit set** — hits in the set are more than 2x the per-set
+  average hit count;
+* **frequent miss set** — misses in the set are more than 2x the
+  per-set average miss count;
+* **less accessed set** — total accesses to the set are below half the
+  per-set average.
+
+Table 7 reports, for each class, the *fraction of sets* in the class
+and the *fraction of the relevant events* (hits / misses / accesses)
+those sets absorb.  A balanced cache pushes hits across more sets,
+shrinks the frequent-miss concentration and uses more of the
+previously idle sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.counters import CacheStats
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Set-usage classification for one cache run (one Table 7 cell group).
+
+    All fields are fractions in [0, 1]:
+        frequent_hit_sets / frequent_hit_share: share of sets classified
+            frequent-hit, and the share of all hits they hold (fhs / ch).
+        frequent_miss_sets / frequent_miss_share: same for misses (fms / cm).
+        less_accessed_sets / less_accessed_share: share of sets that are
+            less-accessed and the share of accesses they receive (las / tca).
+    """
+
+    frequent_hit_sets: float
+    frequent_hit_share: float
+    frequent_miss_sets: float
+    frequent_miss_share: float
+    less_accessed_sets: float
+    less_accessed_share: float
+
+    def as_percent_row(self) -> tuple[float, ...]:
+        """Row in Table 7's order (fhs, ch, fms, cm, las, tca), percent."""
+        return (
+            100.0 * self.frequent_hit_sets,
+            100.0 * self.frequent_hit_share,
+            100.0 * self.frequent_miss_sets,
+            100.0 * self.frequent_miss_share,
+            100.0 * self.less_accessed_sets,
+            100.0 * self.less_accessed_share,
+        )
+
+
+def _classify(
+    counts: list[int], threshold: float, above: bool
+) -> tuple[int, int]:
+    """Count sets beyond ``threshold`` and the events they hold."""
+    sets = 0
+    events = 0
+    for count in counts:
+        beyond = count > threshold if above else count < threshold
+        if beyond:
+            sets += 1
+            events += count
+    return sets, events
+
+
+def analyze_balance(
+    stats: CacheStats,
+    hot_factor: float = 2.0,
+    cold_factor: float = 0.5,
+) -> BalanceReport:
+    """Compute the Table 7 classification from per-set counters.
+
+    Args:
+        stats: cache statistics with per-set counters populated.
+        hot_factor: multiple of the average that makes a set
+            frequent-hit / frequent-miss (paper: 2x).
+        cold_factor: fraction of the average below which a set is
+            less-accessed (paper: 0.5x).
+    """
+    n = stats.num_sets
+    if n == 0:
+        raise ValueError("stats has no per-set counters")
+
+    def fraction(part: int, whole: int) -> float:
+        return part / whole if whole else 0.0
+
+    avg_hits = stats.hits / n
+    avg_misses = stats.misses / n
+    avg_accesses = stats.accesses / n
+
+    hot_hit_sets, hot_hits = _classify(stats.set_hits, hot_factor * avg_hits, True)
+    hot_miss_sets, hot_misses = _classify(
+        stats.set_misses, hot_factor * avg_misses, True
+    )
+    cold_sets, cold_accesses = _classify(
+        stats.set_accesses, cold_factor * avg_accesses, False
+    )
+
+    return BalanceReport(
+        frequent_hit_sets=fraction(hot_hit_sets, n),
+        frequent_hit_share=fraction(hot_hits, stats.hits),
+        frequent_miss_sets=fraction(hot_miss_sets, n),
+        frequent_miss_share=fraction(hot_misses, stats.misses),
+        less_accessed_sets=fraction(cold_sets, n),
+        less_accessed_share=fraction(cold_accesses, stats.accesses),
+    )

@@ -1,0 +1,69 @@
+"""Cross-seed statistics: are the reproduced shapes stable?
+
+The paper runs each benchmark once (a deterministic SimpleScalar
+simulation).  Our workloads are stochastic generators, so results are
+a function of the seed; this module quantifies that sensitivity with
+means, sample standard deviations and normal-approximation confidence
+intervals over seed replicates.  The seed-sensitivity bench asserts
+that the headline orderings hold across seeds, not just at seed 2006.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Callable, Sequence
+
+#: Two-sided z value for 95% confidence.
+Z_95 = 1.96
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Mean with spread over replicates."""
+
+    mean: float
+    stdev: float
+    n: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return 0.0
+        return self.stdev / sqrt(self.n)
+
+    def confidence_interval(self, z: float = Z_95) -> tuple[float, float]:
+        """Two-sided normal-approximation interval around the mean."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def overlaps(self, other: "Estimate", z: float = Z_95) -> bool:
+        """Whether the two confidence intervals overlap."""
+        a_low, a_high = self.confidence_interval(z)
+        b_low, b_high = other.confidence_interval(z)
+        return a_low <= b_high and b_low <= a_high
+
+    def clearly_above(self, other: "Estimate", z: float = Z_95) -> bool:
+        """True when this estimate's CI sits entirely above the other's."""
+        return self.confidence_interval(z)[0] > other.confidence_interval(z)[1]
+
+
+def estimate(values: Sequence[float]) -> Estimate:
+    """Mean and sample standard deviation of replicates."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Estimate(mean=mean, stdev=0.0, n=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Estimate(mean=mean, stdev=sqrt(variance), n=n)
+
+
+def replicate(
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Estimate:
+    """Evaluate ``metric(seed)`` for each seed and summarise."""
+    return estimate([metric(seed) for seed in seeds])

@@ -1,0 +1,67 @@
+"""Summary helpers: miss-rate reductions and cross-benchmark averages.
+
+The paper's figures report *percentage miss-rate reduction over the
+direct-mapped baseline*; the "Ave" bar is the arithmetic mean of the
+per-benchmark reductions (Section 4.3), not the reduction of the
+pooled miss rate — reproduced here the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Mapping, Sequence
+
+
+def miss_rate_reduction(baseline_rate: float, other_rate: float) -> float:
+    """Fractional reduction of ``other`` vs ``baseline`` (1.0 = all misses gone).
+
+    Returns 0.0 when the baseline had no misses (nothing to reduce).
+    Negative values mean the alternative is *worse* than the baseline.
+    """
+    if baseline_rate <= 0.0:
+        return 0.0
+    return (baseline_rate - other_rate) / baseline_rate
+
+
+def improvement(baseline_value: float, other_value: float) -> float:
+    """Fractional increase of ``other`` over ``baseline`` (IPC-style)."""
+    if baseline_value == 0.0:
+        return 0.0
+    return (other_value - baseline_value) / baseline_value
+
+
+def average_reduction(reductions: Sequence[float]) -> float:
+    """The figures' "Ave" bar: arithmetic mean of per-benchmark values."""
+    if not reductions:
+        return 0.0
+    return mean(reductions)
+
+
+@dataclass(frozen=True)
+class ConfigSummary:
+    """Per-configuration results over a benchmark suite."""
+
+    spec: str
+    per_benchmark: Mapping[str, float]
+
+    @property
+    def average(self) -> float:
+        """Arithmetic mean over the benchmarks (the figures' Ave bar)."""
+        return average_reduction(list(self.per_benchmark.values()))
+
+    def value(self, benchmark: str) -> float:
+        """This configuration's value for one benchmark."""
+        return self.per_benchmark[benchmark]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values (used for IPC ratios)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,37 @@
+"""Memory-access trace primitives, file formats and stream utilities."""
+
+from repro.trace.access import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    Access,
+    AccessType,
+    ifetch_access,
+    read_access,
+    write_access,
+)
+from repro.trace.trace_file import (
+    TraceFormatError,
+    load_trace,
+    read_binary_trace,
+    read_text_trace,
+    save_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "Access",
+    "AccessType",
+    "TraceFormatError",
+    "ifetch_access",
+    "load_trace",
+    "read_access",
+    "read_binary_trace",
+    "read_text_trace",
+    "save_trace",
+    "write_access",
+    "write_binary_trace",
+    "write_text_trace",
+]

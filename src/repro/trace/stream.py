@@ -1,0 +1,77 @@
+"""Stream utilities for composing and shaping access traces."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.trace.access import Access, AccessType
+
+
+def take(trace: Iterable[Access], n: int) -> Iterator[Access]:
+    """Yield at most the first ``n`` accesses of ``trace``."""
+    return itertools.islice(trace, n)
+
+
+def interleave(streams: Sequence[Iterable[Access]], weights: Sequence[float],
+               rng: random.Random) -> Iterator[Access]:
+    """Probabilistically interleave several access streams.
+
+    Each step draws one stream with probability proportional to its
+    weight and emits its next access.  A stream that runs dry is dropped
+    (its weight is redistributed); iteration ends when every stream is
+    exhausted.
+    """
+    if len(streams) != len(weights):
+        raise ValueError("streams and weights must have the same length")
+    iterators = [iter(s) for s in streams]
+    live = list(range(len(iterators)))
+    live_weights = [float(w) for w in weights]
+    while live:
+        choice = rng.choices(range(len(live)), weights=[live_weights[i] for i in live])[0]
+        index = live[choice]
+        try:
+            yield next(iterators[index])
+        except StopIteration:
+            live.remove(index)
+
+
+def round_robin(streams: Sequence[Iterable[Access]]) -> Iterator[Access]:
+    """Deterministically interleave streams one access at a time."""
+    iterators = [iter(s) for s in streams]
+    while iterators:
+        exhausted = []
+        for iterator in iterators:
+            try:
+                yield next(iterator)
+            except StopIteration:
+                exhausted.append(iterator)
+        for iterator in exhausted:
+            iterators.remove(iterator)
+
+
+def filter_kind(trace: Iterable[Access], kind: AccessType) -> Iterator[Access]:
+    """Keep only accesses of the given kind."""
+    return (a for a in trace if a.kind is kind)
+
+
+def data_only(trace: Iterable[Access]) -> Iterator[Access]:
+    """Keep only data reads and writes."""
+    return (a for a in trace if not a.is_instruction)
+
+
+def instructions_only(trace: Iterable[Access]) -> Iterator[Access]:
+    """Keep only instruction fetches."""
+    return (a for a in trace if a.is_instruction)
+
+
+def offset(trace: Iterable[Access], delta: int) -> Iterator[Access]:
+    """Shift every address by ``delta`` bytes."""
+    return (Access(a.address + delta, a.kind) for a in trace)
+
+
+def repeat(trace: Sequence[Access], times: int) -> Iterator[Access]:
+    """Replay a materialised trace ``times`` times."""
+    for _ in range(times):
+        yield from trace

@@ -1,0 +1,100 @@
+"""Reading and writing traces.
+
+Two interchangeable formats are supported:
+
+* **Text** — one record per line, ``<kind> <hex-address>``, where kind is
+  ``0`` (read), ``1`` (write) or ``2`` (ifetch).  This is the classic
+  "din" format understood by Dinero-style simulators and is convenient
+  for hand-written fixtures.
+* **Binary** — little-endian ``<u8 kind><u32 address>`` records, five
+  bytes each, for compact storage of long generated traces.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.trace.access import Access, AccessType
+
+_BINARY_RECORD = struct.Struct("<BI")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file contains a malformed record."""
+
+
+def write_text_trace(accesses: Iterable[Access], fp: IO[str]) -> int:
+    """Write ``accesses`` in din text format; returns the record count."""
+    count = 0
+    for access in accesses:
+        fp.write(f"{int(access.kind)} {access.address:x}\n")
+        count += 1
+    return count
+
+
+def read_text_trace(fp: IO[str]) -> Iterator[Access]:
+    """Yield accesses from a din-format text stream."""
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise TraceFormatError(f"line {lineno}: expected 2 fields, got {len(parts)}")
+        try:
+            kind = AccessType(int(parts[0]))
+            address = int(parts[1], 16)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+        yield Access(address, kind)
+
+
+def write_binary_trace(accesses: Iterable[Access], fp: IO[bytes]) -> int:
+    """Write ``accesses`` as packed binary records; returns the count."""
+    count = 0
+    for access in accesses:
+        fp.write(_BINARY_RECORD.pack(int(access.kind), access.address))
+        count += 1
+    return count
+
+
+def read_binary_trace(fp: IO[bytes]) -> Iterator[Access]:
+    """Yield accesses from a packed binary stream."""
+    record_size = _BINARY_RECORD.size
+    while True:
+        raw = fp.read(record_size)
+        if not raw:
+            return
+        if len(raw) != record_size:
+            raise TraceFormatError("truncated binary trace record")
+        kind_value, address = _BINARY_RECORD.unpack(raw)
+        try:
+            kind = AccessType(kind_value)
+        except ValueError as exc:
+            raise TraceFormatError(f"invalid access kind {kind_value}") from exc
+        yield Access(address, kind)
+
+
+def save_trace(accesses: Iterable[Access], path: str | Path) -> int:
+    """Save a trace, choosing the format from the file suffix.
+
+    ``.din``/``.txt`` selects text, anything else binary.
+    """
+    path = Path(path)
+    if path.suffix in (".din", ".txt"):
+        with path.open("w") as fp:
+            return write_text_trace(accesses, fp)
+    with path.open("wb") as fp:
+        return write_binary_trace(accesses, fp)
+
+
+def load_trace(path: str | Path) -> list[Access]:
+    """Load a whole trace file into memory (suffix selects format)."""
+    path = Path(path)
+    if path.suffix in (".din", ".txt"):
+        with path.open() as fp:
+            return list(read_text_trace(fp))
+    with path.open("rb") as fp:
+        return list(read_binary_trace(fp))

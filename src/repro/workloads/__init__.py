@@ -1,0 +1,43 @@
+"""Synthetic SPEC2K workloads and the primitives they are built from."""
+
+from repro.workloads.spec2k import (
+    ALL_BENCHMARKS,
+    CFP2K,
+    CINT2K,
+    QUIET_ICACHE,
+    REPORTED_ICACHE,
+    SPEC2K,
+    BenchmarkProfile,
+    get_profile,
+)
+from repro.workloads.synthesis import (
+    BASELINE_WAY_SIZE,
+    Component,
+    build_address_stream,
+    calls,
+    capacity,
+    conflict,
+    hot,
+    loop,
+    stride_stream,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BASELINE_WAY_SIZE",
+    "BenchmarkProfile",
+    "CFP2K",
+    "CINT2K",
+    "Component",
+    "QUIET_ICACHE",
+    "REPORTED_ICACHE",
+    "SPEC2K",
+    "build_address_stream",
+    "calls",
+    "capacity",
+    "conflict",
+    "get_profile",
+    "hot",
+    "loop",
+    "stride_stream",
+]

@@ -1,0 +1,52 @@
+"""Bulk trace export: write the synthetic SPEC2K suite to disk.
+
+External simulators (Dinero, students' course projects, other
+reproductions) can consume the same deterministic traces this study
+uses.  Each benchmark gets one file per requested side in the chosen
+format (text ``.din`` or binary ``.trc``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.trace.trace_file import save_trace
+from repro.workloads.spec2k import ALL_BENCHMARKS, get_profile
+
+
+def export_suite(
+    directory: str | Path,
+    benchmarks: Sequence[str] = ALL_BENCHMARKS,
+    n: int = 200_000,
+    seed: int = 2006,
+    sides: Sequence[str] = ("data", "instr"),
+    binary: bool = False,
+) -> list[Path]:
+    """Write trace files for ``benchmarks``; returns the paths written.
+
+    File naming: ``<benchmark>.<side>.din`` (text) or ``.trc`` (binary).
+    ``sides`` may include ``data``, ``instr`` and ``combined`` (for the
+    combined side ``n`` counts instructions).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = ".trc" if binary else ".din"
+    written: list[Path] = []
+    for name in benchmarks:
+        profile = get_profile(name)
+        for side in sides:
+            if side == "data":
+                trace = profile.data_trace(n, seed=seed)
+            elif side == "instr":
+                trace = profile.instruction_trace(n, seed=seed)
+            elif side == "combined":
+                trace = profile.combined_trace(n, seed=seed)
+            else:
+                raise ValueError(
+                    f"side must be data/instr/combined, got {side!r}"
+                )
+            path = directory / f"{name}.{side}{suffix}"
+            save_trace(trace, path)
+            written.append(path)
+    return written

@@ -1,0 +1,250 @@
+"""Address-stream primitives for synthetic workload construction.
+
+Each primitive returns an *infinite* iterator of byte addresses with a
+specific, well-understood cache behaviour.  Benchmark profiles
+(:mod:`repro.workloads.spec2k`) compose weighted mixtures of these
+primitives to recreate the qualitative access structure the paper
+documents per benchmark (conflict degree, working-set size, set-usage
+imbalance).
+
+Primitive cheat sheet (behaviour on a direct-mapped cache of
+``way_size`` bytes):
+
+=====================  ====================================================
+``conflict_rotation``  N tags sharing an index region — pure conflict
+                       misses, eliminated by associativity >= N
+``zipf_hot``           skewed reuse inside a resident working set —
+                       frequent-hit sets, almost no misses
+``sequential_scan``    streaming sweep much larger than the cache —
+                       compulsory/capacity misses, uniform across sets
+``uniform_random``     random blocks in a huge region — uniform capacity
+                       misses no organisation can remove
+``pointer_chase``      fixed random permutation walk — capacity misses
+                       with negligible spatial locality
+``strided``            regular stride inside a bounded region — resident
+                       (reuse) or streaming depending on region size
+``loop_ifetch``        straight-line code loop — compulsory misses only
+``call_chain_ifetch``  alternating code regions that collide in the
+                       cache — instruction conflict misses
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+
+def strided(
+    base: int, region: int, stride: int, line_size: int = 32
+) -> Iterator[int]:
+    """Endless strided sweep over ``[base, base + region)``.
+
+    A region smaller than the cache produces hits after the first
+    sweep; a larger one produces a streaming (capacity) pattern.
+    """
+    if stride <= 0 or region <= 0:
+        raise ValueError("stride and region must be positive")
+    offset = 0
+    while True:
+        yield base + offset
+        offset += stride
+        if offset >= region:
+            offset = 0
+
+
+def sequential_scan(base: int, region: int, line_size: int = 32) -> Iterator[int]:
+    """Streaming sweep touching every block of a (large) region."""
+    return strided(base, region, line_size, line_size)
+
+
+def conflict_rotation(
+    base: int,
+    conflict_stride: int,
+    degree: int,
+    rng: random.Random,
+    span_blocks: int = 8,
+    dwell: int = 1,
+    line_size: int = 32,
+) -> Iterator[int]:
+    """Random rotation over ``degree`` address regions colliding in the cache.
+
+    The regions start at ``base + i * conflict_stride``; choosing
+    ``conflict_stride`` equal to the cache's way size makes all regions
+    map to identical sets, so a direct-mapped cache thrashes while an
+    associativity >= ``degree`` (or a B-Cache with BAS >= ``degree``)
+    holds every region simultaneously.  Region visits are drawn
+    *randomly* rather than cyclically: cyclic rotation is the textbook
+    LRU pathology (zero hits until associativity reaches ``degree``),
+    whereas random visits give the graded hit rate ``~a/degree`` for an
+    ``a``-way cache that real workloads exhibit and the paper's 2-way <
+    4-way < 8-way ordering depends on.
+
+    ``conflict_stride`` also controls *which tag bits differ* between
+    the colliding regions, and therefore whether the B-Cache's
+    programmable decoder can tell them apart: a stride of
+    ``way_size * 2**k`` leaves the low ``k`` tag bits identical, so a
+    PD with ``log2(MF) <= k`` borrowed tag bits keeps hitting during
+    misses and the replacement policy stays handcuffed (the wupwise
+    effect of Figure 3).
+
+    Args:
+        span_blocks: consecutive blocks touched per visit to a region.
+        dwell: how many back-to-back accesses each block receives.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    while True:
+        region_base = base + rng.randrange(degree) * conflict_stride
+        for block in range(span_blocks):
+            for _ in range(dwell):
+                yield region_base + block * line_size
+
+
+def zipf_hot(
+    base: int,
+    region: int,
+    rng: random.Random,
+    alpha: float = 1.2,
+    line_size: int = 32,
+) -> Iterator[int]:
+    """Zipf-distributed reuse over the blocks of a bounded region.
+
+    Models hot data (stack frames, accumulators, hash-table heads):
+    when the region fits in the cache this stream is nearly all hits,
+    concentrated on few sets — the paper's "frequent hit sets"
+    (Table 7 shows ~6 % of sets absorbing ~57 % of baseline hits).
+    """
+    num_blocks = max(1, region // line_size)
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(num_blocks)]
+    # Deterministic shuffle decouples popularity rank from address order
+    # so the hot blocks scatter across sets instead of clustering at 0.
+    order = list(range(num_blocks))
+    rng.shuffle(order)
+    cumulative: list[float] = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    while True:
+        pick = rng.random() * total
+        lo, hi = 0, num_blocks - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < pick:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield base + order[lo] * line_size
+
+
+def uniform_random(
+    base: int, region: int, rng: random.Random, line_size: int = 32
+) -> Iterator[int]:
+    """Uniformly random block accesses in ``region`` bytes.
+
+    With ``region`` far larger than the cache these are misses no
+    organisation can remove, spread evenly over all sets — the paper's
+    explanation for why art/lucas/swim/mcf barely improve under *any*
+    organisation (Section 6.4: "there are no frequent miss sets for
+    these benchmarks").
+    """
+    num_blocks = max(1, region // line_size)
+    while True:
+        yield base + rng.randrange(num_blocks) * line_size
+
+
+def pointer_chase(
+    base: int,
+    nodes: int,
+    rng: random.Random,
+    node_size: int = 32,
+) -> Iterator[int]:
+    """Walk a fixed random permutation of ``nodes`` node addresses.
+
+    Models linked-data traversal (mcf's sparse network): long reuse
+    distance, no spatial locality, misses uniform over sets when the
+    node pool exceeds the cache.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    successor = list(range(nodes))
+    rng.shuffle(successor)
+    current = 0
+    while True:
+        yield base + current * node_size
+        current = successor[current]
+
+
+def loop_ifetch(
+    base: int, body_bytes: int, line_size: int = 32
+) -> Iterator[int]:
+    """Instruction fetch of a tight loop: sequential blocks, repeated.
+
+    A loop body that fits in the I-cache misses only on the first
+    iteration — the behaviour behind the 11 benchmarks whose I$ miss
+    rate is below 0.01 % (Section 4.2).
+    """
+    return strided(base, max(body_bytes, line_size), line_size, line_size)
+
+
+def call_chain_ifetch(
+    functions: Sequence[tuple[int, int]],
+    rng: random.Random,
+    burst: int = 4,
+    line_size: int = 32,
+) -> Iterator[int]:
+    """Alternate sequential fetch among several code regions.
+
+    ``functions`` is a sequence of ``(start_address, length_bytes)``.
+    Laying the regions at cache-conflicting addresses reproduces the
+    instruction conflict misses of call-heavy benchmarks (crafty, eon,
+    gcc, perlbmk, vortex), which the paper's I$ results show responding
+    strongly to associativity (Figure 5).
+
+    Args:
+        burst: average number of sequential blocks fetched per visit.
+    """
+    if not functions:
+        raise ValueError("functions must be non-empty")
+    positions = [0] * len(functions)
+    while True:
+        index = rng.randrange(len(functions))
+        start, length = functions[index]
+        blocks = max(1, length // line_size)
+        run = max(1, min(blocks, int(rng.expovariate(1.0 / burst)) + 1))
+        position = positions[index]
+        for _ in range(run):
+            yield start + position * line_size
+            position = (position + 1) % blocks
+        positions[index] = position
+
+
+def interleave_addresses(
+    components: Sequence[tuple[float, Iterator[int]]],
+    rng: random.Random,
+) -> Iterator[int]:
+    """Mix address streams, drawing each step by weight.
+
+    All primitives above are infinite, so this never terminates; the
+    consumer bounds the stream (``itertools.islice`` / trace length).
+    """
+    if not components:
+        raise ValueError("components must be non-empty")
+    weights = [weight for weight, _ in components]
+    iterators = [iterator for _, iterator in components]
+    indices = list(range(len(iterators)))
+    if len(iterators) == 1:
+        yield from iterators[0]
+        return
+    cumulative: list[float] = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    # Draw selections in batches: random.choices dominates the cost of
+    # trace generation when called once per address.
+    batch = 1024
+    while True:
+        for picked in rng.choices(indices, cum_weights=cumulative, k=batch):
+            yield next(iterators[picked])

@@ -1,0 +1,256 @@
+"""Turning declarative component specs into concrete address streams.
+
+A :class:`Component` is pure data — a primitive kind, a mixing weight
+and primitive parameters — so benchmark profiles can be inspected,
+compared and unit-tested without generating a single address.  The
+functions here bind components to base addresses, seed them
+deterministically and mix them into bounded traces.
+
+Layout: every component of a profile gets its own 32 MB address slot,
+so streams never collide by accident; all conflict structure is
+explicit in the component parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.trace.access import Access, AccessType
+from repro.workloads import generators
+
+#: Way size of the paper's baseline (16 kB direct-mapped cache): the
+#: unit in which conflict strides are expressed.
+BASELINE_WAY_SIZE = 16 * 1024
+
+#: Address slot carved out per component (keeps streams disjoint).
+SLOT_BYTES = 32 * 1024 * 1024
+
+#: Data segment base; code segment sits low like a real executable.
+DATA_SEGMENT = 0x1000_0000
+CODE_SEGMENT = 0x0040_0000
+
+LINE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Component:
+    """One weighted primitive inside a benchmark profile."""
+
+    kind: str
+    weight: float
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"component weight must be positive, got {self.weight}")
+        if self.kind not in _BUILDERS:
+            raise ValueError(
+                f"unknown component kind {self.kind!r}; choose from {sorted(_BUILDERS)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Component constructors used by the benchmark profiles
+# ----------------------------------------------------------------------
+def hot(
+    weight: float, region_kb: float = 8, alpha: float = 1.15, offset_kb: float = 0
+) -> Component:
+    """Zipf-skewed reuse over a small resident region (mostly hits)."""
+    return Component(
+        "zipf",
+        weight,
+        {
+            "region": int(region_kb * 1024),
+            "alpha": alpha,
+            "offset": int(offset_kb * 1024),
+        },
+    )
+
+
+def conflict(
+    weight: float,
+    degree: int,
+    span: int = 8,
+    tag_share_bits: int = 0,
+    dwell: int = 1,
+    set_region: int = 15,
+) -> Component:
+    """Rotation over ``degree`` regions colliding in the baseline cache.
+
+    ``tag_share_bits`` sets the conflict stride to
+    ``way_size * 2**tag_share_bits``: the colliding regions then agree
+    on their ``tag_share_bits`` lowest tag bits, which blinds any
+    programmable decoder with ``log2(MF) <= tag_share_bits`` borrowed
+    tag bits (the Figure 3 / wupwise effect).
+
+    ``set_region`` (0..15) places the colliding blocks in the upper
+    half of the baseline's index space, away from the hot data in the
+    lower half, so the conflict degree stays exactly as authored.
+    """
+    if not 0 <= set_region < 16:
+        raise ValueError(f"set_region must be in 0..15, got {set_region}")
+    offset = BASELINE_WAY_SIZE // 2 + set_region * 512
+    return Component(
+        "conflict",
+        weight,
+        {
+            "degree": degree,
+            "span": span,
+            "stride": BASELINE_WAY_SIZE << tag_share_bits,
+            "dwell": dwell,
+            "offset": offset,
+        },
+    )
+
+
+def capacity(weight: float, region_kb: float = 2048, kind: str = "scan") -> Component:
+    """Misses no organisation can remove: scan / random / pointer chase."""
+    if kind not in ("scan", "random", "chase"):
+        raise ValueError(f"capacity kind must be scan/random/chase, got {kind!r}")
+    return Component(kind, weight, {"region": int(region_kb * 1024)})
+
+
+def stride_stream(weight: float, region_kb: float, stride: int = 128) -> Component:
+    """Regular strided sweep (FP array traversal)."""
+    return Component("stride", weight, {"region": int(region_kb * 1024), "stride": stride})
+
+
+def loop(weight: float, body_kb: float = 8) -> Component:
+    """Tight code loop that fits in the I-cache (compulsory misses only)."""
+    return Component("loop", weight, {"body": int(body_kb * 1024)})
+
+
+def calls(
+    weight: float,
+    functions: int,
+    func_bytes: int = 512,
+    tag_share_bits: int = 0,
+    burst: int = 4,
+    set_region: int = 15,
+) -> Component:
+    """Call chain among code regions placed at colliding addresses.
+
+    ``set_region`` works like :func:`conflict`'s: it keeps the
+    colliding functions clear of the sequential loop body mapped in the
+    lower half of the index space.
+    """
+    if not 0 <= set_region < 16:
+        raise ValueError(f"set_region must be in 0..15, got {set_region}")
+    offset = BASELINE_WAY_SIZE // 2 + set_region * 512
+    return Component(
+        "calls",
+        weight,
+        {
+            "functions": functions,
+            "func_bytes": func_bytes,
+            "stride": BASELINE_WAY_SIZE << tag_share_bits,
+            "burst": burst,
+            "offset": offset,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Binding components to generators
+# ----------------------------------------------------------------------
+def _build_zipf(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    return generators.zipf_hot(
+        base + params.get("offset", 0),
+        params["region"],
+        rng,
+        alpha=params["alpha"],
+        line_size=LINE_SIZE,
+    )
+
+
+def _build_conflict(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    return generators.conflict_rotation(
+        base + params.get("offset", 0),
+        conflict_stride=params["stride"],
+        degree=params["degree"],
+        rng=rng,
+        span_blocks=params["span"],
+        dwell=params["dwell"],
+        line_size=LINE_SIZE,
+    )
+
+
+def _build_scan(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    return generators.sequential_scan(base, params["region"], line_size=LINE_SIZE)
+
+
+def _build_random(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    return generators.uniform_random(base, params["region"], rng, line_size=LINE_SIZE)
+
+
+def _build_chase(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    nodes = max(1, params["region"] // LINE_SIZE)
+    return generators.pointer_chase(base, nodes, rng, node_size=LINE_SIZE)
+
+
+def _build_stride(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    return generators.strided(base, params["region"], params["stride"],
+                              line_size=LINE_SIZE)
+
+
+def _build_loop(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    return generators.loop_ifetch(base, params["body"], line_size=LINE_SIZE)
+
+
+def _build_calls(base: int, params: dict, rng: random.Random) -> Iterator[int]:
+    start = base + params.get("offset", 0)
+    functions = [
+        (start + i * params["stride"], params["func_bytes"])
+        for i in range(params["functions"])
+    ]
+    return generators.call_chain_ifetch(functions, rng, burst=params["burst"],
+                                        line_size=LINE_SIZE)
+
+
+_BUILDERS = {
+    "zipf": _build_zipf,
+    "conflict": _build_conflict,
+    "scan": _build_scan,
+    "random": _build_random,
+    "chase": _build_chase,
+    "stride": _build_stride,
+    "loop": _build_loop,
+    "calls": _build_calls,
+}
+
+
+def build_address_stream(
+    components: tuple[Component, ...],
+    seed: int,
+    segment: int = DATA_SEGMENT,
+) -> Iterator[int]:
+    """Instantiate and mix a profile's components into one address stream."""
+    if not components:
+        raise ValueError("components must be non-empty")
+    mix_rng = random.Random(seed)
+    bound = []
+    for slot, component in enumerate(components):
+        component_rng = random.Random((seed << 8) ^ (slot + 1))
+        base = segment + slot * SLOT_BYTES
+        iterator = _BUILDERS[component.kind](base, component.params, component_rng)
+        bound.append((component.weight, iterator))
+    return generators.interleave_addresses(bound, mix_rng)
+
+
+def addresses_to_accesses(
+    addresses: Iterator[int],
+    n: int,
+    write_fraction: float,
+    seed: int,
+    kind_if_not_write: AccessType = AccessType.READ,
+) -> Iterator[Access]:
+    """Bound an address stream and assign access kinds."""
+    rng = random.Random(seed ^ 0x5EED)
+    for address in itertools.islice(addresses, n):
+        if write_fraction > 0.0 and rng.random() < write_fraction:
+            yield Access(address, AccessType.WRITE)
+        else:
+            yield Access(address, kind_if_not_write)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+
+from repro.core.config import BCacheGeometry
+
+# Property tests must not flake in CI: derandomise example generation
+# (the searches stay thorough, just reproducible run to run).
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def headline_geometry() -> BCacheGeometry:
+    """The paper's headline design point: 16 kB, MF=8, BAS=8."""
+    return BCacheGeometry(16 * 1024, 32, mapping_factor=8, associativity=8)
+
+
+@pytest.fixture
+def toy_geometry() -> BCacheGeometry:
+    """The Section 2.2 worked example: 8 sets, 1-byte lines, MF=2, BAS=2."""
+    return BCacheGeometry(8, 1, mapping_factor=2, associativity=2)

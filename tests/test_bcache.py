@@ -1,0 +1,179 @@
+"""Unit tests for the B-Cache itself: the three PD scenarios of
+Section 2.3, the worked example of Section 2.2, and bookkeeping."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.set_associative import SetAssociativeCache
+from repro.core.bcache import BCache
+from repro.core.config import BCacheGeometry
+
+
+@pytest.fixture
+def toy(toy_geometry) -> BCache:
+    """Section 2.2's cache: 8 sets, 1-byte lines, MF=2, BAS=2."""
+    return BCache(toy_geometry, policy="lru")
+
+
+class TestWorkedExample:
+    """Figure 1 (c) and the Section 2.3 narrative, address for address."""
+
+    SEQUENCE = (0, 1, 8, 9, 0, 1, 8, 9)
+
+    def test_matches_two_way_cache(self, toy):
+        """'The B-Cache exhibits the same hit rate as the 2-way cache
+        for this example.'"""
+        bcache_hits = [toy.access(a).hit for a in self.SEQUENCE]
+        twoway = SetAssociativeCache(8, 1, ways=2)
+        twoway_hits = [twoway.access(a).hit for a in self.SEQUENCE]
+        assert bcache_hits == twoway_hits
+        assert bcache_hits == [False] * 4 + [True] * 4
+
+    def test_direct_mapped_never_hits(self):
+        dm = DirectMappedCache(8, 1)
+        assert not any(dm.access(a).hit for a in self.SEQUENCE)
+
+    def test_address_25_pd_hit_forces_victim(self, toy):
+        """Scenario 2: address 25 (11001) PD-hits and must replace 9."""
+        for address in self.SEQUENCE:
+            toy.access(address)
+        result = toy.access(25)
+        assert not result.hit
+        assert result.pd_hit
+        assert result.evicted == 9
+        toy.check_integrity()
+
+    def test_address_13_pd_miss_uses_policy(self, toy):
+        """Scenario 3: address 13 (1101) misses both cache and PD; the
+        victim comes from the replacement policy."""
+        for address in self.SEQUENCE:
+            toy.access(address)
+        result = toy.access(13)
+        assert not result.hit
+        assert not result.pd_hit
+        # LRU among the candidates {1, 9}: 1 was referenced before 9.
+        assert result.evicted == 1
+        toy.check_integrity()
+
+
+class TestScenarios:
+    def test_cold_start_programs_pd(self, toy):
+        result = toy.access(0)
+        assert not result.hit and not result.pd_hit
+        assert toy.decoder.occupancy() > 0.0
+
+    def test_hit_after_fill(self, toy):
+        toy.access(5)
+        result = toy.access(5)
+        assert result.hit
+
+    def test_pd_hit_miss_counted(self, toy):
+        for address in (0, 1, 8, 9):
+            toy.access(address)
+        toy.access(25)
+        assert toy.stats.pd_hit_misses >= 1
+
+    def test_pd_miss_miss_counted(self, toy):
+        toy.access(0)
+        assert toy.stats.pd_miss_misses == 1
+
+    def test_pd_hit_rate_during_miss(self, toy):
+        for address in (0, 1, 8, 9):
+            toy.access(address)
+        toy.access(25)  # PD-hit miss
+        assert 0.0 < toy.pd_hit_rate_during_miss < 1.0
+
+
+class TestHeadlineBehaviour:
+    def test_conflicting_blocks_coexist(self, headline_geometry):
+        """Eight blocks at way-size stride (distinct PIs) all fit."""
+        cache = BCache(headline_geometry)
+        blocks = [i * 16 * 1024 + 0x40 for i in range(8)]
+        for address in blocks:
+            cache.access(address)
+        assert all(cache.access(a).hit for a in blocks)
+        cache.check_integrity()
+
+    def test_pd_blind_conflicts_behave_like_dm(self, headline_geometry):
+        """Blocks whose PI bits agree (stride 2^17 shares T2..T0 and the
+        index) force PD-hit misses: the B-Cache cannot fix them
+        (the wupwise effect, Figure 3)."""
+        cache = BCache(headline_geometry)
+        stride = (16 * 1024) * 8  # 2^17
+        a, b = 0x40, 0x40 + stride
+        cache.access(a)
+        result = cache.access(b)
+        assert not result.hit and result.pd_hit
+        result = cache.access(a)
+        assert not result.hit and result.pd_hit
+
+    def test_eviction_address_reconstruction(self, headline_geometry):
+        cache = BCache(headline_geometry)
+        cache.access(0x123468)
+        stride = 16 * 1024 * 8
+        result = cache.access(0x123468 + stride)
+        assert result.evicted == 0x123460  # block-aligned original
+
+    def test_dirty_writeback(self, headline_geometry):
+        cache = BCache(headline_geometry)
+        cache.access(0x40, is_write=True)
+        result = cache.access(0x40 + 16 * 1024 * 8)
+        assert result.evicted_dirty
+
+    def test_write_hit_marks_dirty(self, headline_geometry):
+        cache = BCache(headline_geometry)
+        cache.access(0x40)
+        cache.access(0x40, is_write=True)
+        result = cache.access(0x40 + 16 * 1024 * 8)
+        assert result.evicted_dirty
+
+
+class TestDegenerateEquivalence:
+    """Section 3.1: MF = 1 or BAS = 1 is equivalent to direct-mapped."""
+
+    @pytest.mark.parametrize("mf,bas", [(1, 1), (1, 8), (8, 1)])
+    def test_miss_count_matches_dm(self, mf, bas):
+        import random
+
+        rng = random.Random(7)
+        geometry = BCacheGeometry(2 * 1024, 32, mapping_factor=mf, associativity=bas)
+        bcache = BCache(geometry)
+        dm = DirectMappedCache(2 * 1024, 32)
+        for _ in range(3000):
+            address = rng.randrange(1 << 18)
+            bcache.access(address)
+            dm.access(address)
+        assert bcache.stats.misses == dm.stats.misses
+        bcache.check_integrity()
+
+
+class TestProbeAndFlush:
+    def test_contains(self, toy):
+        toy.access(3)
+        assert toy.contains(3)
+        assert not toy.contains(11)
+
+    def test_flush(self, toy):
+        toy.access(3)
+        toy.flush()
+        assert not toy.contains(3)
+        assert toy.decoder.occupancy() == 0.0
+        assert toy.stats.accesses == 0
+
+    def test_integrity_after_flush(self, toy):
+        toy.access(3)
+        toy.flush()
+        toy.check_integrity()
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["lru", "random", "fifo", "plru"])
+    def test_all_policies_work(self, headline_geometry, policy):
+        import random
+
+        rng = random.Random(11)
+        cache = BCache(headline_geometry, policy=policy)
+        for _ in range(5000):
+            cache.access(rng.randrange(1 << 22))
+        cache.check_integrity()
+        assert cache.stats.accesses == 5000

@@ -1,0 +1,113 @@
+"""Unit tests for BCacheGeometry: the MF/BAS/PI/NPI derivations."""
+
+import pytest
+
+from repro.core.config import BCacheGeometry
+
+
+class TestHeadlineGeometry:
+    """The paper's 16 kB MF=8 BAS=8 design (Sections 3.1-3.2)."""
+
+    def test_dimensions(self, headline_geometry):
+        g = headline_geometry
+        assert g.original_index_bits == 9
+        assert g.npi_bits == 6
+        assert g.pi_bits == 6
+        assert g.num_rows == 64
+        assert g.num_clusters == 8
+        assert g.num_sets == 512
+
+    def test_decoder_extension_is_three_bits(self, headline_geometry):
+        """Contribution 1: 'increase the decoder length ... by three bits'."""
+        assert headline_geometry.decoder_extension_bits == 3
+
+    def test_tag_shrinks_by_three_bits(self, headline_geometry):
+        # 32-bit address - 5 offset - 9 index = 18-bit tag, minus 3 -> 15.
+        assert headline_geometry.stored_tag_bits == 15
+
+    def test_mapping_factor_formula(self, headline_geometry):
+        """MF = 2^(PI+NPI) / 2^OI (Section 3.1)."""
+        g = headline_geometry
+        assert 2 ** (g.pi_bits + g.npi_bits) // 2**g.original_index_bits == 8
+
+    def test_bas_formula(self, headline_geometry):
+        """BAS = 2^OI / 2^NPI (Section 3.1)."""
+        g = headline_geometry
+        assert 2**g.original_index_bits // 2**g.npi_bits == 8
+
+
+class TestValidation:
+    def test_non_power_of_two_mf(self):
+        with pytest.raises(ValueError):
+            BCacheGeometry(16 * 1024, 32, mapping_factor=3)
+
+    def test_non_power_of_two_bas(self):
+        with pytest.raises(ValueError):
+            BCacheGeometry(16 * 1024, 32, associativity=6)
+
+    def test_bas_exceeding_sets(self):
+        with pytest.raises(ValueError):
+            BCacheGeometry(256, 32, associativity=16)
+
+    def test_mf_exceeding_tag_bits(self):
+        with pytest.raises(ValueError):
+            BCacheGeometry(16 * 1024, 32, mapping_factor=2**19)
+
+    def test_size_line_mismatch(self):
+        with pytest.raises(ValueError):
+            BCacheGeometry(1000, 32)
+
+    def test_degenerate_detection(self):
+        assert BCacheGeometry(512, 32, 1, 8).is_degenerate()
+        assert BCacheGeometry(512, 32, 8, 1).is_degenerate()
+        assert not BCacheGeometry(512, 32, 2, 2).is_degenerate()
+
+
+class TestAddressDecomposition:
+    def test_round_trip(self, headline_geometry):
+        g = headline_geometry
+        for block in (0, 1, 0x12345, 0x7FFFFFF):
+            row, pi, tag = g.decompose_block(block)
+            assert g.compose_block(row, pi, tag) == block
+
+    def test_field_ranges(self, headline_geometry):
+        g = headline_geometry
+        row, pi, tag = g.decompose_block(0xFFFFFFF)
+        assert 0 <= row < g.num_rows
+        assert 0 <= pi < 2**g.pi_bits
+        assert tag >= 0
+
+    def test_pi_includes_index_and_tag_bits(self, headline_geometry):
+        """PI covers I8..I6 plus T2..T0 (Figure 2)."""
+        g = headline_geometry
+        # Two blocks differing only in bit 6 (I6 of the block address's
+        # index field) must differ in PI.
+        _, pi_a, _ = g.decompose_block(0b1000000)
+        _, pi_b, _ = g.decompose_block(0b0000000)
+        assert pi_a != pi_b
+        # Two blocks differing only in block bit 9 (T0) differ in PI too.
+        _, pi_c, _ = g.decompose_block(1 << 9)
+        assert pi_c != pi_b
+
+    def test_set_index_layout(self, headline_geometry):
+        g = headline_geometry
+        assert g.set_index(0, 0) == 0
+        assert g.set_index(0, 1) == g.num_rows
+        assert g.set_index(g.num_rows - 1, g.num_clusters - 1) == g.num_sets - 1
+
+    def test_describe_mentions_parameters(self, headline_geometry):
+        text = headline_geometry.describe()
+        assert "MF=8" in text and "BAS=8" in text and "PI=6" in text
+
+
+class TestAlternateGeometries:
+    @pytest.mark.parametrize("mf,bas,pd", [(2, 8, 4), (4, 4, 4), (8, 8, 6), (16, 4, 6)])
+    def test_pd_length(self, mf, bas, pd):
+        """PD length = log2(MF) + log2(BAS) (Section 6.3's design points)."""
+        g = BCacheGeometry(16 * 1024, 32, mf, bas)
+        assert g.pi_bits == pd
+
+    def test_8kb_and_32kb(self):
+        for size in (8 * 1024, 32 * 1024):
+            g = BCacheGeometry(size, 32, 8, 8)
+            assert g.num_rows * g.num_clusters == size // 32

@@ -1,0 +1,95 @@
+"""Unit tests for the analytic out-of-order timing model."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.cpu.timing import OoOProcessorModel, ProcessorConfig
+from repro.hierarchy.memory_system import MemoryHierarchy
+from repro.trace.access import Access, AccessType
+
+
+def _model(**config_kwargs) -> OoOProcessorModel:
+    hierarchy = MemoryHierarchy(
+        l1i=DirectMappedCache(512, 32),
+        l1d=DirectMappedCache(512, 32),
+    )
+    return OoOProcessorModel(hierarchy, ProcessorConfig(**config_kwargs))
+
+
+class TestProcessorConfig:
+    def test_defaults_match_table4(self):
+        config = ProcessorConfig()
+        assert config.issue_width == 4
+        assert config.window_size == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(base_cpi=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(data_exposure=1.5)
+
+
+class TestExecution:
+    def test_perfect_cache_ipc_is_inverse_base_cpi(self):
+        model = _model(base_cpi=0.5)
+        # Warm up one instruction block, then run hits only.
+        trace = [Access(0x400000, AccessType.IFETCH)] * 5000
+        result = model.run(trace)
+        # One cold ifetch miss; its stall is small next to 5000 instrs.
+        assert result.ipc == pytest.approx(2.0, rel=0.1)
+
+    def test_cycles_formula(self):
+        model = _model(base_cpi=1.0, ifetch_exposure=1.0, data_exposure=1.0)
+        trace = [
+            Access(0x400000, AccessType.IFETCH),  # cold: 1 + 106 latency
+            Access(0x1000, AccessType.READ),      # cold: 1 + 106 latency
+        ]
+        result = model.run(trace)
+        assert result.instructions == 1
+        assert result.cycles == pytest.approx(1 * 1.0 + 106 + 106)
+
+    def test_exposure_scales_data_stalls(self):
+        full = _model(base_cpi=1.0, data_exposure=1.0)
+        half = _model(base_cpi=1.0, data_exposure=0.5)
+        trace = [
+            Access(0x400000, AccessType.IFETCH),
+            Access(0x1000, AccessType.READ),
+        ]
+        full_result = full.run(trace)
+        half_result = half.run(trace)
+        assert half_result.data_stall_cycles == pytest.approx(
+            full_result.data_stall_cycles / 2
+        )
+
+    def test_miss_rates_surface_in_result(self):
+        model = _model()
+        trace = [Access(0x400000, AccessType.IFETCH), Access(0x1000, AccessType.READ)]
+        result = model.run(trace)
+        assert result.l1i_miss_rate == 1.0
+        assert result.l1d_miss_rate == 1.0
+
+    def test_cpi_inverse_of_ipc(self):
+        model = _model()
+        result = model.run([Access(0x400000, AccessType.IFETCH)] * 10)
+        assert result.cpi == pytest.approx(1.0 / result.ipc)
+
+    def test_fewer_misses_means_higher_ipc(self):
+        """The coupling the whole Figure 8 study rests on."""
+        thrash = _model()
+        quiet = _model()
+        # Thrashing data stream vs resident data stream.
+        thrash_trace = []
+        quiet_trace = []
+        for i in range(300):
+            thrash_trace.append(Access(0x400000, AccessType.IFETCH))
+            quiet_trace.append(Access(0x400000, AccessType.IFETCH))
+            thrash_trace.append(Access((i % 2) * 0x200 + 0x1000, AccessType.READ))
+            quiet_trace.append(Access(0x1000, AccessType.READ))
+        assert quiet.run(quiet_trace).ipc > thrash.run(thrash_trace).ipc
+
+    def test_empty_trace(self):
+        result = _model().run([])
+        assert result.instructions == 0
+        assert result.ipc == 0.0

@@ -1,0 +1,149 @@
+"""Tests for the cache-decay analysis and the bcache-sim front end."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.energy.decay import simulate_decay
+from repro.simtool import main as sim_main
+from repro.trace.access import Access, AccessType
+from repro.trace.trace_file import save_trace
+
+
+class TestDecayAnalysis:
+    def test_tight_reuse_is_all_live(self):
+        cache = DirectMappedCache(512, 32)
+        addresses = [0x40] * 100
+        report = simulate_decay(cache, addresses, decay_window=10)
+        assert report.decay_induced_misses == 0
+        assert report.dead_time_fraction == 0.0
+
+    def test_long_gaps_are_dead_time(self):
+        # Large cache: the filler blocks never evict A, so A's second
+        # reference would have hit — the decay window destroys it.
+        cache = DirectMappedCache(16 * 1024, 32)
+        addresses = [0x40] + [0x1000 + i * 32 for i in range(50)] + [0x40]
+        report = simulate_decay(cache, addresses, decay_window=10)
+        assert report.decay_induced_misses == 1
+        assert report.dead_time > 0
+
+    def test_window_controls_cost(self):
+        def run(window):
+            cache = DirectMappedCache(512, 32)
+            addresses = ([0x40] + [0x1000 + i * 32 for i in range(8)]) * 30
+            return simulate_decay(cache, addresses, decay_window=window)
+
+        aggressive = run(2)
+        relaxed = run(1000)
+        assert aggressive.decay_induced_misses > relaxed.decay_induced_misses
+        assert aggressive.dead_time_fraction > relaxed.dead_time_fraction
+
+    def test_evicted_blocks_not_charged(self):
+        cache = DirectMappedCache(512, 32)
+        # A and B conflict: every re-reference is a real miss, never a
+        # decay-induced one.
+        addresses = [0x40, 0x240] * 50
+        report = simulate_decay(cache, addresses, decay_window=1)
+        assert report.decay_induced_misses == 0
+
+    def test_validation(self):
+        cache = DirectMappedCache(512, 32)
+        with pytest.raises(ValueError):
+            simulate_decay(cache, [0x40], decay_window=0)
+
+    def test_report_fractions_on_empty(self):
+        cache = DirectMappedCache(512, 32)
+        report = simulate_decay(cache, [], decay_window=10)
+        assert report.induced_miss_fraction == 0.0
+        assert report.dead_time_fraction == 0.0
+
+
+class TestSimTool:
+    def test_synthetic_benchmark_run(self, capsys):
+        status = sim_main(
+            ["--benchmark", "gzip", "--n", "2000", "dm", "mf8_bas8"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "dm" in out and "mf8_bas8" in out
+        assert "2000 accesses" in out
+
+    def test_trace_file_run(self, tmp_path, capsys):
+        path = tmp_path / "t.din"
+        save_trace(
+            [Access(0x40, AccessType.READ), Access(0x40, AccessType.WRITE)], path
+        )
+        status = sim_main(["--trace", str(path), "dm"])
+        assert status == 0
+        assert "50.000%" in capsys.readouterr().out
+
+    def test_balance_flag(self, capsys):
+        status = sim_main(
+            ["--benchmark", "equake", "--n", "3000", "dm", "--balance"]
+        )
+        assert status == 0
+        assert "balance:" in capsys.readouterr().out
+
+    def test_instr_side(self, capsys):
+        status = sim_main(
+            ["--benchmark", "gcc", "--side", "instr", "--n", "2000", "dm"]
+        )
+        assert status == 0
+
+    def test_bad_spec_reports_error(self, capsys):
+        status = sim_main(["--benchmark", "gzip", "--n", "500", "bogus"])
+        assert status == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, capsys):
+        status = sim_main(["--trace", "/nonexistent.din", "dm"])
+        assert status == 1
+
+    def test_custom_geometry(self, capsys):
+        status = sim_main(
+            ["--benchmark", "gzip", "--n", "1000", "--size", "8192", "dm"]
+        )
+        assert status == 0
+
+
+class TestSimToolJSON:
+    def test_json_output_parses(self, capsys):
+        import json
+
+        status = sim_main(
+            ["--benchmark", "gzip", "--n", "1500", "--json", "dm", "mf8_bas8"]
+        )
+        assert status == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trace_length"] == 1500
+        assert set(data["configs"]) == {"dm", "mf8_bas8"}
+        assert 0.0 < data["configs"]["dm"]["miss_rate"] < 1.0
+
+    def test_json_with_balance(self, capsys):
+        import json
+
+        status = sim_main(
+            ["--benchmark", "equake", "--n", "2000", "--json", "--balance", "dm"]
+        )
+        assert status == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "balance" in data["configs"]["dm"]
+        assert 0.0 <= data["configs"]["dm"]["balance"]["frequent_miss_share"] <= 1.0
+
+    def test_json_bad_spec(self, capsys):
+        status = sim_main(["--benchmark", "gzip", "--n", "200", "--json", "zzz"])
+        assert status == 2
+
+
+class TestStatsAsDict:
+    def test_round_trips_through_json(self):
+        import json
+
+        from repro.caches import make_cache
+
+        cache = make_cache("mf8_bas8")
+        for i in range(500):
+            cache.access(i * 64, is_write=(i % 4 == 0))
+        payload = json.loads(json.dumps(cache.stats.as_dict()))
+        assert payload["accesses"] == 500
+        assert payload["hits"] + payload["misses"] == 500
+        assert payload["reads"] + payload["writes"] == 500

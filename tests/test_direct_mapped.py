@@ -1,0 +1,127 @@
+"""Unit tests for the direct-mapped baseline cache."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+
+
+@pytest.fixture
+def cache() -> DirectMappedCache:
+    # 16 sets x 32 B lines = 512 B.
+    return DirectMappedCache(512, 32)
+
+
+class TestGeometry:
+    def test_baseline_dimensions(self):
+        baseline = DirectMappedCache(16 * 1024, 32)
+        assert baseline.num_sets == 512
+        assert baseline.index_bits == 9
+        assert baseline.offset_bits == 5
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(500, 32)
+        with pytest.raises(ValueError):
+            DirectMappedCache(512, 33)
+
+
+class TestAccessBehaviour:
+    def test_first_access_misses(self, cache):
+        assert not cache.access(0x1000).hit
+
+    def test_second_access_hits(self, cache):
+        cache.access(0x1000)
+        assert cache.access(0x1000).hit
+
+    def test_same_block_different_offset_hits(self, cache):
+        cache.access(0x1000)
+        assert cache.access(0x101F).hit
+
+    def test_conflicting_addresses_thrash(self, cache):
+        # 0x0 and 0x200 map to set 0 of a 512 B cache.
+        cache.access(0x0)
+        result = cache.access(0x200)
+        assert not result.hit
+        assert result.evicted == 0x0
+
+    def test_worked_example_sequence(self):
+        """Section 2.2: 0,1,8,9 thrash an 8-set direct-mapped cache."""
+        cache = DirectMappedCache(8, 1)
+        hits = [cache.access(a).hit for a in (0, 1, 8, 9, 0, 1, 8, 9)]
+        assert hits == [False] * 8
+
+    def test_eviction_reports_correct_address(self, cache):
+        cache.access(0x1040)
+        result = cache.access(0x1040 + 512)
+        assert result.evicted == 0x1040
+
+    def test_no_eviction_on_cold_fill(self, cache):
+        assert cache.access(0x40).evicted is None
+
+
+class TestDirtyTracking:
+    def test_clean_eviction(self, cache):
+        cache.access(0x0, is_write=False)
+        result = cache.access(0x200)
+        assert result.evicted is not None and not result.evicted_dirty
+
+    def test_dirty_eviction(self, cache):
+        cache.access(0x0, is_write=True)
+        result = cache.access(0x200)
+        assert result.evicted_dirty
+
+    def test_write_hit_marks_dirty(self, cache):
+        cache.access(0x0)
+        cache.access(0x0, is_write=True)
+        assert cache.access(0x200).evicted_dirty
+
+    def test_writeback_counted(self, cache):
+        cache.access(0x0, is_write=True)
+        cache.access(0x200)
+        assert cache.stats.writebacks == 1
+
+
+class TestProbeAndFlush:
+    def test_contains(self, cache):
+        cache.access(0x1000)
+        assert cache.contains(0x1010)
+        assert not cache.contains(0x2000)
+
+    def test_contains_has_no_side_effects(self, cache):
+        cache.access(0x1000)
+        before = cache.stats.accesses
+        cache.contains(0x1000)
+        assert cache.stats.accesses == before
+
+    def test_flush_clears_contents_and_stats(self, cache):
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.contains(0x1000)
+        assert cache.stats.accesses == 0
+
+
+class TestStats:
+    def test_miss_rate(self, cache):
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == pytest.approx(1 / 3)
+
+    def test_per_set_counters(self, cache):
+        cache.access(0x0)
+        cache.access(0x20)
+        assert cache.stats.set_accesses[0] == 1
+        assert cache.stats.set_accesses[1] == 1
+
+    def test_read_write_split(self, cache):
+        cache.access(0x0, is_write=True)
+        cache.access(0x20, is_write=False)
+        assert cache.stats.writes == 1
+        assert cache.stats.reads == 1
+
+    def test_pd_stats_trivial_for_conventional(self, cache):
+        # A fixed decoder always selects a set, so every miss counts as
+        # a "PD hit" miss: the rate is identically 1.0 (no prediction).
+        cache.access(0x0)
+        assert cache.stats.pd_hit_misses == 1
+        assert cache.stats.pd_hit_rate_during_miss == 1.0

@@ -1,0 +1,217 @@
+"""Unit tests for the circuit models: the paper's published numbers."""
+
+import pytest
+
+from repro.core.config import BCacheGeometry
+from repro.energy.area import (
+    bcache_storage,
+    conventional_storage,
+    set_associative_area_overhead,
+)
+from repro.energy.cacti_lite import (
+    EnergyBreakdown,
+    conventional_access_energy,
+    fully_associative_probe_energy,
+)
+from repro.energy.cam import CAMBankSpec, pd_banks_for
+from repro.energy.decoder_timing import (
+    all_have_slack,
+    cam_search_delay_ns,
+    table1_timings,
+)
+from repro.energy.model import (
+    RunActivity,
+    SystemEnergyModel,
+    access_energy_for,
+    bcache_access_energy,
+)
+from repro.energy.technology import TSMC018
+
+HEADLINE = BCacheGeometry(16 * 1024, 32, 8, 8)
+
+
+class TestCAMCalibration:
+    def test_6x8_matches_paper(self):
+        """Section 5.4: 'A 6x8 ... CAM decoder consumes 0.78pJ'."""
+        assert TSMC018.cam_search_energy_pj(6, 8) == pytest.approx(0.78, abs=0.01)
+
+    def test_6x16_matches_paper(self):
+        """Section 5.4: '... and 6x16 ... 1.62pJ per search'."""
+        assert TSMC018.cam_search_energy_pj(6, 16) == pytest.approx(1.62, abs=0.01)
+
+    def test_energy_scales_with_bits(self):
+        assert TSMC018.cam_search_energy_pj(12, 8) == pytest.approx(
+            2 * TSMC018.cam_search_energy_pj(6, 8)
+        )
+
+    def test_bank_spec(self):
+        bank = CAMBankSpec(count=32, bits=6, entries=16)
+        assert bank.cells == 32 * 96
+        assert bank.search_energy_pj() == pytest.approx(32 * 1.62, rel=0.01)
+
+    def test_pd_banks_headline(self):
+        """Section 3.2: thirty-two 6x16 (data) + sixty-four 6x8 (tag)."""
+        data, tag = pd_banks_for(HEADLINE)
+        assert (data.count, data.bits, data.entries) == (32, 6, 16)
+        assert (tag.count, tag.bits, tag.entries) == (64, 6, 8)
+
+
+class TestTable2Storage:
+    def test_baseline_bits(self):
+        """Table 2: 20bit x 512 tag + 256bit x 512 data."""
+        storage = conventional_storage(16 * 1024)
+        assert storage.tag_memory_bits == 20 * 512
+        assert storage.data_memory_bits == 256 * 512
+
+    def test_bcache_tag_shrinks(self):
+        """Table 2: B-Cache tag memory is 17bit x 512."""
+        storage = bcache_storage(HEADLINE)
+        assert storage.tag_memory_bits == 17 * 512
+
+    def test_overhead_is_4_3_percent(self):
+        """Section 5.3: 'increases the total cache area ... by 4.3%'."""
+        overhead = bcache_storage(HEADLINE).overhead_vs(conventional_storage(16 * 1024))
+        assert overhead == pytest.approx(0.043, abs=0.002)
+
+    def test_less_than_4way_overhead(self):
+        """Section 5.3: less than a 4-way cache's 7.98%."""
+        bc = bcache_storage(HEADLINE).overhead_vs(conventional_storage(16 * 1024))
+        assert bc < set_associative_area_overhead(4) == pytest.approx(0.0798)
+
+    def test_cam_counts_as_1_25_sram_bits(self):
+        storage = bcache_storage(HEADLINE)
+        # 32 x 6x16 CAMs = 3072 cells -> 3840 bit equivalents.
+        assert storage.data_decoder_bits == pytest.approx(3072 * 1.25)
+
+
+class TestTable3Energy:
+    def test_bcache_overhead_is_10_5_percent(self):
+        """Section 5.4: 'power consumption of the B-Cache is 10.5% higher'."""
+        base = conventional_access_energy(16 * 1024).total_pj
+        bc = bcache_access_energy(HEADLINE).total_pj
+        assert bc / base - 1 == pytest.approx(0.105, abs=0.005)
+
+    @pytest.mark.parametrize("ways,below", [(2, 0.174), (4, 0.444), (8, 0.655)])
+    def test_bcache_below_set_associative(self, ways, below):
+        """Section 5.4: 17.4%, 44.4%, 65.5% lower than 2/4/8-way."""
+        bc = bcache_access_energy(HEADLINE).total_pj
+        sa = conventional_access_energy(16 * 1024, ways=ways).total_pj
+        assert 1 - bc / sa == pytest.approx(below, abs=0.02)
+
+    def test_energy_monotone_in_ways(self):
+        energies = [
+            conventional_access_energy(16 * 1024, ways=w).total_pj
+            for w in (1, 2, 4, 8, 32)
+        ]
+        assert energies == sorted(energies)
+
+    def test_breakdown_totals(self):
+        breakdown = EnergyBreakdown({"a": 1.0, "b": 2.0})
+        assert breakdown.total_pj == 3.0
+        assert breakdown.scaled(2.0).total_pj == 6.0
+        assert breakdown.with_component("c", 1.0).total_pj == 4.0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            conventional_access_energy(16 * 1024, ways=0)
+        with pytest.raises(ValueError):
+            conventional_access_energy(16 * 1024 + 3, ways=2)
+
+    def test_spec_dispatch(self):
+        for spec in ("dm", "2way", "8way", "victim16", "mf8_bas8"):
+            assert access_energy_for(spec).access_pj > 0
+        with pytest.raises(ValueError):
+            access_energy_for("column")
+
+    def test_victim_probe_energy(self):
+        config = access_energy_for("victim16")
+        assert config.miss_probe_pj == pytest.approx(
+            fully_associative_probe_energy(16), rel=0.01
+        )
+
+
+class TestTable1Timing:
+    def test_all_decoders_have_slack(self):
+        """Section 5.1: 'all of the decoders have time slack left'."""
+        assert all_have_slack()
+
+    def test_five_subarray_sizes(self):
+        timings = table1_timings()
+        assert [t.wordlines for t in timings] == [256, 128, 64, 32, 16]
+        assert [t.subarray_bytes for t in timings] == [
+            8192, 4096, 2048, 1024, 512
+        ]
+
+    def test_compositions_match_table1(self):
+        timings = {t.address_bits: t for t in table1_timings()}
+        assert timings[8].original_composition == "3D-3R"
+        assert timings[8].bcache_npd_composition == "3D-2R"
+        assert timings[4].bcache_npd_composition == "INV"
+
+    def test_original_decoder_delay_monotone_in_size(self):
+        timings = table1_timings()
+        delays = [t.original_ns for t in timings]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_cam_delay_grows_slowly_when_segmented(self):
+        fast = cam_search_delay_ns(6, 8, segmented=True)
+        slow = cam_search_delay_ns(6, 64, segmented=True)
+        unsegmented = cam_search_delay_ns(6, 64, segmented=False)
+        assert slow < unsegmented
+        assert slow - fast < 0.2
+
+
+class TestSystemEnergyModel:
+    def _activity(self, cycles=1000.0) -> RunActivity:
+        return RunActivity(
+            l1i_accesses=1000,
+            l1i_misses=10,
+            l1i_pd_predicted_misses=0,
+            l1d_accesses=400,
+            l1d_misses=40,
+            l1d_pd_predicted_misses=0,
+            l2_accesses=50,
+            l2_misses=5,
+            cycles=cycles,
+        )
+
+    def test_static_calibration_makes_half_of_baseline(self):
+        model = SystemEnergyModel(
+            l1i=access_energy_for("dm"), l1d=access_energy_for("dm")
+        )
+        activity = self._activity()
+        per_cycle = model.static_pj_per_cycle_for_baseline(activity)
+        report = model.report(activity, per_cycle)
+        assert report.static_pj == pytest.approx(report.dynamic_pj)
+
+    def test_longer_run_burns_more_static(self):
+        model = SystemEnergyModel(
+            l1i=access_energy_for("dm"), l1d=access_energy_for("dm")
+        )
+        per_cycle = model.static_pj_per_cycle_for_baseline(self._activity())
+        slow = model.report(self._activity(cycles=2000.0), per_cycle)
+        fast = model.report(self._activity(cycles=1000.0), per_cycle)
+        assert slow.total_pj > fast.total_pj
+
+    def test_pd_prediction_saves_array_energy(self):
+        bcache = access_energy_for("mf8_bas8")
+        model = SystemEnergyModel(l1i=bcache, l1d=bcache)
+        predicted = RunActivity(
+            l1i_accesses=1000, l1i_misses=10, l1i_pd_predicted_misses=8,
+            l1d_accesses=400, l1d_misses=40, l1d_pd_predicted_misses=30,
+            l2_accesses=50, l2_misses=5, cycles=1000.0,
+        )
+        unpredicted = RunActivity(
+            l1i_accesses=1000, l1i_misses=10, l1i_pd_predicted_misses=0,
+            l1d_accesses=400, l1d_misses=40, l1d_pd_predicted_misses=0,
+            l2_accesses=50, l2_misses=5, cycles=1000.0,
+        )
+        assert model.dynamic_pj(predicted) < model.dynamic_pj(unpredicted)
+
+    def test_offchip_dominates(self):
+        model = SystemEnergyModel(
+            l1i=access_energy_for("dm"), l1d=access_energy_for("dm")
+        )
+        assert model.offchip_pj == pytest.approx(
+            100 * conventional_access_energy(16 * 1024).total_pj
+        )

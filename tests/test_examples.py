@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with reduced trace lengths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py", "8000")
+        assert proc.returncode == 0, proc.stderr
+        assert "miss rate" in proc.stdout
+        assert "B-Cache" in proc.stdout
+
+    def test_custom_workload(self):
+        proc = _run("custom_workload.py", "5000")
+        assert proc.returncode == 0, proc.stderr
+        assert "mf8_bas8" in proc.stdout
+        assert "din format" in proc.stdout
+
+    def test_design_space_exploration(self):
+        proc = _run("design_space_exploration.py", "crafty", "8000")
+        assert proc.returncode == 0, proc.stderr
+        assert "suggested design" in proc.stdout
+
+    def test_design_space_rejects_unknown_benchmark(self):
+        proc = _run("design_space_exploration.py", "quake3")
+        assert proc.returncode != 0
+        assert "unknown benchmark" in proc.stderr
+
+    def test_performance_energy_tradeoff(self):
+        proc = _run("performance_energy_tradeoff.py", "equake", "5000")
+        assert proc.returncode == 0, proc.stderr
+        assert "EDP" in proc.stdout
+
+    def test_pipeline_models(self):
+        proc = _run("pipeline_models.py", "gzip", "4000")
+        assert proc.returncode == 0, proc.stderr
+        assert "window" in proc.stdout
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "custom_workload.py",
+            "design_space_exploration.py",
+            "performance_energy_tradeoff.py",
+            "pipeline_models.py",
+        ],
+    )
+    def test_examples_have_docstrings(self, script):
+        source = (EXAMPLES / script).read_text()
+        assert source.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""'))

@@ -1,0 +1,141 @@
+"""Tests for the Section 6.8 addressing analysis and the Section 6.4
+drowsy-leakage extension, plus PD fault-injection robustness."""
+
+import random
+
+import pytest
+
+from repro.core.addressing import analyze_addressing
+from repro.core.bcache import BCache
+from repro.core.config import BCacheGeometry
+from repro.energy.drowsy import estimate_drowsy_leakage
+from repro.stats.counters import CacheStats
+
+
+class TestAddressingAnalysis:
+    def test_headline_needs_three_virtual_tag_bits(self, headline_geometry):
+        """Section 6.8: 'only the least three bits of the tag are
+        required ... We may just treat these three bits as virtual
+        index.'"""
+        report = analyze_addressing(headline_geometry, page_size=4096)
+        assert len(report.untranslated_tag_bits) == 3
+        assert [b.address_bit for b in report.untranslated_tag_bits] == [14, 15, 16]
+        assert not report.vp_compatible_without_care
+
+    def test_pd_input_count_matches_pi(self, headline_geometry):
+        report = analyze_addressing(headline_geometry)
+        assert len(report.pd_bits) == headline_geometry.pi_bits
+
+    def test_index_vs_tag_classification(self, headline_geometry):
+        report = analyze_addressing(headline_geometry)
+        sources = [b.source for b in report.pd_bits]
+        assert sources == ["index"] * 3 + ["tag"] * 3
+
+    def test_small_cache_is_vp_compatible(self):
+        geometry = BCacheGeometry(2 * 1024, 32, mapping_factor=2, associativity=2)
+        report = analyze_addressing(geometry, page_size=4096)
+        assert report.vp_compatible_without_care
+
+    def test_large_pages_remove_the_constraint(self, headline_geometry):
+        """With 1 MB pages every PD input lies in the page offset."""
+        report = analyze_addressing(headline_geometry, page_size=1 << 20)
+        assert report.vp_compatible_without_care
+
+    def test_describe_mentions_verdict(self, headline_geometry):
+        text = analyze_addressing(headline_geometry).describe()
+        assert "virtual index" in text
+
+    def test_invalid_page_size(self, headline_geometry):
+        with pytest.raises(ValueError):
+            analyze_addressing(headline_geometry, page_size=5000)
+
+
+class TestDrowsyLeakage:
+    def _stats(self, counts):
+        stats = CacheStats(num_sets=len(counts))
+        stats.set_accesses = list(counts)
+        stats.accesses = sum(counts)
+        return stats
+
+    def test_idle_sets_save_leakage(self):
+        # Half the sets never touched: they are drowsy the whole run.
+        stats = self._stats([1000, 1000, 0, 0])
+        report = estimate_drowsy_leakage(stats, decay_window=4000)
+        assert report.awake_fraction == pytest.approx(0.5)
+        assert report.leakage_saving == pytest.approx(0.5 * 0.9)
+
+    def test_hot_cache_saves_nothing(self):
+        stats = self._stats([500, 500, 500, 500])
+        report = estimate_drowsy_leakage(stats, decay_window=2000)
+        assert report.awake_fraction == 1.0
+        assert report.leakage_saving == 0.0
+
+    def test_window_scales_awake_time(self):
+        stats = self._stats([10, 10, 10, 10])
+        short = estimate_drowsy_leakage(stats, decay_window=1)
+        long = estimate_drowsy_leakage(stats, decay_window=100)
+        assert short.awake_fraction < long.awake_fraction
+
+    def test_validation(self):
+        stats = self._stats([1])
+        with pytest.raises(ValueError):
+            estimate_drowsy_leakage(stats, decay_window=0)
+        with pytest.raises(ValueError):
+            estimate_drowsy_leakage(self._stats([0]), decay_window=10)
+
+    def test_bcache_remains_drowsy_friendly(self, headline_geometry):
+        """Section 6.4: balanced accesses still leave idle sets, so
+        drowsy techniques remain applicable on the B-Cache."""
+        from repro.caches.direct_mapped import DirectMappedCache
+        from repro.workloads import SPEC2K
+
+        addresses = SPEC2K["ammp"].data_addresses(15_000, seed=1)
+        dm = DirectMappedCache(16 * 1024, 32)
+        bc = BCache(headline_geometry)
+        for address in addresses:
+            dm.access(address)
+            bc.access(address)
+        dm_saving = estimate_drowsy_leakage(dm.stats, decay_window=2000)
+        bc_saving = estimate_drowsy_leakage(bc.stats, decay_window=2000)
+        assert bc_saving.leakage_saving > 0.1
+        # Balancing costs some idleness, but not all of it.
+        assert bc_saving.leakage_saving > 0.3 * dm_saving.leakage_saving
+
+
+class TestPDFaultInjection:
+    """The decoder tolerates entry invalidation (e.g. soft errors
+    handled by invalidating the line): correctness is preserved, only
+    extra misses occur."""
+
+    def test_invalidation_never_breaks_integrity(self, headline_geometry):
+        rng = random.Random(0)
+        cache = BCache(headline_geometry)
+        for step in range(4000):
+            cache.access(rng.randrange(1 << 22))
+            if step % 97 == 0:
+                row = rng.randrange(headline_geometry.num_rows)
+                cluster = rng.randrange(headline_geometry.num_clusters)
+                cache.decoder.invalidate(row, cluster)
+                # The orphaned block must be dropped with its PD entry,
+                # exactly what invalidating a line does in hardware.
+                set_index = headline_geometry.set_index(row, cluster)
+                cache._tags[set_index] = -1
+                cache._dirty[set_index] = False
+        cache.check_integrity()
+
+    def test_invalidated_block_misses_then_refills(self, headline_geometry):
+        cache = BCache(headline_geometry)
+        address = 0x4_2460
+        cache.access(address)
+        assert cache.access(address).hit
+        block = address >> headline_geometry.offset_bits
+        row, pi, _ = headline_geometry.decompose_block(block)
+        cluster = cache.decoder.search(row, pi).cluster
+        assert cluster is not None
+        cache.decoder.invalidate(row, cluster)
+        set_index = headline_geometry.set_index(row, cluster)
+        cache._tags[set_index] = -1
+        result = cache.access(address)
+        assert not result.hit
+        assert cache.access(address).hit
+        cache.check_integrity()

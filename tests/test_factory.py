@@ -1,0 +1,75 @@
+"""Unit tests for the cache-spec factory."""
+
+import pytest
+
+from repro.caches import (
+    ColumnAssociativeCache,
+    DirectMappedCache,
+    FullyAssociativeCache,
+    HighlyAssociativeCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+    UnknownCacheSpecError,
+    VictimBufferCache,
+    make_cache,
+)
+from repro.caches.factory import FIGURE12_SPECS, FIGURE45_SPECS, FIGURE89_SPECS
+from repro.core.bcache import BCache
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("spec,cls", [
+        ("dm", DirectMappedCache),
+        ("2way", SetAssociativeCache),
+        ("8way", SetAssociativeCache),
+        ("fa", FullyAssociativeCache),
+        ("victim16", VictimBufferCache),
+        ("mf8_bas8", BCache),
+        ("column", ColumnAssociativeCache),
+        ("skew2", SkewedAssociativeCache),
+        ("hac", HighlyAssociativeCache),
+    ])
+    def test_spec_instantiates_expected_class(self, spec, cls):
+        assert isinstance(make_cache(spec), cls)
+
+    def test_ways_parsed(self):
+        cache = make_cache("4way")
+        assert isinstance(cache, SetAssociativeCache) and cache.ways == 4
+
+    def test_victim_entries_parsed(self):
+        cache = make_cache("victim8")
+        assert cache.victim_entries == 8
+
+    def test_bcache_parameters_parsed(self):
+        cache = make_cache("mf4_bas2")
+        assert cache.geometry.mapping_factor == 4
+        assert cache.geometry.associativity == 2
+
+    def test_size_forwarded(self):
+        cache = make_cache("dm", size=8 * 1024)
+        assert cache.size == 8 * 1024
+
+    def test_whitespace_and_case_tolerated(self):
+        assert isinstance(make_cache("  DM  "), DirectMappedCache)
+
+    def test_unknown_spec(self):
+        with pytest.raises(UnknownCacheSpecError):
+            make_cache("bogus")
+
+    def test_malformed_bcache_spec(self):
+        with pytest.raises(UnknownCacheSpecError):
+            make_cache("mf8bas8")
+
+
+class TestFigureSpecLists:
+    def test_figure45_instantiable(self):
+        for spec in FIGURE45_SPECS:
+            make_cache(spec)
+
+    def test_figure12_instantiable(self):
+        for spec in FIGURE12_SPECS:
+            for size in (8 * 1024, 32 * 1024):
+                make_cache(spec, size=size)
+
+    def test_figure89_subset_of_figure45(self):
+        assert set(FIGURE89_SPECS) <= set(FIGURE45_SPECS)

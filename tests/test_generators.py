@@ -1,0 +1,156 @@
+"""Unit tests for the address-stream primitives."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads import generators
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+class TestStrided:
+    def test_wraps_at_region(self):
+        stream = generators.strided(0x100, region=96, stride=32)
+        assert take(stream, 4) == [0x100, 0x120, 0x140, 0x100]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            take(generators.strided(0, region=0, stride=32), 1)
+        with pytest.raises(ValueError):
+            take(generators.strided(0, region=32, stride=0), 1)
+
+    def test_sequential_scan_touches_every_block(self):
+        addresses = take(generators.sequential_scan(0, 256, 32), 8)
+        assert addresses == [i * 32 for i in range(8)]
+
+
+class TestConflictRotation:
+    def test_all_regions_share_cache_index(self):
+        rng = random.Random(0)
+        stream = generators.conflict_rotation(
+            0x1000, conflict_stride=16 * 1024, degree=4, rng=rng, span_blocks=2
+        )
+        addresses = take(stream, 64)
+        index_mask = 16 * 1024 - 1
+        assert len({a & index_mask for a in addresses}) == 2  # span of 2 blocks
+
+    def test_degree_many_tags(self):
+        rng = random.Random(1)
+        stream = generators.conflict_rotation(
+            0, conflict_stride=16 * 1024, degree=6, rng=rng, span_blocks=1
+        )
+        addresses = take(stream, 600)
+        assert len({a >> 14 for a in addresses}) == 6
+
+    def test_random_rotation_is_not_cyclic(self):
+        rng = random.Random(2)
+        stream = generators.conflict_rotation(
+            0, conflict_stride=16 * 1024, degree=4, rng=rng, span_blocks=1
+        )
+        regions = [a >> 14 for a in take(stream, 100)]
+        cyclic = [i % 4 for i in range(100)]
+        assert regions != cyclic
+
+    def test_dwell_repeats_blocks(self):
+        rng = random.Random(3)
+        stream = generators.conflict_rotation(
+            0, conflict_stride=16 * 1024, degree=1, rng=rng, span_blocks=2, dwell=3
+        )
+        assert take(stream, 6) == [0, 0, 0, 32, 32, 32]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            take(
+                generators.conflict_rotation(0, 16384, 0, random.Random(0)), 1
+            )
+
+
+class TestZipfHot:
+    def test_addresses_stay_in_region(self):
+        rng = random.Random(4)
+        stream = generators.zipf_hot(0x1000, region=1024, rng=rng)
+        assert all(0x1000 <= a < 0x1400 for a in take(stream, 500))
+
+    def test_skewed_distribution(self):
+        rng = random.Random(5)
+        stream = generators.zipf_hot(0, region=64 * 32, rng=rng, alpha=1.3)
+        counts: dict[int, int] = {}
+        for address in take(stream, 5000):
+            counts[address] = counts.get(address, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # Hottest block gets far more than a uniform share (5000/64 = 78).
+        assert top[0] > 300
+
+    def test_deterministic_given_rng(self):
+        a = generators.zipf_hot(0, 1024, random.Random(6))
+        b = generators.zipf_hot(0, 1024, random.Random(6))
+        assert take(a, 50) == take(b, 50)
+
+
+class TestUniformRandom:
+    def test_block_aligned(self):
+        rng = random.Random(7)
+        stream = generators.uniform_random(0, 1 << 20, rng)
+        assert all(a % 32 == 0 for a in take(stream, 100))
+
+    def test_covers_region_broadly(self):
+        rng = random.Random(8)
+        stream = generators.uniform_random(0, 1 << 20, rng)
+        addresses = take(stream, 2000)
+        assert len(set(addresses)) > 1800  # 32k blocks: few repeats
+
+
+class TestPointerChase:
+    def test_visits_form_permutation_cycles(self):
+        rng = random.Random(9)
+        stream = generators.pointer_chase(0, nodes=16, rng=rng)
+        addresses = take(stream, 16)
+        # A permutation walk can revisit only after completing a cycle:
+        # the first repeat, if any, must equal the cycle start.
+        seen = []
+        for address in addresses:
+            if address in seen:
+                assert address == seen[0]
+                break
+            seen.append(address)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            take(generators.pointer_chase(0, 0, random.Random(0)), 1)
+
+
+class TestCallChain:
+    def test_addresses_within_functions(self):
+        rng = random.Random(10)
+        functions = [(0x1000, 256), (0x5000, 256)]
+        stream = generators.call_chain_ifetch(functions, rng)
+        for address in take(stream, 300):
+            assert (0x1000 <= address < 0x1100) or (0x5000 <= address < 0x5100)
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ValueError):
+            take(generators.call_chain_ifetch([], random.Random(0)), 1)
+
+
+class TestInterleave:
+    def test_single_component_passthrough(self):
+        stream = generators.interleave_addresses(
+            [(1.0, iter(range(5)))], random.Random(0)
+        )
+        assert take(stream, 5) == [0, 1, 2, 3, 4]
+
+    def test_mixes_by_weight(self):
+        stream = generators.interleave_addresses(
+            [(0.9, itertools.repeat(0)), (0.1, itertools.repeat(1))],
+            random.Random(1),
+        )
+        sample = take(stream, 2000)
+        assert 0.85 < sample.count(0) / len(sample) < 0.95
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            take(generators.interleave_addresses([], random.Random(0)), 1)

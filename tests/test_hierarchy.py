@@ -1,0 +1,124 @@
+"""Unit tests for cache levels and the two-level memory hierarchy."""
+
+import pytest
+
+from repro.caches.column_associative import ColumnAssociativeCache
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.victim import VictimBufferCache
+from repro.hierarchy.levels import CacheLevel
+from repro.hierarchy.memory_system import MemoryHierarchy
+from repro.trace.access import Access, AccessType
+
+
+def small_hierarchy(**kwargs) -> MemoryHierarchy:
+    return MemoryHierarchy(
+        l1i=DirectMappedCache(512, 32),
+        l1d=DirectMappedCache(512, 32),
+        **kwargs,
+    )
+
+
+class TestCacheLevel:
+    def test_hit_latency(self):
+        level = CacheLevel(DirectMappedCache(512, 32), hit_latency=1)
+        level.access(0x0)
+        assert level.access(0x0).latency == 1
+
+    def test_miss_charges_probe_latency(self):
+        level = CacheLevel(DirectMappedCache(512, 32), hit_latency=2)
+        assert level.access(0x0).latency == 2
+
+    def test_victim_buffer_slow_hit(self):
+        level = CacheLevel(VictimBufferCache(512, 32, 4), hit_latency=1)
+        level.access(0x0)
+        level.access(0x200)
+        timed = level.access(0x0)  # buffer swap hit: +1 cycle
+        assert timed.result.hit and timed.latency == 2
+        assert level.slow_hits == 1
+
+    def test_column_associative_slow_hit(self):
+        level = CacheLevel(ColumnAssociativeCache(512, 32), hit_latency=1)
+        level.access(0x0)
+        level.access(0x200)
+        timed = level.access(0x200)  # might be first-probe by now
+        assert timed.latency in (1, 2)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            CacheLevel(DirectMappedCache(512, 32), hit_latency=0)
+
+
+class TestMemoryHierarchy:
+    def test_l1_hit_is_one_cycle(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_data(0x1000)
+        assert hierarchy.access_data(0x1000) == 1
+
+    def test_l1_miss_l2_hit_latency(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_data(0x1000)  # brings into L1 and L2
+        hierarchy.access_data(0x1000 + 512)  # evicts L1 block (same set)
+        latency = hierarchy.access_data(0x1000)  # L1 miss, L2 hit
+        assert latency == 1 + 6
+
+    def test_cold_miss_pays_memory_latency(self):
+        hierarchy = small_hierarchy()
+        assert hierarchy.access_data(0x1000) == 1 + 6 + 100
+
+    def test_ifetch_counted_as_instruction(self):
+        hierarchy = small_hierarchy()
+        hierarchy.fetch_instruction(0x400000)
+        assert hierarchy.stats.instructions == 1
+        assert hierarchy.stats.ifetches == 1
+
+    def test_l2_shared_between_sides(self):
+        hierarchy = small_hierarchy()
+        hierarchy.fetch_instruction(0x8000)
+        # L1I miss filled L2; a data access to the same line hits L2.
+        latency = hierarchy.access_data(0x8000)
+        assert latency == 1 + 6
+
+    def test_dirty_l1_eviction_writes_back_to_l2(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_data(0x1000, is_write=True)
+        l2_accesses_before = hierarchy.stats.l2_accesses
+        hierarchy.access_data(0x1000 + 512)  # evicts dirty block
+        assert hierarchy.stats.l2_accesses > l2_accesses_before + 1
+
+    def test_run_trace(self):
+        hierarchy = small_hierarchy()
+        trace = [
+            Access(0x400000, AccessType.IFETCH),
+            Access(0x1000, AccessType.READ),
+            Access(0x1000, AccessType.WRITE),
+        ]
+        stats = hierarchy.run(trace)
+        assert stats.instructions == 1
+        assert stats.data_accesses == 2
+        assert stats.l1d_misses == 1
+
+    def test_miss_rates(self):
+        hierarchy = small_hierarchy()
+        hierarchy.run([Access(0x1000, AccessType.READ)] * 4)
+        assert hierarchy.stats.l1d_miss_rate == pytest.approx(0.25)
+
+    def test_flush(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_data(0x1000)
+        hierarchy.flush()
+        assert hierarchy.stats.data_accesses == 0
+        assert hierarchy.access_data(0x1000) == 107  # cold again
+
+    def test_memory_access_counting(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_data(0x1000)
+        assert hierarchy.stats.memory_accesses == 1
+        hierarchy.access_data(0x1000)
+        assert hierarchy.stats.memory_accesses == 1
+
+    def test_default_l2_configuration(self):
+        hierarchy = small_hierarchy()
+        l2 = hierarchy.l2.cache
+        assert l2.size == 256 * 1024
+        assert l2.line_size == 128
+        assert l2.ways == 4

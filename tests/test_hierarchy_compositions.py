@@ -1,0 +1,101 @@
+"""Hierarchy composition tests: any organisation at any level.
+
+The hierarchy accepts any `Cache` at L1I/L1D/L2, so configurations the
+paper never ran — a B-Cache L2, a victim-buffered L1 under a B-Cache
+L2 — must simply work.  These tests pin that compositionality.
+"""
+
+import pytest
+
+from repro.caches import make_cache
+from repro.core.bcache import BCache
+from repro.core.config import BCacheGeometry
+from repro.cpu import EventDrivenCore, OoOProcessorModel
+from repro.hierarchy.memory_system import MemoryHierarchy
+from repro.workloads import SPEC2K
+
+
+def _combined(benchmark: str, n: int = 3000):
+    return list(SPEC2K[benchmark].combined_trace(n, seed=6))
+
+
+class TestBCacheAsL2:
+    def test_bcache_l2_runs(self):
+        l2_geometry = BCacheGeometry(
+            256 * 1024, 128, mapping_factor=8, associativity=8
+        )
+        hierarchy = MemoryHierarchy(
+            l1i=make_cache("dm"),
+            l1d=make_cache("dm"),
+            l2=BCache(l2_geometry),
+        )
+        stats = hierarchy.run(_combined("equake"))
+        assert stats.l2_accesses > 0
+        hierarchy.l2.cache.check_integrity()
+
+    def test_bcache_l2_not_worse_than_dm_l2(self):
+        from repro.caches.direct_mapped import DirectMappedCache
+
+        def run(l2):
+            hierarchy = MemoryHierarchy(
+                l1i=make_cache("dm"), l1d=make_cache("dm"), l2=l2
+            )
+            hierarchy.run(_combined("crafty", 6000))
+            return hierarchy.stats.l2_misses
+
+        dm_misses = run(DirectMappedCache(256 * 1024, 128))
+        bc_misses = run(
+            BCache(BCacheGeometry(256 * 1024, 128, 8, 8))
+        )
+        assert bc_misses <= dm_misses
+
+
+class TestMixedL1:
+    @pytest.mark.parametrize("spec", ["victim16", "column", "agac", "mf8_bas8"])
+    def test_any_l1_under_default_l2(self, spec):
+        hierarchy = MemoryHierarchy(
+            l1i=make_cache(spec), l1d=make_cache(spec)
+        )
+        stats = hierarchy.run(_combined("gzip"))
+        assert stats.instructions == 3000
+        assert stats.total_latency > 0
+
+    def test_asymmetric_l1(self):
+        """B-Cache I$, victim-buffered D$ — a plausible hybrid."""
+        hierarchy = MemoryHierarchy(
+            l1i=make_cache("mf8_bas8"), l1d=make_cache("victim16")
+        )
+        stats = hierarchy.run(_combined("equake"))
+        assert stats.l1i_miss_rate < 1.0
+        assert stats.l1d_miss_rate < 1.0
+
+
+class TestBothCoresOnCompositions:
+    def test_analytic_model_on_hybrid(self):
+        hierarchy = MemoryHierarchy(
+            l1i=make_cache("mf8_bas8"), l1d=make_cache("mf8_bas8")
+        )
+        result = OoOProcessorModel(hierarchy).run(iter(_combined("gzip")))
+        assert result.ipc > 0
+
+    def test_event_core_on_hybrid(self):
+        hierarchy = MemoryHierarchy(
+            l1i=make_cache("column"), l1d=make_cache("agac")
+        )
+        result = EventDrivenCore(hierarchy).run(iter(_combined("gzip")))
+        assert result.ipc > 0
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self, capsys):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fig4" in proc.stdout

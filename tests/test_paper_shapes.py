@@ -1,0 +1,178 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These run the real experiment pipeline at reduced trace lengths and
+check the *shape* claims of the evaluation: who wins, in which order,
+and where the crossovers fall.  Absolute values are not asserted
+(synthetic workloads, not SPEC2K binaries).
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, miss_rate, run_side
+from repro.stats.summary import average_reduction, miss_rate_reduction
+
+TINY = ExperimentScale(data_n=15_000, instr_n=20_000, instructions=8_000, seed=2006)
+
+#: A representative subset keeps the suite fast; the full 26-benchmark
+#: sweeps live in benchmarks/.
+SUBSET = ("equake", "crafty", "gzip", "mcf", "wupwise", "facerec")
+
+
+def reduction(spec: str, benchmark: str, side: str = "data", size: int = 16 * 1024) -> float:
+    base = miss_rate("dm", benchmark, side, TINY, size=size)
+    rate = miss_rate(spec, benchmark, side, TINY, size=size)
+    return miss_rate_reduction(base, rate)
+
+
+def average(spec: str, side: str = "data", benchmarks=SUBSET) -> float:
+    return average_reduction([reduction(spec, b, side) for b in benchmarks])
+
+
+class TestFigure4Shapes:
+    """Data-cache reduction ordering (Figure 4)."""
+
+    def test_equake_reduction_is_large(self):
+        """equake: >80% reduction in the paper; conflict-dominated."""
+        assert reduction("mf8_bas8", "equake") > 0.6
+
+    def test_bcache_between_4way_and_8way_on_conflict_benchmarks(self):
+        for benchmark in ("equake", "crafty"):
+            four = reduction("4way", benchmark)
+            eight = reduction("8way", benchmark)
+            bcache = reduction("mf8_bas8", benchmark)
+            assert four - 0.05 <= bcache <= eight + 0.05
+
+    def test_uniform_miss_benchmarks_hardly_improve(self):
+        """Section 6.4: art/lucas/swim/mcf <10% for every organisation."""
+        for spec in ("2way", "8way", "mf8_bas8", "victim16"):
+            assert reduction(spec, "mcf") < 0.12
+
+    def test_mf_sweep_monotone_on_average(self):
+        values = [average(f"mf{mf}_bas8") for mf in (2, 4, 8)]
+        assert values[0] < values[1] < values[2]
+
+    def test_mf16_adds_little_over_mf8(self):
+        """Section 4.3.2: going to MF=16 buys ~1% more on average —
+        except for the PD-blinded benchmarks, excluded here."""
+        subset = ("equake", "crafty", "gzip", "mcf")
+        gain = average("mf16_bas8", benchmarks=subset) - average(
+            "mf8_bas8", benchmarks=subset
+        )
+        assert gain < 0.05
+
+    def test_victim_buffer_below_bcache_on_average(self):
+        """Section 6.6: B-Cache beats the 16-entry victim buffer."""
+        assert average("victim16") < average("mf8_bas8")
+
+
+class TestWupwiseStory:
+    """Figure 3 / Sections 4.3.2 and 6.6: the PD-blinding pathology."""
+
+    def test_bcache_mf8_below_4way(self):
+        assert reduction("mf8_bas8", "wupwise") < reduction("4way", "wupwise")
+
+    def test_victim_buffer_wins_on_wupwise_data(self):
+        """The one data stream where the buffer beats the B-Cache."""
+        assert reduction("victim16", "wupwise") > reduction("mf8_bas8", "wupwise")
+
+    def test_miss_rate_falls_only_at_large_mf(self):
+        rates = {
+            mf: miss_rate(f"mf{mf}_bas8", "wupwise", "data", TINY)
+            for mf in (8, 64, 512)
+        }
+        assert rates[8] > rates[64] >= rates[512]
+
+    def test_pd_hit_rate_falls_with_mf(self):
+        small = run_side("mf8_bas8", "wupwise", "data", TINY)
+        large = run_side("mf512_bas8", "wupwise", "data", TINY)
+        assert large.pd_hit_rate_during_miss < small.pd_hit_rate_during_miss
+
+    def test_facerec_unblinds_at_mf16(self):
+        """facerec's regions sit 2^17 apart: MF=16 sees the differing bit."""
+        assert reduction("mf16_bas8", "facerec") > reduction("mf8_bas8", "facerec") + 0.05
+
+
+class TestFigure5Shapes:
+    """Instruction-cache reduction ordering (Figure 5)."""
+
+    ICACHE_SUBSET = ("crafty", "eon", "gcc", "perlbmk")
+
+    def test_bcache_tracks_8way(self):
+        for benchmark in ("crafty", "gcc"):
+            eight = reduction("8way", benchmark, "instr")
+            bcache = reduction("mf8_bas8", benchmark, "instr")
+            assert bcache > 0.5 * eight
+
+    def test_victim_buffer_far_behind_on_icache(self):
+        """Section 6.6: B-Cache beats the buffer by ~38% on I$."""
+        bc = average("mf8_bas8", "instr", self.ICACHE_SUBSET)
+        victim = average("victim16", "instr", self.ICACHE_SUBSET)
+        assert bc > victim + 0.2
+
+    def test_8way_beats_4way_markedly_on_call_heavy_benchmarks(self):
+        """Section 4.3.1: crafty/eon/... show >10% 8-way over 4-way."""
+        for benchmark in ("crafty", "eon"):
+            assert (
+                reduction("8way", benchmark, "instr")
+                > reduction("4way", benchmark, "instr") + 0.10
+            )
+
+    def test_perlbmk_needs_32way(self):
+        """Section 4.3.1: only perlbmk gains markedly from 32 ways."""
+        perl_gain = reduction("32way", "perlbmk", "instr") - reduction(
+            "8way", "perlbmk", "instr"
+        )
+        crafty_gain = reduction("32way", "crafty", "instr") - reduction(
+            "8way", "crafty", "instr"
+        )
+        assert perl_gain > 0.15
+        assert perl_gain > crafty_gain
+
+    def test_quiet_benchmarks_have_tiny_icache_miss_rates(self):
+        """Section 4.2: the eleven excluded benchmarks are near-zero."""
+        for benchmark in ("gzip", "swim", "mcf"):
+            assert miss_rate("dm", benchmark, "instr", TINY) < 0.02
+
+
+class TestDesignTradeoff:
+    """Section 6.3 / Tables 5-6: design A vs B crossover."""
+
+    def test_design_b_wins_at_pd4(self):
+        """PD=4: MF4/BAS4 (B) beats MF2/BAS8 (A)."""
+        assert average("mf4_bas4") > average("mf2_bas8")
+
+    def test_design_a_wins_at_pd6(self):
+        """PD=6: MF8/BAS8 (A) beats MF16/BAS4 (B) — the headline choice."""
+        assert average("mf8_bas8") > average("mf16_bas4")
+
+    def test_pd_hit_rate_decreases_with_mf(self):
+        rates = []
+        for mf in (2, 8):
+            stats = run_side(f"mf{mf}_bas8", "crafty", "data", TINY)
+            rates.append(stats.pd_hit_rate_during_miss)
+        assert rates[1] < rates[0]
+
+
+class TestFigure12Shapes:
+    """Other cache sizes behave like 16 kB (Section 6.5)."""
+
+    @pytest.mark.parametrize("size", [8 * 1024, 32 * 1024])
+    def test_bcache_still_beats_victim_buffer(self, size):
+        bc = average_reduction(
+            [reduction("mf8_bas8", b, "data", size) for b in ("equake", "crafty", "gzip")]
+        )
+        victim = average_reduction(
+            [reduction("victim16", b, "data", size) for b in ("equake", "crafty", "gzip")]
+        )
+        assert bc > victim
+
+    @pytest.mark.parametrize("size", [8 * 1024, 32 * 1024])
+    def test_mf8_bas8_beats_mf16_bas4(self, size):
+        """Section 6.5: MF=8/BAS=8 is best at 8, 16 and 32 kB."""
+        a = average_reduction(
+            [reduction("mf8_bas8", b, "data", size) for b in ("equake", "crafty")]
+        )
+        b = average_reduction(
+            [reduction("mf16_bas4", b, "data", size) for b in ("equake", "crafty")]
+        )
+        assert a > b

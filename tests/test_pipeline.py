@@ -1,0 +1,130 @@
+"""Tests for the event-driven core, including cross-validation against
+the analytic timing model."""
+
+import pytest
+
+from repro.caches import make_cache
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.cpu.pipeline import EventDrivenCore, PipelineConfig
+from repro.cpu.timing import OoOProcessorModel
+from repro.hierarchy.memory_system import MemoryHierarchy
+from repro.trace.access import Access, AccessType
+from repro.workloads import SPEC2K
+
+
+def _hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(
+        l1i=DirectMappedCache(16 * 1024, 32),
+        l1d=DirectMappedCache(16 * 1024, 32),
+    )
+
+
+def _loop_trace(n: int, body_blocks: int = 8):
+    trace = []
+    for i in range(n):
+        trace.append(
+            Access(0x400000 + (i % body_blocks) * 32, AccessType.IFETCH)
+        )
+    return trace
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PipelineConfig()
+        assert config.issue_width == 4
+        assert config.window_size == 16
+        assert config.mshrs == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(execute_latency=0)
+
+
+class TestIdealBehaviour:
+    def test_perfect_icache_approaches_issue_width(self):
+        core = EventDrivenCore(_hierarchy())
+        result = core.run(_loop_trace(8000))
+        # 8 cold I$ misses, then pure fetch-bandwidth execution.
+        assert result.ipc == pytest.approx(4.0, rel=0.15)
+
+    def test_narrow_core_halves_throughput(self):
+        wide_ipc = EventDrivenCore(_hierarchy(), PipelineConfig(issue_width=4)).run(
+            _loop_trace(16_000)
+        ).ipc
+        narrow_ipc = EventDrivenCore(_hierarchy(), PipelineConfig(issue_width=2)).run(
+            _loop_trace(16_000)
+        ).ipc
+        assert narrow_ipc == pytest.approx(wide_ipc / 2, rel=0.1)
+
+    def test_empty_trace(self):
+        result = EventDrivenCore(_hierarchy()).run([])
+        assert result.instructions == 0 and result.ipc == 0.0
+
+
+class TestStallBehaviour:
+    def _miss_trace(self, n: int):
+        """Every instruction loads from a thrashing pair: D$ misses."""
+        trace = []
+        for i in range(n):
+            trace.append(Access(0x400000 + (i % 4) * 32, AccessType.IFETCH))
+            trace.append(Access((i % 2) * 16 * 1024 + 0x1000, AccessType.READ))
+        return trace
+
+    def test_data_misses_cost_cycles(self):
+        quiet = EventDrivenCore(_hierarchy()).run(_loop_trace(2000))
+        core = EventDrivenCore(_hierarchy())
+        missy = core.run(self._miss_trace(2000))
+        assert missy.ipc < quiet.ipc / 2
+        assert missy.memory_wait_cycles > 0
+
+    def test_ifetch_misses_stall_fetch(self):
+        # Instruction stream thrashing two I$ lines at way-size stride.
+        trace = [
+            Access((i % 2) * 16 * 1024 + 0x400000, AccessType.IFETCH)
+            for i in range(2000)
+        ]
+        core = EventDrivenCore(_hierarchy())
+        result = core.run(trace)
+        assert result.fetch_stall_cycles > 1000
+        assert result.ipc < 0.5
+
+    def test_more_mshrs_help_parallel_misses(self):
+        few = EventDrivenCore(_hierarchy(), PipelineConfig(mshrs=1))
+        many = EventDrivenCore(_hierarchy(), PipelineConfig(mshrs=8))
+        assert many.run(self._miss_trace(1500)).cycles < few.run(
+            self._miss_trace(1500)
+        ).cycles
+
+    def test_bigger_window_hides_latency(self):
+        small = EventDrivenCore(
+            _hierarchy(), PipelineConfig(window_size=1)
+        ).run(self._miss_trace(1500))
+        big = EventDrivenCore(
+            _hierarchy(), PipelineConfig(window_size=64)
+        ).run(self._miss_trace(1500))
+        assert big.cycles < small.cycles
+
+
+class TestCrossValidation:
+    """The event-driven and analytic models must agree on orderings."""
+
+    @pytest.mark.parametrize("benchmark_name", ["equake", "gzip"])
+    def test_bcache_beats_baseline_in_both_models(self, benchmark_name):
+        trace = list(SPEC2K[benchmark_name].combined_trace(6_000, seed=4))
+
+        def run_event(spec):
+            hierarchy = MemoryHierarchy(l1i=make_cache(spec), l1d=make_cache(spec))
+            return EventDrivenCore(hierarchy).run(list(trace)).ipc
+
+        def run_analytic(spec):
+            hierarchy = MemoryHierarchy(l1i=make_cache(spec), l1d=make_cache(spec))
+            return OoOProcessorModel(hierarchy).run(list(trace)).ipc
+
+        event_gain = run_event("mf8_bas8") / run_event("dm")
+        analytic_gain = run_analytic("mf8_bas8") / run_analytic("dm")
+        assert event_gain >= 1.0
+        assert analytic_gain >= 1.0
+        # Both models see a gain of the same order.
+        assert event_gain == pytest.approx(analytic_gain, abs=0.25)

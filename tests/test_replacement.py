@@ -1,0 +1,204 @@
+"""Unit tests for the replacement policies."""
+
+import pytest
+
+from repro.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PolicyError,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+    policy_names,
+)
+
+
+class TestLRU:
+    def test_cold_fill_order(self):
+        policy = LRUPolicy(4)
+        assert policy.victim() == 3  # least recent of initial order
+
+    def test_victim_is_least_recently_touched(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        assert policy.victim() == 0
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_victim_among_respects_recency(self):
+        policy = LRUPolicy(4)
+        for way in (3, 2, 1, 0):
+            policy.touch(way)
+        # Recency (MRU first): 0,1,2,3 -> among {1,2} the LRU is 2.
+        assert policy.victim_among([1, 2]) == 2
+
+    def test_invalidate_moves_to_lru_end(self):
+        policy = LRUPolicy(3)
+        for way in (0, 1, 2):
+            policy.touch(way)
+        policy.invalidate(1)
+        assert policy.victim() == 1
+
+    def test_recency_order_snapshot(self):
+        policy = LRUPolicy(3)
+        policy.touch(2)
+        assert policy.recency_order()[0] == 2
+
+    def test_out_of_range_way(self):
+        policy = LRUPolicy(2)
+        with pytest.raises(PolicyError):
+            policy.touch(2)
+        with pytest.raises(PolicyError):
+            policy.invalidate(-1)
+
+    def test_victim_among_empty(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(2).victim_among([])
+
+    def test_lru_stack_property(self):
+        """Touching a way never changes the relative order of others."""
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        before = [w for w in policy.recency_order() if w != 2]
+        policy.touch(2)
+        after = [w for w in policy.recency_order() if w != 2]
+        assert before == after
+
+
+class TestRandom:
+    def test_prefers_free_ways(self):
+        policy = RandomPolicy(4, seed=0)
+        policy.touch(0)
+        assert policy.victim() in {1, 2, 3}
+
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(8, seed=42)
+        b = RandomPolicy(8, seed=42)
+        for way in range(8):
+            a.touch(way)
+            b.touch(way)
+        assert [a.victim_among(list(range(8))) for _ in range(10)] == [
+            b.victim_among(list(range(8))) for _ in range(10)
+        ]
+
+    def test_victim_among_prefers_free(self):
+        policy = RandomPolicy(4, seed=1)
+        policy.touch(0)
+        policy.touch(1)
+        assert policy.victim_among([0, 2]) == 2
+
+    def test_invalidate_returns_to_free_pool(self):
+        policy = RandomPolicy(2, seed=0)
+        policy.touch(0)
+        policy.touch(1)
+        policy.invalidate(0)
+        assert policy.victim() == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(PolicyError):
+            RandomPolicy(2).touch(5)
+
+
+class TestFIFO:
+    def test_evicts_in_fill_order(self):
+        policy = FIFOPolicy(3)
+        for way in (0, 1, 2):
+            policy.touch(way)
+        assert policy.victim() == 0
+
+    def test_hit_does_not_refresh(self):
+        policy = FIFOPolicy(3)
+        for way in (0, 1, 2):
+            policy.touch(way)
+        policy.touch(0)  # hit on resident way
+        assert policy.victim() == 0
+
+    def test_prefers_free_ways(self):
+        policy = FIFOPolicy(3)
+        policy.touch(1)
+        assert policy.victim() in (0, 2)
+
+    def test_victim_among(self):
+        policy = FIFOPolicy(3)
+        for way in (2, 0, 1):
+            policy.touch(way)
+        assert policy.victim_among([0, 1]) == 0
+
+    def test_invalidate(self):
+        policy = FIFOPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.invalidate(1)
+        assert policy.victim() == 1
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(PolicyError):
+            TreePLRUPolicy(3)
+
+    def test_fills_invalid_ways_first(self):
+        policy = TreePLRUPolicy(4)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_points_away_from_recent(self):
+        policy = TreePLRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_full_rotation(self):
+        policy = TreePLRUPolicy(4)
+        for way in range(4):
+            policy.touch(way)
+        victim = policy.victim()
+        assert victim == 0  # oldest path in the tree
+
+    def test_victim_among_prefers_invalid(self):
+        policy = TreePLRUPolicy(4)
+        policy.touch(0)
+        policy.touch(1)
+        assert policy.victim_among([1, 3]) == 3
+
+    def test_victim_among_all_valid(self):
+        policy = TreePLRUPolicy(4)
+        for way in range(4):
+            policy.touch(way)
+        policy.touch(1)
+        assert policy.victim_among([0, 1]) == 0
+
+    def test_invalidate(self):
+        policy = TreePLRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.invalidate(1)
+        assert policy.victim() == 1
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(policy_names()) == {"lru", "random", "fifo", "plru"}
+
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy),
+        ("random", RandomPolicy),
+        ("fifo", FIFOPolicy),
+        ("plru", TreePLRUPolicy),
+    ])
+    def test_instantiates(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 2), LRUPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError, match="unknown replacement policy"):
+            make_policy("mru", 2)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            make_policy("lru", 0)

@@ -1,0 +1,57 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.common import SMOKE
+from repro.experiments.report import generate_report, write_report
+
+
+def _stub_registry():
+    return {
+        "tab2": lambda scale: "STORAGE TABLE",
+        "fig3": lambda scale: f"SWEEP at {scale.data_n}",
+    }
+
+
+class TestGenerateReport:
+    def test_contains_sections_in_order(self):
+        text = generate_report(SMOKE, experiments=_stub_registry())
+        assert text.index("Table 2") < text.index("Figure 3")
+        assert "STORAGE TABLE" in text
+
+    def test_scale_recorded(self):
+        text = generate_report(SMOKE, experiments=_stub_registry())
+        assert str(SMOKE.data_n) in text
+
+    def test_explicit_ids(self):
+        text = generate_report(
+            SMOKE, experiments=_stub_registry(), ids=("fig3",)
+        )
+        assert "SWEEP" in text and "STORAGE" not in text
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(SMOKE, experiments=_stub_registry(), ids=("nope",))
+
+    def test_output_is_markdown(self):
+        text = generate_report(SMOKE, experiments=_stub_registry())
+        assert text.startswith("# B-Cache reproduction report")
+        assert "```" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", SMOKE, experiments=_stub_registry()
+        )
+        assert path.exists()
+        assert "STORAGE TABLE" in path.read_text()
+
+    def test_real_registry_fast_subset(self, tmp_path):
+        """Circuit tables need no simulation: run them for real."""
+        path = write_report(
+            tmp_path / "r.md", SMOKE, ids=("tab1", "tab2", "tab3")
+        )
+        content = path.read_text()
+        assert "147456" in content  # Table 2's B-Cache bit count
+        assert "slack" in content

@@ -1,0 +1,74 @@
+"""Unit tests for repro.trace.access."""
+
+import pytest
+
+from repro.trace.access import (
+    ADDRESS_MASK,
+    Access,
+    AccessType,
+    ifetch_access,
+    read_access,
+    write_access,
+)
+
+
+class TestAccessType:
+    def test_values_match_din_format(self):
+        assert int(AccessType.READ) == 0
+        assert int(AccessType.WRITE) == 1
+        assert int(AccessType.IFETCH) == 2
+
+    def test_is_write(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+        assert not AccessType.IFETCH.is_write
+
+    def test_is_instruction(self):
+        assert AccessType.IFETCH.is_instruction
+        assert not AccessType.READ.is_instruction
+
+
+class TestAccess:
+    def test_default_kind_is_read(self):
+        assert Access(0x1000).kind is AccessType.READ
+
+    def test_address_masked_to_32_bits(self):
+        access = Access(ADDRESS_MASK + 5)
+        assert access.address == 4
+
+    def test_is_write_property(self):
+        assert Access(0, AccessType.WRITE).is_write
+        assert not Access(0, AccessType.READ).is_write
+
+    def test_is_instruction_property(self):
+        assert Access(0, AccessType.IFETCH).is_instruction
+        assert not Access(0, AccessType.WRITE).is_instruction
+
+    def test_block_address_strips_offset(self):
+        access = Access(0x1234)
+        assert access.block_address(32) == 0x1220
+        assert access.block_address(64) == 0x1200
+
+    def test_block_address_identity_for_aligned(self):
+        access = Access(0x2000)
+        assert access.block_address(32) == 0x2000
+
+    def test_frozen(self):
+        access = Access(0x10)
+        with pytest.raises(AttributeError):
+            access.address = 5  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Access(1, AccessType.READ) == Access(1, AccessType.READ)
+        assert Access(1, AccessType.READ) != Access(1, AccessType.WRITE)
+
+
+class TestConvenienceConstructors:
+    def test_read(self):
+        assert read_access(7).kind is AccessType.READ
+
+    def test_write(self):
+        assert write_access(7).kind is AccessType.WRITE
+
+    def test_ifetch(self):
+        assert ifetch_access(7).kind is AccessType.IFETCH

@@ -1,0 +1,89 @@
+"""Unit tests for trace serialisation (text and binary formats)."""
+
+import io
+
+import pytest
+
+from repro.trace.access import Access, AccessType
+from repro.trace.trace_file import (
+    TraceFormatError,
+    load_trace,
+    read_binary_trace,
+    read_text_trace,
+    save_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+SAMPLE = [
+    Access(0x1000, AccessType.READ),
+    Access(0x2020, AccessType.WRITE),
+    Access(0x400100, AccessType.IFETCH),
+]
+
+
+class TestTextFormat:
+    def test_round_trip(self):
+        buffer = io.StringIO()
+        count = write_text_trace(SAMPLE, buffer)
+        assert count == 3
+        buffer.seek(0)
+        assert list(read_text_trace(buffer)) == SAMPLE
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# header\n\n0 1000\n# mid\n1 2020\n"
+        accesses = list(read_text_trace(io.StringIO(text)))
+        assert len(accesses) == 2
+        assert accesses[0].address == 0x1000
+
+    def test_malformed_field_count(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            list(read_text_trace(io.StringIO("0 1000 extra\n")))
+
+    def test_malformed_kind(self):
+        with pytest.raises(TraceFormatError):
+            list(read_text_trace(io.StringIO("9 1000\n")))
+
+    def test_malformed_address(self):
+        with pytest.raises(TraceFormatError):
+            list(read_text_trace(io.StringIO("0 zz\n")))
+
+
+class TestBinaryFormat:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        count = write_binary_trace(SAMPLE, buffer)
+        assert count == 3
+        buffer.seek(0)
+        assert list(read_binary_trace(buffer)) == SAMPLE
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO(b"\x00\x01\x02")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary_trace(buffer))
+
+    def test_invalid_kind(self):
+        buffer = io.BytesIO(b"\x07\x00\x00\x00\x00")
+        with pytest.raises(TraceFormatError, match="invalid access kind"):
+            list(read_binary_trace(buffer))
+
+    def test_empty_stream(self):
+        assert list(read_binary_trace(io.BytesIO())) == []
+
+
+class TestFileHelpers:
+    def test_save_load_text(self, tmp_path):
+        path = tmp_path / "trace.din"
+        assert save_trace(SAMPLE, path) == 3
+        assert load_trace(path) == SAMPLE
+
+    def test_save_load_binary(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        assert save_trace(SAMPLE, path) == 3
+        assert load_trace(path) == SAMPLE
+
+    def test_text_file_is_human_readable(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(SAMPLE, path)
+        content = path.read_text()
+        assert "1000" in content and content.count("\n") == 3

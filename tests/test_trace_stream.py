@@ -1,0 +1,92 @@
+"""Unit tests for stream utilities."""
+
+import random
+
+import pytest
+
+from repro.trace.access import Access, AccessType
+from repro.trace.stream import (
+    data_only,
+    filter_kind,
+    instructions_only,
+    interleave,
+    offset,
+    repeat,
+    round_robin,
+    take,
+)
+
+
+def _reads(addresses):
+    return [Access(a, AccessType.READ) for a in addresses]
+
+
+class TestTake:
+    def test_bounds_stream(self):
+        assert len(list(take(_reads(range(10)), 4))) == 4
+
+    def test_short_stream(self):
+        assert len(list(take(_reads(range(2)), 10))) == 2
+
+
+class TestInterleave:
+    def test_preserves_all_accesses(self):
+        a = _reads(range(0, 5))
+        b = _reads(range(100, 105))
+        merged = list(interleave([a, b], [1.0, 1.0], random.Random(0)))
+        assert sorted(x.address for x in merged) == sorted(
+            list(range(5)) + list(range(100, 105))
+        )
+
+    def test_weights_bias_selection(self):
+        a = _reads([0] * 1000)
+        b = _reads([1] * 1000)
+        merged = list(take(interleave([a, b], [9.0, 1.0], random.Random(1)), 500))
+        share_a = sum(1 for x in merged if x.address == 0) / len(merged)
+        assert share_a > 0.8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            list(interleave([_reads([1])], [1.0, 2.0], random.Random(0)))
+
+
+class TestRoundRobin:
+    def test_alternates(self):
+        merged = list(round_robin([_reads([0, 2]), _reads([1, 3])]))
+        assert [x.address for x in merged] == [0, 1, 2, 3]
+
+    def test_uneven_streams(self):
+        merged = list(round_robin([_reads([0]), _reads([1, 2, 3])]))
+        assert sorted(x.address for x in merged) == [0, 1, 2, 3]
+
+
+class TestFilters:
+    def test_filter_kind(self):
+        trace = [Access(0, AccessType.READ), Access(1, AccessType.WRITE)]
+        assert [a.address for a in filter_kind(trace, AccessType.WRITE)] == [1]
+
+    def test_data_only(self):
+        trace = [
+            Access(0, AccessType.IFETCH),
+            Access(1, AccessType.READ),
+            Access(2, AccessType.WRITE),
+        ]
+        assert [a.address for a in data_only(trace)] == [1, 2]
+
+    def test_instructions_only(self):
+        trace = [Access(0, AccessType.IFETCH), Access(1, AccessType.READ)]
+        assert [a.address for a in instructions_only(trace)] == [0]
+
+
+class TestTransforms:
+    def test_offset_shifts_addresses(self):
+        shifted = list(offset(_reads([10, 20]), 0x100))
+        assert [a.address for a in shifted] == [0x10A, 0x114]
+
+    def test_offset_preserves_kind(self):
+        shifted = list(offset([Access(0, AccessType.WRITE)], 4))
+        assert shifted[0].kind is AccessType.WRITE
+
+    def test_repeat(self):
+        doubled = list(repeat(_reads([1, 2]), 3))
+        assert [a.address for a in doubled] == [1, 2, 1, 2, 1, 2]

@@ -1,0 +1,158 @@
+"""Unit tests for component synthesis and the SPEC2K profiles."""
+
+import itertools
+
+import pytest
+
+from repro.trace.access import AccessType
+from repro.workloads.spec2k import (
+    ALL_BENCHMARKS,
+    CFP2K,
+    CINT2K,
+    QUIET_ICACHE,
+    REPORTED_ICACHE,
+    SPEC2K,
+    get_profile,
+)
+from repro.workloads.synthesis import (
+    BASELINE_WAY_SIZE,
+    Component,
+    build_address_stream,
+    calls,
+    capacity,
+    conflict,
+    hot,
+    loop,
+)
+
+
+class TestComponent:
+    def test_valid_kinds(self):
+        Component("zipf", 1.0, {"region": 1024, "alpha": 1.0})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown component kind"):
+            Component("magic", 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            Component("zipf", 0.0)
+
+    def test_conflict_constructor(self):
+        component = conflict(0.1, degree=4, tag_share_bits=3)
+        assert component.params["stride"] == BASELINE_WAY_SIZE * 8
+        assert component.params["degree"] == 4
+
+    def test_conflict_set_region_bounds(self):
+        with pytest.raises(ValueError):
+            conflict(0.1, degree=4, set_region=16)
+
+    def test_capacity_kinds(self):
+        for kind in ("scan", "random", "chase"):
+            assert capacity(0.1, 64, kind).kind == kind
+        with pytest.raises(ValueError):
+            capacity(0.1, 64, "stream")
+
+    def test_calls_constructor(self):
+        component = calls(0.1, functions=5, tag_share_bits=1)
+        assert component.params["stride"] == BASELINE_WAY_SIZE * 2
+
+
+class TestBuildStream:
+    def test_deterministic(self):
+        components = (hot(0.9, 4), conflict(0.1, degree=2))
+        a = build_address_stream(components, seed=3)
+        b = build_address_stream(components, seed=3)
+        assert list(itertools.islice(a, 200)) == list(itertools.islice(b, 200))
+
+    def test_seed_changes_stream(self):
+        components = (hot(0.9, 4), conflict(0.1, degree=2))
+        a = list(itertools.islice(build_address_stream(components, seed=3), 200))
+        b = list(itertools.islice(build_address_stream(components, seed=4), 200))
+        assert a != b
+
+    def test_components_in_disjoint_slots(self):
+        components = (hot(0.5, 4), capacity(0.5, 64, "scan"))
+        addresses = list(itertools.islice(build_address_stream(components, 0), 2000))
+        slots = {a >> 25 for a in addresses}
+        assert len(slots) == 2
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            build_address_stream((), seed=0)
+
+
+class TestProfiles:
+    def test_all_26_benchmarks_present(self):
+        assert len(SPEC2K) == 26
+        assert len(CINT2K) == 12
+        assert len(CFP2K) == 14
+
+    def test_suite_partition(self):
+        assert set(CINT2K) | set(CFP2K) == set(ALL_BENCHMARKS)
+        assert not set(CINT2K) & set(CFP2K)
+
+    def test_icache_partition_matches_paper(self):
+        """Section 4.2's list of eleven quiet benchmarks."""
+        assert len(QUIET_ICACHE) == 11
+        assert len(REPORTED_ICACHE) == 15
+        assert set(QUIET_ICACHE) | set(REPORTED_ICACHE) == set(ALL_BENCHMARKS)
+
+    def test_get_profile(self):
+        assert get_profile("equake").suite == "CFP2K"
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom")
+
+    def test_every_profile_has_notes(self):
+        for profile in SPEC2K.values():
+            assert profile.notes, profile.name
+
+    def test_validation(self):
+        import dataclasses
+
+        profile = SPEC2K["gzip"]
+        with pytest.raises(ValueError):
+            dataclasses.replace(profile, suite="SPEC2006")
+        with pytest.raises(ValueError):
+            dataclasses.replace(profile, write_fraction=1.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(profile, mem_ratio=0.0)
+
+
+class TestTraces:
+    def test_data_trace_kinds_and_length(self):
+        trace = list(SPEC2K["gzip"].data_trace(500, seed=1))
+        assert len(trace) == 500
+        kinds = {a.kind for a in trace}
+        assert kinds <= {AccessType.READ, AccessType.WRITE}
+        write_share = sum(a.is_write for a in trace) / len(trace)
+        assert 0.15 < write_share < 0.45
+
+    def test_instruction_trace_is_all_ifetch(self):
+        trace = list(SPEC2K["gcc"].instruction_trace(300, seed=1))
+        assert all(a.kind is AccessType.IFETCH for a in trace)
+
+    def test_combined_trace_structure(self):
+        trace = list(SPEC2K["mcf"].combined_trace(1000, seed=1))
+        ifetches = [a for a in trace if a.is_instruction]
+        data = [a for a in trace if not a.is_instruction]
+        assert len(ifetches) == 1000
+        ratio = len(data) / len(ifetches)
+        assert 0.2 < ratio < 0.5  # ~mem_ratio
+
+    def test_traces_deterministic(self):
+        a = list(SPEC2K["art"].data_trace(300, seed=9))
+        b = list(SPEC2K["art"].data_trace(300, seed=9))
+        assert a == b
+
+    def test_fast_path_matches_trace_addresses(self):
+        profile = SPEC2K["twolf"]
+        fast = profile.data_addresses(200, seed=5)
+        slow = [a.address for a in profile.data_trace(200, seed=5)]
+        assert fast == slow
+
+    def test_code_and_data_segments_disjoint(self):
+        profile = SPEC2K["vortex"]
+        code = set(profile.instr_addresses(300, seed=0))
+        data = set(profile.data_addresses(300, seed=0))
+        assert not code & data
