@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench experiments experiments-full examples clean
+.PHONY: install dev test lint bench experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -11,7 +11,10 @@ dev:
 	pip install -e .[dev]
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

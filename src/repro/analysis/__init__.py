@@ -1,0 +1,42 @@
+"""Correctness tooling for the cache models (lint pass + runtime sanitizer).
+
+Two cooperating layers keep the simulators honest as the model zoo
+grows:
+
+* :mod:`repro.analysis.lint` — a custom AST lint pass (``bcache-lint``)
+  with simulator-specific rules: interface completeness of every
+  :class:`~repro.caches.base.Cache` subclass, statistics routed through
+  the base class, ``slots=True`` on hot-path dataclasses, geometry
+  validated via ``log2_exact``, no unseeded randomness, no float
+  arithmetic in index/tag computation, no mutable default arguments.
+* :mod:`repro.analysis.sanitizer` — a runtime shadow-checker that wraps
+  any cache during simulation and verifies residency, eviction
+  accounting, dirty-bit discipline and the B-Cache's programmable
+  decoder invariants (Section 3.1 geometry equations, Figure 1
+  uniqueness), plus a differential mode cross-checking hit/miss streams
+  against tiny obviously-correct reference models.
+
+See ``docs/analysis.md`` for the rule-by-rule reference.
+"""
+
+# Lazy re-exports (PEP 562): keeps ``python -m repro.analysis.lint``
+# from importing the sanitizer (and tripping the double-import warning).
+_EXPORTS = {
+    "Violation": "repro.analysis.lint",
+    "lint_paths": "repro.analysis.lint",
+    "lint_source": "repro.analysis.lint",
+    "SanitizedCache": "repro.analysis.sanitizer",
+    "SanitizerError": "repro.analysis.sanitizer",
+    "install_global_sanitizer": "repro.analysis.sanitizer",
+    "uninstall_global_sanitizer": "repro.analysis.sanitizer",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,470 @@
+"""``bcache-lint`` — AST lint pass with simulator-specific rules.
+
+Generic linters cannot know that every cache model must route its
+statistics through :meth:`repro.caches.base.Cache.access`, or that a
+``/`` inside ``_access_block`` silently turns an index into a float.
+This pass encodes the repo's correctness conventions as machine-checked
+rules:
+
+========  =============================================================
+code      rule
+========  =============================================================
+BCL001    concrete ``Cache`` subclass must implement ``_access_block``,
+          ``_probe_block`` and ``_flush_state``
+BCL002    cache subclasses must route statistics through the base class
+          (no ``access``/``run`` overrides, no direct
+          ``self.stats.record(...)`` calls)
+BCL003    hot-path dataclasses must declare ``slots=True``
+BCL004    geometry parameters must be validated via ``log2_exact`` —
+          no bare ``int(math.log2(...))``, no ``math.log2`` in
+          ``caches``/``core`` modules
+BCL005    no unseeded ``random`` usage anywhere in ``src/repro/``
+          (module-level ``random.*`` calls, seedless ``Random()``)
+BCL006    no float arithmetic in index/tag computation
+          (``/``, ``float()``, ``math.*`` inside the address-math
+          functions)
+BCL007    no mutable default arguments
+BCL008    cache-interface methods must carry full type annotations so
+          this pass (and mypy) can reason about subclass signatures
+========  =============================================================
+
+A violation on a line containing ``# noqa: BCLxxx`` (or a bare
+``# noqa``) is suppressed; the repo itself is expected to stay clean
+(see ``tests/test_lint.py::test_repo_is_lint_clean``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: One-line summary per rule (``bcache-lint --list-rules``).
+RULES: dict[str, str] = {
+    "BCL001": "concrete Cache subclass must implement "
+    "_access_block/_probe_block/_flush_state",
+    "BCL002": "cache subclasses must route stats through the base class "
+    "(no access/run override, no self.stats.record)",
+    "BCL003": "hot-path dataclass must declare slots=True",
+    "BCL004": "validate geometry via log2_exact, not int(math.log2(...))",
+    "BCL005": "unseeded random usage (module-level random.* / Random())",
+    "BCL006": "float arithmetic in index/tag computation",
+    "BCL007": "mutable default argument",
+    "BCL008": "cache-interface method missing type annotations",
+}
+
+#: Sub-packages of ``repro`` whose code runs once per simulated access.
+HOT_PACKAGES = frozenset(
+    {"caches", "core", "trace", "hierarchy", "replacement", "stats"}
+)
+
+#: Modules where ``math.log2`` itself is banned (geometry must go
+#: through ``log2_exact``); the energy models legitimately need floats.
+GEOMETRY_PACKAGES = frozenset({"caches", "core"})
+
+#: The subclass contract of :class:`repro.caches.base.Cache`.
+CACHE_INTERFACE = ("_access_block", "_probe_block", "_flush_state")
+
+#: Functions that compute set indices / tags and must stay integral.
+INDEX_FUNCS = frozenset(
+    {"_access_block", "_probe_block", "decompose_block", "compose_block", "set_index"}
+)
+
+#: ``random.<fn>()`` calls that use the shared, unseeded global state.
+RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "expovariate",
+        "betavariate",
+        "paretovariate",
+        "seed",
+        "getrandbits",
+    }
+)
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One lint finding, renderable as ``path:line: CODE message``."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _module_segments(path: str) -> tuple[str, ...]:
+    """Path components below the ``repro`` package (empty if outside)."""
+    parts = Path(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return parts[i + 1 :]
+    return ()
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract_class(node: ast.ClassDef, bases: list[str]) -> bool:
+    if "ABC" in bases or "ABCMeta" in bases:
+        return True
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in item.decorator_list:
+                name = deco.attr if isinstance(deco, ast.Attribute) else (
+                    deco.id if isinstance(deco, ast.Name) else ""
+                )
+                if name in {"abstractmethod", "abstractproperty"}:
+                    return True
+    return False
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if present."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "dataclass":
+            return deco
+    return None
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "bytearray"}
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass visitor collecting all rule violations for one file."""
+
+    def __init__(self, path: str, segments: tuple[str, ...]) -> None:
+        self.path = path
+        self.hot = bool(segments) and segments[0] in HOT_PACKAGES
+        self.geometry_module = bool(segments) and segments[0] in GEOMETRY_PACKAGES
+        self.violations: list[Violation] = []
+        self._func_stack: list[str] = []
+        self._class_stack: list[bool] = []  # "is cache-like" per frame
+
+    # -- helpers -------------------------------------------------------
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, getattr(node, "lineno", 0), code, message)
+        )
+
+    @property
+    def _in_index_func(self) -> bool:
+        return bool(self._func_stack) and self._func_stack[-1] in INDEX_FUNCS
+
+    @property
+    def _in_cache_class(self) -> bool:
+        return bool(self._class_stack) and self._class_stack[-1]
+
+    # -- classes -------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = _base_names(node)
+        # "Cache-like": inherits (directly) from the abstract base or
+        # from another cache model; CacheLevel et al. do not match.
+        cache_like = any(b == "Cache" or b.endswith("Cache") for b in bases)
+        direct_subclass = "Cache" in bases
+        abstract = _is_abstract_class(node, bases)
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        if direct_subclass and not abstract:
+            missing = [m for m in CACHE_INTERFACE if m not in methods]
+            if missing:
+                self._add(
+                    node,
+                    "BCL001",
+                    f"cache model {node.name!r} does not implement "
+                    f"{', '.join(missing)}",
+                )
+
+        if cache_like:
+            for overridden in ("access", "run"):
+                if overridden in methods:
+                    self._add(
+                        node,
+                        "BCL002",
+                        f"{node.name!r} overrides {overridden}(); statistics "
+                        "must be routed through Cache.access/Cache.run",
+                    )
+
+        deco = _dataclass_decorator(node)
+        if deco is not None and self.hot:
+            has_slots = isinstance(deco, ast.Call) and any(
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in deco.keywords
+            )
+            if not has_slots:
+                self._add(
+                    node,
+                    "BCL003",
+                    f"hot-path dataclass {node.name!r} must declare slots=True",
+                )
+
+        self._class_stack.append(cache_like)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- functions -----------------------------------------------------
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_literal(default):
+                self._add(
+                    default,
+                    "BCL007",
+                    f"mutable default argument in {node.name}()",
+                )
+
+        if node.name in CACHE_INTERFACE:
+            positional = args.posonlyargs + args.args
+            unannotated = [
+                a.arg
+                for a in positional[1:] + args.kwonlyargs  # skip self
+                if a.annotation is None
+            ]
+            if unannotated:
+                self._add(
+                    node,
+                    "BCL008",
+                    f"{node.name}() is missing annotations for "
+                    f"{', '.join(unannotated)}",
+                )
+            if node.returns is None:
+                self._add(
+                    node,
+                    "BCL008",
+                    f"{node.name}() is missing a return annotation",
+                )
+
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+    # -- expressions ---------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+
+        # BCL004: int(math.log2(...)) truncates silently on non-powers
+        # of two; log2_exact raises instead.
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "int"
+            and len(node.args) == 1
+            and self._is_math_call(node.args[0], {"log2"})
+        ):
+            self._add(
+                node,
+                "BCL004",
+                "use log2_exact(value, what) instead of int(math.log2(...))",
+            )
+        elif self.geometry_module and self._is_math_call(node, {"log2"}):
+            self._add(
+                node,
+                "BCL004",
+                "math.log2 in a geometry module; use log2_exact",
+            )
+
+        # BCL005: the module-level random API draws from one shared,
+        # unseeded generator — irreproducible simulations.
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "random" and func.attr in RANDOM_MODULE_FUNCS:
+                self._add(
+                    node,
+                    "BCL005",
+                    f"random.{func.attr}() uses the unseeded global generator; "
+                    "pass an explicit random.Random(seed)",
+                )
+            if (
+                func.value.id == "random"
+                and func.attr == "Random"
+                and not node.args
+                and not node.keywords
+            ):
+                self._add(
+                    node,
+                    "BCL005",
+                    "random.Random() without a seed is irreproducible",
+                )
+        if (
+            isinstance(func, ast.Name)
+            and func.id in {"Random", "SystemRandom"}
+            and not node.args
+            and not node.keywords
+        ):
+            self._add(
+                node, "BCL005", f"{func.id}() without a seed is irreproducible"
+            )
+
+        # BCL006: float() / math.* inside address math.
+        if self._in_index_func and self.hot:
+            if isinstance(func, ast.Name) and func.id == "float":
+                self._add(node, "BCL006", "float() in index/tag computation")
+            elif self._is_math_call(node, None):
+                self._add(
+                    node,
+                    "BCL006",
+                    f"math.{func.attr} in index/tag computation",  # type: ignore[union-attr]
+                )
+
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._in_index_func and self.hot and isinstance(node.op, ast.Div):
+            self._add(
+                node,
+                "BCL006",
+                "true division in index/tag computation (use // or shifts)",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_math_call(node: ast.expr, names: set[str] | None) -> bool:
+        """Is ``node`` a call ``math.<fn>(...)`` (optionally restricted)?"""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+            and (names is None or func.attr in names)
+        )
+
+
+def _noqa_codes(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed codes (None = suppress all)."""
+    suppressed: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressed[lineno] = None
+        else:
+            suppressed[lineno] = {c.strip().upper() for c in codes.split(",")}
+    return suppressed
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Lint one module's source text; ``path`` drives path-scoped rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "BCL000", f"syntax error: {exc.msg}")]
+    linter = _Linter(path, _module_segments(path))
+    linter.visit(tree)
+    suppressed = _noqa_codes(source)
+    kept = []
+    for violation in linter.violations:
+        codes = suppressed.get(violation.line, set())
+        if codes is None or (codes and violation.code in codes):
+            continue
+        kept.append(violation)
+    return sorted(kept, key=lambda v: (v.path, v.line, v.code))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(
+                p
+                for p in entry.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            yield entry
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
+    """Lint every python file under ``paths``; returns all violations."""
+    violations: list[Violation] = []
+    for file in iter_python_files(paths):
+        violations.extend(lint_source(file.read_text(encoding="utf-8"), str(file)))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-lint``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="bcache-lint",
+        description="Simulator-specific lint pass for the B-Cache reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"bcache-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.render())
+    checked = sum(1 for _ in iter_python_files(args.paths))
+    if violations:
+        print(f"bcache-lint: {len(violations)} violation(s) in {checked} file(s)")
+        return 1
+    print(f"bcache-lint: OK ({checked} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ from repro.caches.base import log2_exact
 from repro.core.config import BCacheGeometry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PDBit:
     """One programmable-decoder input bit and its translation status."""
 
@@ -37,7 +37,7 @@ class PDBit:
     within_page_offset: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AddressingReport:
     """Section 6.8 analysis for one (geometry, page size) pair."""
 

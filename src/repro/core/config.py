@@ -30,7 +30,7 @@ from repro.caches.base import log2_exact
 from repro.trace.access import ADDRESS_BITS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BCacheGeometry:
     """Validated B-Cache design point.
 

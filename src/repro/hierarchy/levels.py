@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.caches.base import AccessResult, Cache
 from repro.caches.column_associative import ColumnAssociativeCache
 from repro.caches.victim import VictimBufferCache
+from repro.stats.counters import CacheStats
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,7 +74,7 @@ class CacheLevel:
         return TimedAccess(result=result, latency=latency)
 
     @property
-    def stats(self):
+    def stats(self) -> CacheStats:
         """The wrapped cache's statistics."""
         return self.cache.stats
 

@@ -22,7 +22,7 @@ from repro.hierarchy.levels import CacheLevel
 from repro.trace.access import Access
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Access/latency accounting over a whole trace."""
 

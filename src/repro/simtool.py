@@ -31,6 +31,15 @@ def _load_accesses(args: argparse.Namespace) -> list:
     return list(profile.combined_trace(args.n, seed=args.seed))
 
 
+def _maybe_sanitize(cache, args: argparse.Namespace):
+    """Wrap ``cache`` in the runtime sanitizer when ``--sanitize`` is on."""
+    if not args.sanitize:
+        return cache
+    from repro.analysis.sanitizer import SanitizedCache, strict_capable
+
+    return SanitizedCache(cache, strict=strict_capable(cache), check_interval=1024)
+
+
 def _run_json(args: argparse.Namespace, accesses: list) -> int:
     """Run all specs and dump one JSON document to stdout."""
     import json
@@ -46,8 +55,16 @@ def _run_json(args: argparse.Namespace, accesses: list) -> int:
             print(f"{spec}: {exc}", file=sys.stderr)
             status = 2
             continue
-        for access in accesses:
-            cache.access(access.address, access.is_write)
+        cache = _maybe_sanitize(cache, args)
+        try:
+            for access in accesses:
+                cache.access(access.address, access.is_write)
+            if args.sanitize:
+                cache.finalize()
+        except AssertionError as exc:
+            print(f"{spec}: sanitizer violation: {exc}", file=sys.stderr)
+            status = 3
+            continue
         entry = cache.stats.as_dict()
         if args.balance:
             report = analyze_balance(cache.stats)
@@ -94,6 +111,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="replacement policy where applicable")
     parser.add_argument("--balance", action="store_true",
                         help="also print the Table 7 balance classification")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="shadow-check every access with the runtime "
+                        "sanitizer (see docs/analysis.md); exit 3 on any "
+                        "invariant violation")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of the table")
     parser.add_argument("specs", nargs="+",
@@ -126,8 +147,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{spec:<12} error: {exc}", file=sys.stderr)
             status = 2
             continue
-        for access in accesses:
-            cache.access(access.address, access.is_write)
+        cache = _maybe_sanitize(cache, args)
+        try:
+            for access in accesses:
+                cache.access(access.address, access.is_write)
+            if args.sanitize:
+                cache.finalize()
+        except AssertionError as exc:
+            print(f"{spec:<12} sanitizer violation: {exc}", file=sys.stderr)
+            status = 3
+            continue
         stats = cache.stats
         pd = (
             f"{stats.pd_hit_rate_during_miss:>10.1%}"

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.stats.counters import CacheStats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BalanceReport:
     """Set-usage classification for one cache run (one Table 7 cell group).
 

@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 Z_95 = 1.96
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Estimate:
     """Mean with spread over replicates."""
 

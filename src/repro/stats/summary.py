@@ -38,7 +38,7 @@ def average_reduction(reductions: Sequence[float]) -> float:
     return mean(reductions)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConfigSummary:
     """Per-configuration results over a benchmark suite."""
 

@@ -25,7 +25,7 @@ from repro.caches.base import Cache
 from repro.caches.fully_associative import FullyAssociativeCache
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MissBreakdown:
     """Counts of each miss class for one run."""
 

@@ -2,22 +2,51 @@
 
 from __future__ import annotations
 
+import os
 import random
+from typing import Callable
 
 import pytest
 from hypothesis import settings
 
+from repro.analysis.sanitizer import SanitizedCache, install_global_sanitizer
+from repro.caches.base import Cache
 from repro.core.config import BCacheGeometry
 
 # Property tests must not flake in CI: derandomise example generation
-# (the searches stay thorough, just reproducible run to run).
+# (the searches stay thorough, just reproducible run to run).  Tiered
+# profiles let CI trade depth for wall-clock: select one with
+# REPRO_HYPOTHESIS_PROFILE (quick/repro/thorough).
 settings.register_profile("repro", deadline=None, derandomize=True)
-settings.load_profile("repro")
+settings.register_profile(
+    "quick", deadline=None, derandomize=True, max_examples=20
+)
+settings.register_profile(
+    "thorough", deadline=None, derandomize=True, max_examples=400
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro"))
+
+# Shadow-check every cache the suite builds (lenient mode: structural,
+# accounting and stable-residency invariants; see docs/analysis.md).
+# Disable with REPRO_SANITIZE=0 to time the models unchecked.
+if os.environ.get("REPRO_SANITIZE", "1") not in {"0", "off", "no"}:
+    install_global_sanitizer(check_interval=256)
 
 
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)
+
+
+@pytest.fixture
+def sanitize() -> Callable[..., SanitizedCache]:
+    """Factory wrapping a cache in a strict per-access sanitizer."""
+
+    def _wrap(cache: Cache, **kwargs: object) -> SanitizedCache:
+        kwargs.setdefault("check_interval", 64)
+        return SanitizedCache(cache, **kwargs)  # type: ignore[arg-type]
+
+    return _wrap
 
 
 @pytest.fixture

@@ -1,0 +1,284 @@
+"""The custom lint pass: every rule fires on a crafted bad example,
+stays quiet on the idiomatic equivalent, and the repo itself is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    Violation,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+HOT_PATH = "src/repro/caches/example.py"
+COLD_PATH = "src/repro/experiments/example.py"
+
+
+def codes(source: str, path: str = HOT_PATH) -> set[str]:
+    return {violation.code for violation in lint_source(source, path)}
+
+
+# ----------------------------------------------------------------------
+# BCL001 — interface completeness
+# ----------------------------------------------------------------------
+class TestCacheInterface:
+    def test_missing_methods_fire(self):
+        source = (
+            "class BrokenCache(Cache):\n"
+            "    def _access_block(self, block: int, is_write: bool) -> int:\n"
+            "        return 0\n"
+        )
+        violations = lint_source(source, HOT_PATH)
+        assert [v.code for v in violations] == ["BCL001"]
+        assert "_probe_block" in violations[0].message
+        assert "_flush_state" in violations[0].message
+
+    def test_complete_subclass_is_clean(self):
+        source = (
+            "class GoodCache(Cache):\n"
+            "    def _access_block(self, block: int, is_write: bool) -> int:\n"
+            "        return 0\n"
+            "    def _probe_block(self, block: int) -> bool:\n"
+            "        return False\n"
+            "    def _flush_state(self) -> None:\n"
+            "        pass\n"
+        )
+        assert codes(source) == set()
+
+    def test_abstract_intermediate_is_exempt(self):
+        source = (
+            "class PartialCache(Cache):\n"
+            "    @abc.abstractmethod\n"
+            "    def _access_block(self, block: int, is_write: bool) -> int: ...\n"
+        )
+        assert "BCL001" not in codes(source)
+
+    def test_indirect_subclass_may_inherit_interface(self):
+        # HighlyAssociativeCache(SetAssociativeCache) inherits all three.
+        source = "class DerivedCache(SetAssociativeCache):\n    pass\n"
+        assert "BCL001" not in codes(source)
+
+
+# ----------------------------------------------------------------------
+# BCL002 — statistics routed through the base class
+# ----------------------------------------------------------------------
+class TestStatsRouting:
+    def test_access_override_fires(self):
+        source = (
+            "class SneakyCache(Cache):\n"
+            "    def access(self, address, is_write=False):\n"
+            "        return None\n"
+        )
+        assert "BCL002" in codes(source)
+
+    def test_run_override_fires(self):
+        source = (
+            "class SneakyCache(SetAssociativeCache):\n"
+            "    def run(self, trace):\n"
+            "        return None\n"
+        )
+        assert "BCL002" in codes(source)
+
+    def test_non_cache_class_may_define_access(self):
+        source = "class CacheLevel:\n    def access(self, address):\n        pass\n"
+        assert "BCL002" not in codes(source)
+
+
+# ----------------------------------------------------------------------
+# BCL003 — slots on hot-path dataclasses
+# ----------------------------------------------------------------------
+class TestSlots:
+    def test_missing_slots_fires_in_hot_module(self):
+        source = "@dataclass(frozen=True)\nclass Point:\n    x: int\n"
+        assert codes(source) == {"BCL003"}
+
+    def test_bare_decorator_fires(self):
+        source = "@dataclass\nclass Point:\n    x: int\n"
+        assert codes(source) == {"BCL003"}
+
+    def test_slots_true_is_clean(self):
+        source = "@dataclass(frozen=True, slots=True)\nclass Point:\n    x: int\n"
+        assert codes(source) == set()
+
+    def test_cold_modules_are_exempt(self):
+        source = "@dataclass\nclass Row:\n    x: int\n"
+        assert codes(source, COLD_PATH) == set()
+
+
+# ----------------------------------------------------------------------
+# BCL004 — geometry via log2_exact
+# ----------------------------------------------------------------------
+class TestLog2Exact:
+    def test_int_math_log2_fires_anywhere(self):
+        source = "import math\nbits = int(math.log2(sets))\n"
+        assert "BCL004" in codes(source, COLD_PATH)
+
+    def test_math_log2_fires_in_geometry_modules(self):
+        source = "import math\nbits = math.log2(sets)\n"
+        assert "BCL004" in codes(source, "src/repro/core/example.py")
+
+    def test_math_log2_allowed_in_energy_models(self):
+        source = "import math\nbits = math.log2(sets)\n"
+        assert codes(source, "src/repro/energy/example.py") == set()
+
+    def test_log2_exact_is_clean(self):
+        source = "bits = log2_exact(sets, 'number of sets')\n"
+        assert codes(source) == set()
+
+
+# ----------------------------------------------------------------------
+# BCL005 — no unseeded randomness
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    @pytest.mark.parametrize(
+        "call", ["random.random()", "random.randint(0, 7)", "random.shuffle(x)"]
+    )
+    def test_module_level_calls_fire(self, call):
+        assert "BCL005" in codes(f"import random\ny = {call}\n", COLD_PATH)
+
+    def test_seedless_random_instance_fires(self):
+        assert "BCL005" in codes("rng = random.Random()\n", COLD_PATH)
+
+    def test_seeded_random_instance_is_clean(self):
+        assert codes("rng = random.Random(2006)\n", COLD_PATH) == set()
+
+
+# ----------------------------------------------------------------------
+# BCL006 — integral index/tag computation
+# ----------------------------------------------------------------------
+class TestFloatIndex:
+    def test_true_division_fires(self):
+        source = (
+            "class C(Cache):\n"
+            "    def _access_block(self, block: int, is_write: bool) -> int:\n"
+            "        return block / self.num_sets\n"
+            "    def _probe_block(self, block: int) -> bool:\n"
+            "        return False\n"
+            "    def _flush_state(self) -> None: ...\n"
+        )
+        assert "BCL006" in codes(source)
+
+    def test_float_call_fires(self):
+        source = (
+            "def decompose_block(self, block: int) -> int:\n"
+            "    return float(block)\n"
+        )
+        assert "BCL006" in codes(source)
+
+    def test_floor_division_is_clean(self):
+        source = (
+            "def set_index(self, row: int, cluster: int) -> int:\n"
+            "    return (cluster * self.num_rows + row) // 1\n"
+        )
+        assert "BCL006" not in codes(source)
+
+    def test_division_outside_index_funcs_is_clean(self):
+        source = "def miss_rate(self) -> float:\n    return self.m / self.n\n"
+        assert "BCL006" not in codes(source)
+
+
+# ----------------------------------------------------------------------
+# BCL007 — mutable defaults
+# ----------------------------------------------------------------------
+class TestMutableDefaults:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "list()"])
+    def test_mutable_default_fires(self, default):
+        assert "BCL007" in codes(f"def f(x={default}):\n    return x\n", COLD_PATH)
+
+    def test_none_default_is_clean(self):
+        assert codes("def f(x=None):\n    return x\n", COLD_PATH) == set()
+
+
+# ----------------------------------------------------------------------
+# BCL008 — interface annotations
+# ----------------------------------------------------------------------
+class TestInterfaceAnnotations:
+    def test_unannotated_override_fires(self):
+        source = (
+            "class C(Cache):\n"
+            "    def _access_block(self, block, is_write):\n"
+            "        return 0\n"
+            "    def _probe_block(self, block: int) -> bool:\n"
+            "        return False\n"
+            "    def _flush_state(self) -> None: ...\n"
+        )
+        violations = [v for v in lint_source(source, HOT_PATH) if v.code == "BCL008"]
+        assert len(violations) == 2  # params and return annotation
+        assert "block" in violations[0].message
+
+    def test_fully_annotated_is_clean(self):
+        source = (
+            "def _probe_block(self, block: int) -> bool:\n"
+            "    return False\n"
+        )
+        assert codes(source) == set()
+
+
+# ----------------------------------------------------------------------
+# Mechanics: noqa, syntax errors, file discovery, CLI
+# ----------------------------------------------------------------------
+class TestMechanics:
+    def test_noqa_with_code_suppresses(self):
+        source = "rng = random.Random()  # noqa: BCL005\n"
+        assert codes(source, COLD_PATH) == set()
+
+    def test_bare_noqa_suppresses(self):
+        source = "rng = random.Random()  # noqa\n"
+        assert codes(source, COLD_PATH) == set()
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        source = "rng = random.Random()  # noqa: BCL001\n"
+        assert codes(source, COLD_PATH) == {"BCL005"}
+
+    def test_syntax_error_reported_as_bcl000(self):
+        violations = lint_source("def broken(:\n", COLD_PATH)
+        assert [v.code for v in violations] == ["BCL000"]
+
+    def test_violation_render_format(self):
+        violation = Violation("a/b.py", 3, "BCL005", "message")
+        assert violation.render() == "a/b.py:3: BCL005 message"
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache_dir = tmp_path / "__pycache__"
+        cache_dir.mkdir()
+        (cache_dir / "bad.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_cli_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_violation_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import random\nx = random.random()\n")
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "BCL005" in out and "bad.py:2" in out
+
+    def test_cli_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+
+# ----------------------------------------------------------------------
+# The repo itself must stay clean (acceptance criterion).
+# ----------------------------------------------------------------------
+def test_repo_is_lint_clean():
+    violations = lint_paths([REPO_SRC])
+    assert violations == [], "\n".join(v.render() for v in violations)
