@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test lint bench experiments experiments-full examples clean
+.PHONY: install dev test lint bench bench-engine experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -18,6 +18,9 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-engine:
+	PYTHONPATH=src $(PYTHON) -m repro.engine.bench --check BENCH_engine.json
 
 experiments:
 	$(PYTHON) -m repro.cli all --scale default

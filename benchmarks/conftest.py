@@ -24,6 +24,18 @@ BENCH = ExperimentScale(data_n=20_000, instr_n=30_000, instructions=12_000, seed
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_store(tmp_path_factory: pytest.TempPathFactory):
+    """Keep benchmark-run trace blobs out of the user's cache dir."""
+    from repro.engine.trace_store import TraceStore, set_default_store
+
+    previous = set_default_store(
+        TraceStore(tmp_path_factory.mktemp("trace-store"))
+    )
+    yield
+    set_default_store(previous)
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     return BENCH

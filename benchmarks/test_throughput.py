@@ -37,3 +37,47 @@ def test_access_throughput(benchmark, trace, spec):
 
     misses = benchmark(run)
     assert 0 < misses <= TRACE_LENGTH
+
+
+@pytest.mark.parametrize("spec", ["dm", "2way", "8way", "victim16", "mf8_bas8"])
+def test_batch_throughput(benchmark, trace, spec):
+    """The access_trace fast path on the same stream."""
+
+    def run():
+        cache = make_cache(spec)
+        return cache.access_trace(trace).misses
+
+    misses = benchmark(run)
+    assert 0 < misses <= TRACE_LENGTH
+
+
+@pytest.mark.parametrize("spec", ["dm", "mf8_bas8"])
+def test_batch_speedup_floor(trace, spec):
+    """Acceptance: the batch kernel is at least 2x the per-access loop.
+
+    Timed directly (min of repeats) rather than via pytest-benchmark so
+    the ratio comes from one interleaved measurement session.
+    """
+    import time
+
+    def scalar() -> float:
+        cache = make_cache(spec)
+        access = cache.access
+        start = time.perf_counter()
+        for address in trace:
+            access(address)
+        return time.perf_counter() - start
+
+    def batch() -> float:
+        cache = make_cache(spec)
+        start = time.perf_counter()
+        cache.access_trace(trace)
+        return time.perf_counter() - start
+
+    scalar_time = min(scalar() for _ in range(3))
+    batch_time = min(batch() for _ in range(3))
+    speedup = scalar_time / batch_time
+    assert speedup >= 2.0, (
+        f"{spec}: batch speedup {speedup:.2f}x below the 2x floor "
+        f"(scalar {scalar_time * 1e3:.1f} ms, batch {batch_time * 1e3:.1f} ms)"
+    )

@@ -26,6 +26,9 @@ BCL006    no float arithmetic in index/tag computation
 BCL007    no mutable default arguments
 BCL008    cache-interface methods must carry full type annotations so
           this pass (and mypy) can reason about subclass signatures
+BCL009    batch kernels (``access_trace`` / ``_batch_trace``) must stay
+          allocation-free: no ``AccessResult(...)`` construction inside
+          their loops (accumulate locals, bulk-update the stats once)
 ========  =============================================================
 
 A violation on a line containing ``# noqa: BCLxxx`` (or a bare
@@ -55,6 +58,7 @@ RULES: dict[str, str] = {
     "BCL006": "float arithmetic in index/tag computation",
     "BCL007": "mutable default argument",
     "BCL008": "cache-interface method missing type annotations",
+    "BCL009": "AccessResult allocation inside a batch-kernel loop",
 }
 
 #: Sub-packages of ``repro`` whose code runs once per simulated access.
@@ -71,8 +75,19 @@ CACHE_INTERFACE = ("_access_block", "_probe_block", "_flush_state")
 
 #: Functions that compute set indices / tags and must stay integral.
 INDEX_FUNCS = frozenset(
-    {"_access_block", "_probe_block", "decompose_block", "compose_block", "set_index"}
+    {
+        "_access_block",
+        "_probe_block",
+        "_batch_trace",
+        "decompose_block",
+        "compose_block",
+        "set_index",
+    }
 )
+
+#: The batch fast path: these bodies are the per-reference hot loop and
+#: must not allocate one result object per access (BCL009).
+BATCH_FUNCS = frozenset({"access_trace", "_batch_trace"})
 
 #: ``random.<fn>()`` calls that use the shared, unseeded global state.
 RANDOM_MODULE_FUNCS = frozenset(
@@ -173,6 +188,7 @@ class _Linter(ast.NodeVisitor):
         self.violations: list[Violation] = []
         self._func_stack: list[str] = []
         self._class_stack: list[bool] = []  # "is cache-like" per frame
+        self._loop_depth = 0  # loops inside the current function body
 
     # -- helpers -------------------------------------------------------
     def _add(self, node: ast.AST, code: str, message: str) -> None:
@@ -183,6 +199,10 @@ class _Linter(ast.NodeVisitor):
     @property
     def _in_index_func(self) -> bool:
         return bool(self._func_stack) and self._func_stack[-1] in INDEX_FUNCS
+
+    @property
+    def _in_batch_func(self) -> bool:
+        return any(name in BATCH_FUNCS for name in self._func_stack)
 
     @property
     def _in_cache_class(self) -> bool:
@@ -213,13 +233,16 @@ class _Linter(ast.NodeVisitor):
                 )
 
         if cache_like:
-            for overridden in ("access", "run"):
+            # access_trace is the sanitizer's single batch interception
+            # point; subclasses customise _batch_trace instead.
+            for overridden in ("access", "run", "access_trace"):
                 if overridden in methods:
                     self._add(
                         node,
                         "BCL002",
                         f"{node.name!r} overrides {overridden}(); statistics "
-                        "must be routed through Cache.access/Cache.run",
+                        "must be routed through Cache.access/Cache.run "
+                        "(batch kernels override _batch_trace)",
                     )
 
         deco = _dataclass_decorator(node)
@@ -276,7 +299,10 @@ class _Linter(ast.NodeVisitor):
                 )
 
         self._func_stack.append(node.name)
+        enclosing_loops = self._loop_depth
+        self._loop_depth = 0
         self.generic_visit(node)
+        self._loop_depth = enclosing_loops
         self._func_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -285,9 +311,50 @@ class _Linter(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_function(node)
 
+    # -- loops ---------------------------------------------------------
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_loop(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_loop(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_loop(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_loop(node)
+
     # -- expressions ---------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+
+        # BCL009: the batch kernels exist to avoid one AccessResult per
+        # reference; constructing one inside their loops defeats them.
+        if self._in_batch_func and self._loop_depth > 0:
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name == "AccessResult":
+                self._add(
+                    node,
+                    "BCL009",
+                    "AccessResult allocated per access inside a batch "
+                    "kernel loop; accumulate local counters instead",
+                )
 
         # BCL004: int(math.log2(...)) truncates silently on non-powers
         # of two; log2_exact raises instead.

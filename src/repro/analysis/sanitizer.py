@@ -40,7 +40,7 @@ and accounting invariants stay enforced.
 from __future__ import annotations
 
 import weakref
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.analysis.reference import ReferenceSetAssociativeLRU, reference_for
 from repro.caches.base import AccessResult, Cache
@@ -446,6 +446,27 @@ class SanitizedCache:
             self.access(ref.address, ref.kind == 1)
         return self.cache.stats
 
+    def access_trace(
+        self,
+        addresses: Sequence[int],
+        kinds: Sequence[int] | None = None,
+    ) -> CacheStats:
+        """Batch API, forwarded through the checked per-access path.
+
+        The wrapped model's allocation-free batch kernels bypass the
+        per-access hook by design, so a sanitized batch replay trades
+        the speedup for the invariant trail — statistics stay
+        bit-identical to the unchecked batch path either way.
+        """
+        access = self.access
+        if kinds is None:
+            for address in addresses:
+                access(address)
+        else:
+            for address, kind in zip(addresses, kinds):
+                access(address, kind == 1)
+        return self.cache.stats
+
     def contains(self, address: int) -> bool:
         return self.cache.contains(address)
 
@@ -496,6 +517,7 @@ def install_global_sanitizer(check_interval: int = 256) -> None:
         return
     original_access = Cache.access
     original_flush = Cache.flush
+    original_access_trace = Cache.access_trace
     checkers: weakref.WeakKeyDictionary[Cache, ShadowChecker] = (
         weakref.WeakKeyDictionary()
     )
@@ -524,10 +546,30 @@ def install_global_sanitizer(check_interval: int = 256) -> None:
         if checker is not None:
             checker.reset()
 
+    def checked_access_trace(
+        self: Cache,
+        addresses: Any,
+        kinds: Any = None,
+    ) -> CacheStats:
+        # Route the batch API through the checked per-access path so the
+        # shadow model observes every reference (the batch kernels would
+        # otherwise advance the statistics behind the checker's back).
+        if kinds is None:
+            for address in addresses:
+                checked_access(self, address)
+        else:
+            for address, kind in zip(addresses, kinds):
+                checked_access(self, address, kind == 1)
+        return self.stats
+
     Cache.access = checked_access  # type: ignore[method-assign]
     Cache.flush = checked_flush  # type: ignore[method-assign]
+    Cache.access_trace = checked_access_trace  # type: ignore[method-assign]
     _INSTALLED.update(
-        access=original_access, flush=original_flush, checkers=checkers
+        access=original_access,
+        flush=original_flush,
+        access_trace=original_access_trace,
+        checkers=checkers,
     )
 
 
@@ -537,6 +579,7 @@ def uninstall_global_sanitizer() -> None:
         return
     Cache.access = _INSTALLED["access"]  # type: ignore[method-assign]
     Cache.flush = _INSTALLED["flush"]  # type: ignore[method-assign]
+    Cache.access_trace = _INSTALLED["access_trace"]  # type: ignore[method-assign]
     _INSTALLED.clear()
 
 

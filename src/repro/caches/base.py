@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.stats.counters import CacheStats
 from repro.trace.access import Access
@@ -89,6 +89,42 @@ class Cache(abc.ABC):
             access(ref.address, ref.kind == 1)
         return self.stats
 
+    def access_trace(
+        self,
+        addresses: Sequence[int],
+        kinds: Sequence[int] | None = None,
+    ) -> CacheStats:
+        """Batch fast path: reference a whole address sequence at once.
+
+        Produces statistics bit-identical to calling :meth:`access` per
+        element, but drives the model through :meth:`_batch_trace`, a
+        tight loop that accumulates counters in locals instead of
+        allocating an :class:`AccessResult` per reference.
+
+        Args:
+            addresses: byte addresses, any sized sequence (``list``,
+                ``tuple``, ``array('Q')``, ...).
+            kinds: optional parallel sequence of access kinds using the
+                :class:`~repro.trace.access.AccessType` encoding
+                (``1`` = write, anything else is a non-writing access);
+                ``None`` means every reference is a read.
+
+        Subclasses must override :meth:`_batch_trace`, never this
+        dispatcher, so wrappers (e.g. the runtime sanitizer) can
+        intercept every batch access at a single point.
+        """
+        if not hasattr(addresses, "__len__"):
+            addresses = list(addresses)
+        if kinds is not None:
+            if not hasattr(kinds, "__len__"):
+                kinds = list(kinds)
+            if len(kinds) != len(addresses):
+                raise ValueError(
+                    f"kinds length {len(kinds)} does not match "
+                    f"addresses length {len(addresses)}"
+                )
+        return self._batch_trace(addresses, kinds)
+
     def contains(self, address: int) -> bool:
         """Non-mutating residency probe (no statistics side effects)."""
         return self._probe_block(address >> self.offset_bits)
@@ -111,6 +147,62 @@ class Cache(abc.ABC):
     # ------------------------------------------------------------------
     # Subclass responsibilities
     # ------------------------------------------------------------------
+    def _batch_trace(
+        self,
+        addresses: Sequence[int],
+        kinds: Sequence[int] | None,
+    ) -> CacheStats:
+        """Generic batch kernel: drive :meth:`_access_block` directly.
+
+        Still pays one :class:`AccessResult` per reference (produced by
+        the subclass), but skips the per-access wrapper and
+        ``stats.record`` call.  Organisations with a hot inner loop
+        override this with an allocation-free kernel; overrides must
+        update statistics exactly like :meth:`access` does.
+        """
+        stats = self.stats
+        access_block = self._access_block
+        offset_bits = self.offset_bits
+        set_accesses = stats.set_accesses
+        set_hits = stats.set_hits
+        set_misses = stats.set_misses
+        n = len(addresses)
+        if kinds is None:
+            kinds = bytes(n)  # all reads
+        hits = misses = writes = 0
+        evictions = writebacks = pd_hit = pd_miss = 0
+        for address, kind in zip(addresses, kinds):
+            is_write = kind == 1
+            result = access_block(address >> offset_bits, is_write)
+            set_index = result.set_index
+            set_accesses[set_index] += 1
+            if is_write:
+                writes += 1
+            if result.hit:
+                hits += 1
+                set_hits[set_index] += 1
+            else:
+                misses += 1
+                set_misses[set_index] += 1
+                if result.pd_hit:
+                    pd_hit += 1
+                else:
+                    pd_miss += 1
+            if result.evicted is not None:
+                evictions += 1
+                if result.evicted_dirty:
+                    writebacks += 1
+        stats.accesses += n
+        stats.reads += n - writes
+        stats.writes += writes
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        stats.pd_hit_misses += pd_hit
+        stats.pd_miss_misses += pd_miss
+        return stats
+
     @abc.abstractmethod
     def _access_block(self, block: int, is_write: bool) -> AccessResult:
         """Resolve one block reference, mutating cache state."""

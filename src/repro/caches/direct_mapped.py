@@ -7,7 +7,10 @@ terminology) and an 18-bit tag out of a 32-bit address.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.caches.base import AccessResult, Cache, log2_exact
+from repro.stats.counters import CacheStats
 
 
 class DirectMappedCache(Cache):
@@ -39,6 +42,65 @@ class DirectMappedCache(Cache):
         return AccessResult(
             hit=False, set_index=index, evicted=evicted, evicted_dirty=evicted_dirty
         )
+
+    def _batch_trace(
+        self,
+        addresses: Sequence[int],
+        kinds: Sequence[int] | None,
+    ) -> CacheStats:
+        """Allocation-free batch kernel (see :meth:`Cache.access_trace`)."""
+        if type(self)._access_block is not DirectMappedCache._access_block:
+            # A subclass customises per-access behaviour; let the generic
+            # kernel drive its _access_block override instead of this one.
+            return super()._batch_trace(addresses, kinds)
+        stats = self.stats
+        tags = self._tags
+        dirty = self._dirty
+        index_mask = self._index_mask
+        index_bits = self.index_bits
+        offset_bits = self.offset_bits
+        set_accesses = stats.set_accesses
+        set_hits = stats.set_hits
+        set_misses = stats.set_misses
+        n = len(addresses)
+        if kinds is None:
+            kinds = bytes(n)  # all reads
+        hits = misses = writes = evictions = writebacks = 0
+        for address, kind in zip(addresses, kinds):
+            block = address >> offset_bits
+            index = block & index_mask
+            tag = block >> index_bits
+            set_accesses[index] += 1
+            resident = tags[index]
+            if resident == tag:
+                hits += 1
+                set_hits[index] += 1
+                if kind == 1:
+                    writes += 1
+                    dirty[index] = True
+            else:
+                misses += 1
+                set_misses[index] += 1
+                if resident >= 0:
+                    evictions += 1
+                    if dirty[index]:
+                        writebacks += 1
+                tags[index] = tag
+                if kind == 1:
+                    writes += 1
+                    dirty[index] = True
+                else:
+                    dirty[index] = False
+        stats.accesses += n
+        stats.reads += n - writes
+        stats.writes += writes
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        # A fixed decoder always selects a set: every miss is a PD hit.
+        stats.pd_hit_misses += misses
+        return stats
 
     def _probe_block(self, block: int) -> bool:
         index = block & self._index_mask

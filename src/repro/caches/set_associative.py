@@ -8,8 +8,12 @@ baseline and chooses a victim among N blocks per set.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.caches.base import AccessResult, Cache, log2_exact
 from repro.replacement import ReplacementPolicy, make_policy
+from repro.replacement.lru import LRUPolicy
+from repro.stats.counters import CacheStats
 
 
 class SetAssociativeCache(Cache):
@@ -67,6 +71,84 @@ class SetAssociativeCache(Cache):
         return AccessResult(
             hit=False, set_index=index, evicted=evicted, evicted_dirty=evicted_dirty
         )
+
+    def _batch_trace(
+        self,
+        addresses: Sequence[int],
+        kinds: Sequence[int] | None,
+    ) -> CacheStats:
+        """Allocation-free batch kernel (see :meth:`Cache.access_trace`)."""
+        if type(self)._access_block is not SetAssociativeCache._access_block:
+            # A subclass customises per-access behaviour (way-prediction
+            # bookkeeping, partial-tag probes, ...); the generic kernel
+            # drives its _access_block override instead of this one.
+            return super()._batch_trace(addresses, kinds)
+        stats = self.stats
+        tags_by_set = self._tags
+        dirty_by_set = self._dirty
+        policies = self._policies
+        index_mask = self._index_mask
+        index_bits = self.index_bits
+        offset_bits = self.offset_bits
+        set_accesses = stats.set_accesses
+        set_hits = stats.set_hits
+        set_misses = stats.set_misses
+        # Exact LRU is the common case; its touch() is pure recency-list
+        # maintenance with no RNG, so it can be inlined verbatim.
+        lru_fast = all(type(p) is LRUPolicy for p in policies)
+        n = len(addresses)
+        if kinds is None:
+            kinds = bytes(n)  # all reads
+        hits = misses = writes = evictions = writebacks = 0
+        for address, kind in zip(addresses, kinds):
+            block = address >> offset_bits
+            index = block & index_mask
+            tag = block >> index_bits
+            tags = tags_by_set[index]
+            set_accesses[index] += 1
+            try:
+                way = tags.index(tag)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                hits += 1
+                set_hits[index] += 1
+                policy = policies[index]
+                if lru_fast:
+                    order = policy._order
+                    if order[0] != way:
+                        order.remove(way)
+                        order.insert(0, way)
+                else:
+                    policy.touch(way)
+                if kind == 1:
+                    writes += 1
+                    dirty_by_set[index][way] = True
+            else:
+                misses += 1
+                set_misses[index] += 1
+                policy = policies[index]
+                way = policy.victim()
+                if tags[way] >= 0:
+                    evictions += 1
+                    if dirty_by_set[index][way]:
+                        writebacks += 1
+                tags[way] = tag
+                is_write = kind == 1
+                if is_write:
+                    writes += 1
+                dirty_by_set[index][way] = is_write
+                policy.touch(way)
+        stats.accesses += n
+        stats.reads += n - writes
+        stats.writes += writes
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        # A fixed decoder always selects a set: every miss is a PD hit.
+        stats.pd_hit_misses += misses
+        return stats
 
     def _probe_block(self, block: int) -> bool:
         index = block & self._index_mask

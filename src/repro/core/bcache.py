@@ -22,10 +22,14 @@ The three PD scenarios of Section 2.3 are implemented faithfully:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.caches.base import AccessResult, Cache
 from repro.core.config import BCacheGeometry
 from repro.core.decoder import ProgrammableDecoderBank
 from repro.replacement import ReplacementPolicy, make_policy
+from repro.replacement.lru import LRUPolicy
+from repro.stats.counters import CacheStats
 
 
 class BCache(Cache):
@@ -139,6 +143,108 @@ class BCache(Cache):
             evicted_dirty=evicted_dirty,
             pd_hit=False,
         )
+
+    def _batch_trace(
+        self,
+        addresses: Sequence[int],
+        kinds: Sequence[int] | None,
+    ) -> CacheStats:
+        """Allocation-free batch kernel (see :meth:`Cache.access_trace`).
+
+        The one-cycle-hit path (Scenario: PD hit + tag match) is fully
+        inlined — no ``PDMatch``, no ``AccessResult``, no tuple from
+        ``decompose_block``.  The three miss scenarios of Section 2.3
+        reuse :meth:`_evicted_address` / :meth:`_fill` so their decoder
+        bookkeeping stays byte-for-byte the per-access path's.
+        """
+        if type(self)._access_block is not BCache._access_block:
+            # A subclass customises per-access behaviour; let the generic
+            # kernel drive its _access_block override instead of this one.
+            return super()._batch_trace(addresses, kinds)
+        geometry = self.geometry
+        stats = self.stats
+        decoder = self.decoder
+        lookup = decoder._lookup  # per-row CAM reverse maps
+        tags = self._tags
+        dirty = self._dirty
+        policies = self._policies
+        num_rows = geometry.num_rows
+        row_mask = num_rows - 1
+        npi_bits = geometry.npi_bits
+        pi_mask = (1 << geometry.pi_bits) - 1
+        tag_shift = npi_bits + geometry.pi_bits
+        offset_bits = self.offset_bits
+        set_accesses = stats.set_accesses
+        set_hits = stats.set_hits
+        set_misses = stats.set_misses
+        # Exact LRU is the paper's default policy; its touch() is pure
+        # recency-list maintenance with no RNG, so it can be inlined.
+        lru_fast = all(type(p) is LRUPolicy for p in policies)
+        n = len(addresses)
+        if kinds is None:
+            kinds = bytes(n)  # all reads
+        hits = misses = writes = 0
+        pd_hit = pd_miss = evictions = writebacks = 0
+        for address, kind in zip(addresses, kinds):
+            block = address >> offset_bits
+            row = block & row_mask
+            pi = (block >> npi_bits) & pi_mask
+            tag = block >> tag_shift
+            cluster = lookup[row].get(pi)
+            if cluster is not None:
+                set_index = cluster * num_rows + row
+                if tags[set_index] == tag:
+                    # One-cycle hit: exactly one word line fired.
+                    hits += 1
+                    set_accesses[set_index] += 1
+                    set_hits[set_index] += 1
+                    policy = policies[row]
+                    if lru_fast:
+                        order = policy._order
+                        if order[0] != cluster:
+                            order.remove(cluster)
+                            order.insert(0, cluster)
+                    else:
+                        policy.touch(cluster)
+                    if kind == 1:
+                        writes += 1
+                        dirty[set_index] = True
+                    continue
+                # Scenario 2: PD hit, tag mismatch — forced victim.
+                pd_hit += 1
+            else:
+                # Scenario 1/3: PD miss — victim from all BAS clusters.
+                pd_miss += 1
+                invalid = decoder.invalid_clusters(row)
+                policy = policies[row]
+                cluster = (
+                    policy.victim_among(invalid) if invalid else policy.victim()
+                )
+                set_index = cluster * num_rows + row
+            misses += 1
+            set_accesses[set_index] += 1
+            set_misses[set_index] += 1
+            is_write = kind == 1
+            if is_write:
+                writes += 1
+            evicted, evicted_dirty = self._evicted_address(row, cluster)
+            if evicted is not None:
+                evictions += 1
+                if evicted_dirty:
+                    writebacks += 1
+            self._fill(row, cluster, pi, tag, is_write)
+        # The per-access path performs one CAM search per reference.
+        decoder.searches += n
+        stats.accesses += n
+        stats.reads += n - writes
+        stats.writes += writes
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        stats.pd_hit_misses += pd_hit
+        stats.pd_miss_misses += pd_miss
+        return stats
 
     # ------------------------------------------------------------------
     def _probe_block(self, block: int) -> bool:

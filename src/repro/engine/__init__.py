@@ -1,0 +1,24 @@
+"""Parallel experiment engine: trace store, process-pool runner, bench.
+
+Three pieces (see ``docs/engine.md``):
+
+* :mod:`repro.engine.trace_store` — on-disk ``array('Q')`` blobs so
+  every synthetic trace is generated exactly once per machine;
+* :mod:`repro.engine.runner` — deterministic process-pool fan-out of
+  (spec, benchmark, side, scale) jobs with bit-identical statistics;
+* :mod:`repro.engine.bench` — the ``bcache-bench`` perf-tracking
+  harness behind ``BENCH_engine.json``.
+"""
+
+from repro.engine.runner import SweepJob, default_jobs, execute_job, run_sweep
+from repro.engine.trace_store import TraceStore, default_store, set_default_store
+
+__all__ = [
+    "SweepJob",
+    "TraceStore",
+    "default_jobs",
+    "default_store",
+    "execute_job",
+    "run_sweep",
+    "set_default_store",
+]

@@ -1,0 +1,245 @@
+"""``bcache-bench`` — perf-tracking harness for the engine hot paths.
+
+Measures two things and writes them to ``BENCH_engine.json``:
+
+* **Hot-loop speedup** — wall time of the per-access ``Cache.access``
+  replay vs the batch :meth:`Cache.access_trace` kernel, per spec, on
+  one seeded mixed (read/write) reference stream.  Each measurement is
+  the *minimum* of several repeats of a fresh-cache replay (minimum is
+  the standard robust estimator for timing noise) and the two paths'
+  :class:`~repro.stats.counters.CacheStats` are asserted bit-identical
+  before any number is reported.
+* **Sweep scaling** — wall time of a (spec x benchmark) sweep through
+  :func:`repro.engine.runner.run_sweep` serially and at each requested
+  worker count, asserting bit-identical statistics at every count.
+
+Regression gating compares *speedup ratios*, not absolute seconds:
+ratios are dimensionless, so a baseline recorded on one machine
+transfers to another.  ``--check BASELINE`` fails (exit 1) when any
+spec's hot-loop speedup drops below ``tolerance`` (default 0.7, i.e. a
+30 % regression) times the baseline's, or when any parallel sweep
+stops being bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.caches import make_cache
+from repro.engine.runner import SweepJob, run_sweep
+from repro.engine.trace_store import default_store
+
+SCHEMA = "bcache-bench/1"
+
+#: Hot-loop specs: the baseline, a classic set-associative design and
+#: the paper's headline B-Cache point.
+HOT_SPECS = ("dm", "8way", "mf8_bas8")
+
+#: Sweep grid for the scaling measurement.
+SWEEP_SPECS = ("dm", "2way", "4way", "8way", "mf8_bas8", "victim16")
+SWEEP_BENCHMARKS = ("gzip", "gcc", "equake", "mcf")
+
+
+def _replay_scalar(cache, addresses, kinds) -> float:
+    """Per-access replay; returns elapsed seconds."""
+    access = cache.access
+    start = time.perf_counter()
+    for address, kind in zip(addresses, kinds):
+        access(address, kind == 1)
+    return time.perf_counter() - start
+
+
+def _replay_batch(cache, addresses, kinds) -> float:
+    """Batch replay; returns elapsed seconds."""
+    start = time.perf_counter()
+    cache.access_trace(addresses, kinds)
+    return time.perf_counter() - start
+
+
+def bench_hot_loop(
+    n: int, repeats: int, benchmark: str = "gcc", seed: int = 2006
+) -> dict:
+    """Time scalar vs batch replay per spec; verify identical stats."""
+    addresses, kinds = default_store().accesses(benchmark, "data", n, seed)
+    results = {}
+    for spec in HOT_SPECS:
+        scalar_cache = make_cache(spec)
+        scalar_time = min(
+            _timed_fresh(_replay_scalar, spec, addresses, kinds)
+            for _ in range(repeats)
+        )
+        batch_time = min(
+            _timed_fresh(_replay_batch, spec, addresses, kinds)
+            for _ in range(repeats)
+        )
+        # Correctness gate: one final replay of each flavour, compared
+        # field-for-field (including the per-set counters).
+        _replay_scalar(scalar_cache, addresses, kinds)
+        batch_cache = make_cache(spec)
+        _replay_batch(batch_cache, addresses, kinds)
+        identical = scalar_cache.stats == batch_cache.stats
+        results[spec] = {
+            "scalar_s": scalar_time,
+            "batch_s": batch_time,
+            "speedup": scalar_time / batch_time if batch_time > 0 else 0.0,
+            "identical_stats": identical,
+        }
+    return results
+
+
+def _timed_fresh(replay, spec: str, addresses, kinds) -> float:
+    """One timed replay on a freshly built cache (state-independent)."""
+    return replay(make_cache(spec), addresses, kinds)
+
+
+def bench_sweep(n: int, job_counts: tuple[int, ...], seed: int = 2006) -> dict:
+    """Time a sweep serially and per worker count; verify identical."""
+    sweep = [
+        SweepJob(spec=spec, benchmark=benchmark, n=n, seed=seed)
+        for spec in SWEEP_SPECS
+        for benchmark in SWEEP_BENCHMARKS
+    ]
+    store = default_store()
+    for job in sweep:  # materialise traces so timing excludes generation
+        store.ensure(job.benchmark, job.side, job.n, job.seed)
+
+    start = time.perf_counter()
+    serial = run_sweep(sweep, workers=1)
+    serial_time = time.perf_counter() - start
+
+    results = {
+        "jobs_total": len(sweep),
+        "serial_s": serial_time,
+        "workers": {},
+    }
+    for count in job_counts:
+        if count <= 1:
+            continue
+        start = time.perf_counter()
+        parallel = run_sweep(sweep, workers=count)
+        elapsed = time.perf_counter() - start
+        results["workers"][str(count)] = {
+            "wall_s": elapsed,
+            "vs_serial": elapsed / serial_time if serial_time > 0 else 0.0,
+            "identical_stats": parallel == serial,
+        }
+    return results
+
+
+def run_benchmarks(
+    quick: bool, job_counts: tuple[int, ...], seed: int = 2006
+) -> dict:
+    """Run the full harness; returns the JSON-ready report."""
+    hot_n = 50_000 if quick else 200_000
+    repeats = 3 if quick else 5
+    sweep_n = 10_000 if quick else 50_000
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+        "hot_loop": bench_hot_loop(hot_n, repeats, seed=seed),
+        "sweep": bench_sweep(sweep_n, job_counts, seed=seed),
+    }
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.7
+) -> list[str]:
+    """Regression check; returns a list of failure messages (empty = ok)."""
+    failures = []
+    for spec, entry in report["hot_loop"].items():
+        if not entry["identical_stats"]:
+            failures.append(f"{spec}: batch stats diverge from per-access stats")
+        base = baseline.get("hot_loop", {}).get(spec)
+        if base is None:
+            continue
+        floor = base["speedup"] * tolerance
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{spec}: hot-loop speedup {entry['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({tolerance:.0%} of baseline "
+                f"{base['speedup']:.2f}x)"
+            )
+    for count, entry in report["sweep"]["workers"].items():
+        if not entry["identical_stats"]:
+            failures.append(f"sweep with {count} workers is not bit-identical")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-bench``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="bcache-bench",
+        description="Engine perf-tracking harness (hot loop + sweep scaling).",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller traces / fewer repeats (CI smoke)")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output JSON path (default BENCH_engine.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline JSON; exit 1 on a "
+                        ">30%% hot-loop regression or non-identical "
+                        "parallel stats")
+    parser.add_argument("--tolerance", type=float, default=0.7,
+                        help="minimum fraction of the baseline speedup to "
+                        "accept (default 0.7)")
+    parser.add_argument("--jobs", default="2,4",
+                        help="comma-separated worker counts for the sweep "
+                        "scaling measurement (default 2,4)")
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args(argv)
+
+    try:
+        job_counts = tuple(int(part) for part in args.jobs.split(",") if part)
+    except ValueError:
+        print(f"bad --jobs list: {args.jobs!r}", file=sys.stderr)
+        return 2
+
+    report = run_benchmarks(args.quick, job_counts, seed=args.seed)
+
+    for spec, entry in report["hot_loop"].items():
+        flag = "" if entry["identical_stats"] else "  [STATS MISMATCH]"
+        print(
+            f"{spec:<10} scalar {entry['scalar_s'] * 1e3:8.1f} ms   "
+            f"batch {entry['batch_s'] * 1e3:8.1f} ms   "
+            f"speedup {entry['speedup']:5.2f}x{flag}"
+        )
+    sweep = report["sweep"]
+    print(f"sweep      {sweep['jobs_total']} jobs serial "
+          f"{sweep['serial_s'] * 1e3:8.1f} ms")
+    for count, entry in sweep["workers"].items():
+        flag = "" if entry["identical_stats"] else "  [STATS MISMATCH]"
+        print(
+            f"  --jobs {count:<3} {entry['wall_s'] * 1e3:8.1f} ms   "
+            f"{entry['vs_serial']:.0%} of serial{flag}"
+        )
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        try:
+            baseline = json.loads(Path(args.check).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.check}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_against_baseline(report, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Process-pool experiment runner: fan sweep jobs across workers.
+
+A sweep is a list of :class:`SweepJob` descriptions — (spec, benchmark,
+side, trace length, seed, geometry) tuples.  Each job is independent
+and fully deterministic (seeded traces, seeded policies), so the runner
+guarantees **bit-identical statistics** regardless of worker count: the
+result list is order-aligned with the job list and every job runs the
+same ``make_cache(...) / access_trace(...)`` code path the serial
+harness uses.
+
+Worker processes never regenerate traces: the parent materialises every
+distinct trace into the on-disk :class:`~repro.engine.trace_store.TraceStore`
+before the pool starts, and the pool initializer points each worker's
+process-wide store at the same root.
+
+When the runtime sanitizer is requested the runner falls back to a
+serial, per-access checked replay (see ``docs/analysis.md``): the
+sanitizer's value is the invariant trail, not throughput.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.caches import make_cache
+from repro.stats.counters import CacheStats
+from repro.engine.trace_store import TraceStore, default_store, set_default_store
+
+ENV_JOBS = "REPRO_JOBS"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepJob:
+    """One (cache config, reference stream) simulation.
+
+    Attributes:
+        spec: factory spec string (``dm``, ``8way``, ``mf8_bas8``, ...).
+        benchmark: synthetic SPEC2K benchmark name.
+        side: ``data``/``instr`` (address streams) or ``combined``
+            (access streams, requires ``with_kinds``).
+        n: trace length (references, or instructions for ``combined``).
+        seed: trace seed.
+        size: cache size in bytes.
+        line_size: block size in bytes.
+        policy: replacement policy where applicable.
+        with_kinds: replay the full access stream (reads + writes +
+            ifetches) instead of the reads-only address stream.
+    """
+
+    spec: str
+    benchmark: str
+    side: str = "data"
+    n: int = 200_000
+    seed: int = 2006
+    size: int = 16 * 1024
+    line_size: int = 32
+    policy: str = "lru"
+    with_kinds: bool = False
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` or 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get(ENV_JOBS, "1")))
+    except ValueError:
+        return 1
+
+
+def execute_job(
+    job: SweepJob,
+    store: TraceStore | None = None,
+    sanitize: bool = False,
+) -> CacheStats:
+    """Run one job to completion in this process; returns its stats.
+
+    This is the single execution path shared by the serial harness
+    (``experiments.common.run_side``) and the pool workers, which is
+    what makes parallel results bit-identical to serial ones.
+    """
+    store = store if store is not None else default_store()
+    cache = make_cache(
+        job.spec, size=job.size, line_size=job.line_size, policy=job.policy
+    )
+    if job.with_kinds:
+        addresses, kinds = store.accesses(job.benchmark, job.side, job.n, job.seed)
+    else:
+        addresses = store.addresses(job.benchmark, job.side, job.n, job.seed)
+        kinds = None
+    if sanitize:
+        from repro.analysis.sanitizer import SanitizedCache, strict_capable
+
+        checked = SanitizedCache(
+            cache, strict=strict_capable(cache), check_interval=1024
+        )
+        checked.access_trace(addresses, kinds)
+        checked.finalize()
+        return cache.stats
+    cache.access_trace(addresses, kinds)
+    return cache.stats
+
+
+def _init_worker(root: str) -> None:
+    """Pool initializer: share the parent's trace-store root."""
+    set_default_store(TraceStore(root))
+
+
+def _run_job(job: SweepJob) -> CacheStats:
+    return execute_job(job)
+
+
+def run_sweep(
+    jobs: Iterable[SweepJob],
+    workers: int | None = None,
+    sanitize: bool = False,
+    store: TraceStore | None = None,
+) -> list[CacheStats]:
+    """Run every job; returns stats order-aligned with the job list.
+
+    Args:
+        jobs: the sweep to run.
+        workers: process count; ``None`` reads ``$REPRO_JOBS``
+            (default 1).  ``<= 1`` runs serially in this process.
+        sanitize: shadow-check every access — forces the serial
+            per-access path (the parallel batch kernels bypass the
+            per-access hooks by design).
+        store: trace store to use (defaults to the process-wide one).
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_jobs()
+    store = store if store is not None else default_store()
+    if sanitize or workers <= 1 or len(jobs) <= 1:
+        return [execute_job(job, store=store, sanitize=sanitize) for job in jobs]
+
+    _prewarm(jobs, store)
+    workers = min(workers, len(jobs))
+    chunksize = max(1, len(jobs) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(str(store.root),),
+    ) as pool:
+        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+
+
+def _prewarm(jobs: Sequence[SweepJob], store: TraceStore) -> None:
+    """Materialise every distinct trace once before forking workers."""
+    seen: set[tuple] = set()
+    for job in jobs:
+        key = (job.benchmark, job.side, job.n, job.seed, job.with_kinds)
+        if key not in seen:
+            seen.add(key)
+            store.ensure(job.benchmark, job.side, job.n, job.seed, kinds=job.with_kinds)

@@ -1,0 +1,291 @@
+"""On-disk trace store: materialise each synthetic trace exactly once.
+
+Every figure/table reproduction replays the same 26 synthetic SPEC2K
+traces through many cache organisations.  The previous memoisation
+(``functools.lru_cache`` over tuples of ints) was per-process only —
+worker processes regenerated every trace from scratch and FULL-scale
+tuples (1 M ints x 26 benchmarks) pinned gigabytes of interpreter
+objects.
+
+This store keeps traces on disk as compact little-endian ``uint64``
+blobs (8 bytes per reference instead of a ~28-byte ``int`` object each)
+keyed by ``(benchmark, side, n, seed)``.  Two stream flavours exist:
+
+* **address streams** (:meth:`TraceStore.addresses`) — the raw address
+  sequence the experiment harness replays (reads only), sides ``data``
+  and ``instr``;
+* **access streams** (:meth:`TraceStore.accesses`) — addresses plus a
+  parallel ``uint8`` kind blob (read/write/ifetch), sides ``data``,
+  ``instr`` and ``combined`` — what ``bcache-sim`` replays.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent worker
+processes can safely race to materialise the same trace; the loser's
+write simply replaces the winner's identical bytes.  A small in-process
+LRU keeps the hot handful of traces in memory.
+
+The default root is ``$REPRO_TRACE_STORE`` or
+``~/.cache/bcache-repro/traces``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.workloads.spec2k import get_profile
+
+#: File suffixes: raw little-endian uint64 addresses / uint8 kinds.
+ADDRESS_SUFFIX = ".addr.u64"
+KIND_SUFFIX = ".kind.u8"
+
+#: Sides with a raw-address fast path (reads only, experiment harness).
+ADDRESS_SIDES = ("data", "instr")
+
+#: Sides with a full access stream (addresses + kinds, ``bcache-sim``).
+ACCESS_SIDES = ("data", "instr", "combined")
+
+ENV_ROOT = "REPRO_TRACE_STORE"
+
+
+def default_root() -> Path:
+    """Store root: ``$REPRO_TRACE_STORE`` or ``~/.cache/bcache-repro``."""
+    env = os.environ.get(ENV_ROOT)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path("~/.cache").expanduser()
+    return base / "bcache-repro" / "traces"
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (safe under racing workers)."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+def _load_u64(path: Path) -> array:
+    blob = array("Q")
+    blob.frombytes(path.read_bytes())
+    return blob
+
+
+class TraceStoreError(ValueError):
+    """Raised for unknown sides or malformed store requests."""
+
+
+class TraceStore:
+    """Disk-backed, memory-bounded cache of synthetic benchmark traces.
+
+    Args:
+        root: directory for the blobs (created on demand); defaults to
+            :func:`default_root`.
+        memory_entries: number of decoded traces kept in the in-process
+            LRU (a FULL-scale entry is ~8 MB as ``array('Q')``).
+    """
+
+    def __init__(self, root: str | Path | None = None, memory_entries: int = 16) -> None:
+        self.root = Path(root) if root is not None else default_root()
+        self.memory_entries = max(1, memory_entries)
+        self._memory: OrderedDict[tuple, object] = OrderedDict()
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    # -- paths ---------------------------------------------------------
+    def _stem(self, benchmark: str, side: str, n: int, seed: int, kinds: bool) -> str:
+        flavour = "acc" if kinds else "adr"
+        return f"{benchmark}_{side}_{flavour}_n{n}_s{seed}"
+
+    def address_path(
+        self, benchmark: str, side: str, n: int, seed: int, kinds: bool = False
+    ) -> Path:
+        return self.root / (self._stem(benchmark, side, n, seed, kinds) + ADDRESS_SUFFIX)
+
+    def kind_path(self, benchmark: str, side: str, n: int, seed: int) -> Path:
+        return self.root / (self._stem(benchmark, side, n, seed, True) + KIND_SUFFIX)
+
+    # -- memory LRU ----------------------------------------------------
+    def _remember(self, key: tuple, value: object) -> None:
+        memory = self._memory
+        memory[key] = value
+        memory.move_to_end(key)
+        while len(memory) > self.memory_entries:
+            memory.popitem(last=False)
+
+    def _recall(self, key: tuple) -> object | None:
+        value = self._memory.get(key)
+        if value is not None:
+            self._memory.move_to_end(key)
+        return value
+
+    def clear_memory(self) -> None:
+        """Drop the in-process LRU (disk blobs stay)."""
+        self._memory.clear()
+
+    def wipe(self) -> int:
+        """Delete every blob under the root; returns the count removed."""
+        self.clear_memory()
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.suffix in (".u64", ".u8"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    # -- address streams (experiment harness; reads only) --------------
+    def addresses(self, benchmark: str, side: str, n: int, seed: int) -> array:
+        """The first ``n`` addresses of one reference stream as ``array('Q')``."""
+        if side not in ADDRESS_SIDES:
+            raise TraceStoreError(
+                f"address streams support sides {ADDRESS_SIDES}, got {side!r}"
+            )
+        key = (benchmark, side, n, seed, "adr")
+        cached = self._recall(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        path = self.address_path(benchmark, side, n, seed)
+        if path.is_file() and path.stat().st_size == 8 * n:
+            self.disk_hits += 1
+            blob = _load_u64(path)
+        else:
+            self.disk_misses += 1
+            blob = self._generate_addresses(benchmark, side, n, seed)
+        self._remember(key, blob)
+        return blob
+
+    def _generate_addresses(self, benchmark: str, side: str, n: int, seed: int) -> array:
+        profile = get_profile(benchmark)
+        raw = (
+            profile.data_addresses(n, seed)
+            if side == "data"
+            else profile.instr_addresses(n, seed)
+        )
+        blob = array("Q", raw)
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.address_path(benchmark, side, n, seed), blob.tobytes())
+        return blob
+
+    # -- access streams (addresses + kinds) ----------------------------
+    def accesses(
+        self, benchmark: str, side: str, n: int, seed: int
+    ) -> tuple[array, array]:
+        """One full access stream as ``(array('Q'), array('B'))``.
+
+        For sides ``data``/``instr`` the length is exactly ``n``; for
+        ``combined`` it is the number of references generated by ``n``
+        instructions (one ifetch each plus a data access for a fraction
+        of them), recovered from the blob size.
+        """
+        if side not in ACCESS_SIDES:
+            raise TraceStoreError(
+                f"access streams support sides {ACCESS_SIDES}, got {side!r}"
+            )
+        key = (benchmark, side, n, seed, "acc")
+        cached = self._recall(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        addr_path = self.address_path(benchmark, side, n, seed, kinds=True)
+        kind_path = self.kind_path(benchmark, side, n, seed)
+        pair = self._read_access_pair(addr_path, kind_path, side, n)
+        if pair is None:
+            self.disk_misses += 1
+            pair = self._generate_accesses(benchmark, side, n, seed)
+        else:
+            self.disk_hits += 1
+        self._remember(key, pair)
+        return pair
+
+    def _read_access_pair(
+        self, addr_path: Path, kind_path: Path, side: str, n: int
+    ) -> tuple[array, array] | None:
+        if not (addr_path.is_file() and kind_path.is_file()):
+            return None
+        addr_size = addr_path.stat().st_size
+        count = kind_path.stat().st_size
+        if addr_size != 8 * count or (side != "combined" and count != n):
+            return None  # truncated or stale blob: regenerate
+        addresses = _load_u64(addr_path)
+        kinds = array("B")
+        kinds.frombytes(kind_path.read_bytes())
+        return addresses, kinds
+
+    def _generate_accesses(
+        self, benchmark: str, side: str, n: int, seed: int
+    ) -> tuple[array, array]:
+        profile = get_profile(benchmark)
+        if side == "data":
+            stream = profile.data_trace(n, seed)
+        elif side == "instr":
+            stream = profile.instruction_trace(n, seed)
+        else:
+            stream = profile.combined_trace(n, seed)
+        addresses = array("Q")
+        kinds = array("B")
+        append_address = addresses.append
+        append_kind = kinds.append
+        for access in stream:
+            append_address(access.address)
+            append_kind(access.kind)
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self.address_path(benchmark, side, n, seed, kinds=True),
+            addresses.tobytes(),
+        )
+        _atomic_write(self.kind_path(benchmark, side, n, seed), kinds.tobytes())
+        return addresses, kinds
+
+    # -- bulk materialisation ------------------------------------------
+    def ensure(
+        self, benchmark: str, side: str, n: int, seed: int, kinds: bool = False
+    ) -> Path:
+        """Materialise one trace on disk without retaining it in memory.
+
+        The runner calls this for every distinct trace of a sweep
+        before forking workers, so the pool loads blobs instead of
+        regenerating streams.  Returns the address-blob path.
+        """
+        if kinds:
+            addr_path = self.address_path(benchmark, side, n, seed, kinds=True)
+            pair = self._read_access_pair(
+                addr_path, self.kind_path(benchmark, side, n, seed), side, n
+            )
+            if pair is None:
+                self._generate_accesses(benchmark, side, n, seed)
+            return addr_path
+        path = self.address_path(benchmark, side, n, seed)
+        if not (path.is_file() and path.stat().st_size == 8 * n):
+            self._generate_addresses(benchmark, side, n, seed)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TraceStore root={self.root} memory={len(self._memory)}/"
+            f"{self.memory_entries} disk_hits={self.disk_hits} "
+            f"disk_misses={self.disk_misses}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default store (worker processes point it at the parent's
+# root via the runner's pool initializer).
+# ----------------------------------------------------------------------
+_DEFAULT: TraceStore | None = None
+
+
+def default_store() -> TraceStore:
+    """The process-wide store, created on first use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TraceStore()
+    return _DEFAULT
+
+
+def set_default_store(store: TraceStore | None) -> TraceStore | None:
+    """Replace the process-wide store; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = store
+    return previous

@@ -9,6 +9,7 @@ from repro.experiments.common import (
     miss_rate,
     run_side,
     run_system,
+    sweep_stats,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "miss_rate",
     "run_side",
     "run_system",
+    "sweep_stats",
 ]

@@ -1,8 +1,12 @@
 """Shared infrastructure for the per-figure/per-table experiments.
 
-Traces are deterministic (seeded) and memoised per (benchmark, side,
-length, seed) so that sweeping many cache configurations over the same
-workload generates each trace once.
+Traces are deterministic (seeded) and materialised once per machine by
+the on-disk :mod:`repro.engine.trace_store`; the thin ``lru_cache``
+wrappers here only pin the hot handful of decoded ``array('Q')`` blobs
+so repeated sweeps stay allocation-free.  All replay goes through
+:func:`repro.engine.runner.execute_job`, the same code path the
+process-pool runner uses — which is what makes ``jobs > 1`` sweeps
+bit-identical to serial ones.
 
 Scale presets control trace lengths: the paper simulates 500 M
 instructions per benchmark; synthetic workloads reach stable miss
@@ -12,12 +16,16 @@ is the scale used for EXPERIMENTS.md, ``FULL`` for final runs.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Sequence
 
 from repro.caches import make_cache
 from repro.caches.base import Cache
 from repro.cpu.timing import ExecutionResult, OoOProcessorModel, ProcessorConfig
+from repro.engine.runner import SweepJob, execute_job, run_sweep
+from repro.engine.trace_store import default_store
 from repro.hierarchy.memory_system import MemoryHierarchy
 from repro.stats.counters import CacheStats
 from repro.workloads.spec2k import get_profile
@@ -40,25 +48,39 @@ class ExperimentScale:
             seed=self.seed,
         )
 
+    def side_n(self, side: str) -> int:
+        """Trace length for one side (``data`` or ``instr``)."""
+        if side == "data":
+            return self.data_n
+        if side == "instr":
+            return self.instr_n
+        raise ValueError(f"side must be 'data' or 'instr', got {side!r}")
+
 
 SMOKE = ExperimentScale(data_n=20_000, instr_n=30_000, instructions=15_000)
 DEFAULT = ExperimentScale()
 FULL = ExperimentScale(data_n=1_000_000, instr_n=1_000_000, instructions=500_000)
 
-
-@lru_cache(maxsize=256)
-def data_addresses(benchmark: str, n: int, seed: int) -> tuple[int, ...]:
-    """Memoised data-address trace for one benchmark."""
-    return tuple(get_profile(benchmark).data_addresses(n, seed))
-
-
-@lru_cache(maxsize=256)
-def instr_addresses(benchmark: str, n: int, seed: int) -> tuple[int, ...]:
-    """Memoised instruction-address trace for one benchmark."""
-    return tuple(get_profile(benchmark).instr_addresses(n, seed))
+# The disk store is authoritative; these wrappers only pin decoded
+# blobs for the current sweep, so they can stay small (a FULL-scale
+# entry is ~8 MB — 32 entries bound the memo at ~256 MB worst case
+# instead of the unbounded gigabytes the old maxsize=256 tuple memos
+# could reach).
 
 
-@lru_cache(maxsize=128)
+@lru_cache(maxsize=32)
+def data_addresses(benchmark: str, n: int, seed: int) -> array:
+    """Memoised data-address trace for one benchmark (``array('Q')``)."""
+    return default_store().addresses(benchmark, "data", n, seed)
+
+
+@lru_cache(maxsize=32)
+def instr_addresses(benchmark: str, n: int, seed: int) -> array:
+    """Memoised instruction-address trace for one benchmark (``array('Q')``)."""
+    return default_store().addresses(benchmark, "instr", n, seed)
+
+
+@lru_cache(maxsize=8)
 def combined_trace(benchmark: str, instructions: int, seed: int) -> tuple:
     """Memoised combined (ifetch + data) trace for the system model."""
     return tuple(get_profile(benchmark).combined_trace(instructions, seed))
@@ -74,17 +96,56 @@ def run_side(
     policy: str = "lru",
 ) -> CacheStats:
     """Run one benchmark's I- or D-stream through one cache config."""
-    if side == "data":
-        addresses = data_addresses(benchmark, scale.data_n, scale.seed)
-    elif side == "instr":
-        addresses = instr_addresses(benchmark, scale.instr_n, scale.seed)
-    else:
-        raise ValueError(f"side must be 'data' or 'instr', got {side!r}")
-    cache = make_cache(spec, size=size, line_size=line_size, policy=policy)
-    access = cache.access
-    for address in addresses:
-        access(address)
-    return cache.stats
+    return execute_job(
+        SweepJob(
+            spec=spec,
+            benchmark=benchmark,
+            side=side,
+            n=scale.side_n(side),
+            seed=scale.seed,
+            size=size,
+            line_size=line_size,
+            policy=policy,
+        )
+    )
+
+
+def sweep_stats(
+    specs: Sequence[str],
+    benchmarks: Sequence[str],
+    side: str,
+    scale: ExperimentScale,
+    size: int = 16 * 1024,
+    line_size: int = 32,
+    policy: str = "lru",
+    jobs: int | None = None,
+) -> dict[tuple[str, str], CacheStats]:
+    """Run a (spec x benchmark) sweep, optionally across processes.
+
+    Returns ``{(spec, benchmark): stats}``.  ``jobs=None`` reads
+    ``$REPRO_JOBS`` (default 1, i.e. serial in this process); any
+    worker count produces bit-identical statistics because every job
+    runs :func:`repro.engine.runner.execute_job` on the same stored
+    trace (see ``docs/engine.md``).
+    """
+    sweep = [
+        SweepJob(
+            spec=spec,
+            benchmark=benchmark,
+            side=side,
+            n=scale.side_n(side),
+            seed=scale.seed,
+            size=size,
+            line_size=line_size,
+            policy=policy,
+        )
+        for spec in specs
+        for benchmark in benchmarks
+    ]
+    results = run_sweep(sweep, workers=jobs)
+    return {
+        (job.spec, job.benchmark): stats for job, stats in zip(sweep, results)
+    }
 
 
 def run_side_cache(
@@ -96,14 +157,11 @@ def run_side_cache(
     policy: str = "lru",
 ) -> Cache:
     """Like :func:`run_side` but returns the cache (for balance stats)."""
-    if side == "data":
-        addresses = data_addresses(benchmark, scale.data_n, scale.seed)
-    else:
-        addresses = instr_addresses(benchmark, scale.instr_n, scale.seed)
+    addresses = default_store().addresses(
+        benchmark, side, scale.side_n(side), scale.seed
+    )
     cache = make_cache(spec, size=size, policy=policy)
-    access = cache.access
-    for address in addresses:
-        access(address)
+    cache.access_trace(addresses)
     return cache
 
 
@@ -139,7 +197,11 @@ def run_system(
 
 
 def clear_trace_caches() -> None:
-    """Drop memoised traces (frees memory between large sweeps)."""
+    """Drop memoised traces (frees memory between large sweeps).
+
+    Disk blobs are untouched — the next request decodes them again.
+    """
     data_addresses.cache_clear()
     instr_addresses.cache_clear()
     combined_trace.cache_clear()
+    default_store().clear_memory()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT, ExperimentScale, run_side
+from repro.experiments.common import DEFAULT, ExperimentScale, sweep_stats
 from repro.experiments.reporting import format_table
 
 MF_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512)
@@ -56,11 +56,14 @@ def run(
     scale: ExperimentScale = DEFAULT,
     benchmark: str = "wupwise",
     mapping_factors: tuple[int, ...] = MF_SWEEP,
+    jobs: int | None = None,
 ) -> Fig3Result:
-    """Run the MF sweep of Figure 3."""
+    """Run the MF sweep of Figure 3 (parallelised across ``jobs``)."""
+    specs = [f"mf{mf}_bas8" for mf in mapping_factors]
+    stats_by_key = sweep_stats(specs, [benchmark], "data", scale, jobs=jobs)
     points = []
-    for mf in mapping_factors:
-        stats = run_side(f"mf{mf}_bas8", benchmark, "data", scale)
+    for mf, spec in zip(mapping_factors, specs):
+        stats = stats_by_key[(spec, benchmark)]
         points.append(
             MFSweepPoint(
                 mapping_factor=mf,

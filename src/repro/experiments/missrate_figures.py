@@ -17,7 +17,7 @@ from typing import Sequence
 
 from repro.caches.factory import FIGURE12_SPECS, FIGURE45_SPECS
 from repro.experiments.ascii_chart import horizontal_bars
-from repro.experiments.common import DEFAULT, ExperimentScale, miss_rate
+from repro.experiments.common import DEFAULT, ExperimentScale, sweep_stats
 from repro.experiments.reporting import format_table
 from repro.stats.summary import average_reduction, miss_rate_reduction
 from repro.workloads.spec2k import CFP2K, CINT2K, REPORTED_ICACHE
@@ -72,15 +72,23 @@ def run_panel(
     size: int = 16 * 1024,
     specs: Sequence[str] = FIGURE45_SPECS,
     title: str = "",
+    jobs: int | None = None,
 ) -> ReductionPanel:
-    """Measure one panel of miss-rate reductions."""
+    """Measure one panel of miss-rate reductions.
+
+    The (spec x benchmark) grid goes through the engine's sweep runner:
+    ``jobs`` (default ``$REPRO_JOBS``) fans the jobs across processes
+    with bit-identical results.
+    """
+    all_specs = ["dm"] + [spec for spec in specs if spec != "dm"]
+    stats = sweep_stats(all_specs, benchmarks, side, scale, size=size, jobs=jobs)
     baseline_rates: dict[str, float] = {}
     reductions: dict[str, dict[str, float]] = {spec: {} for spec in specs}
     for benchmark in benchmarks:
-        base = miss_rate("dm", benchmark, side, scale, size=size)
+        base = stats[("dm", benchmark)].miss_rate
         baseline_rates[benchmark] = base
         for spec in specs:
-            rate = miss_rate(spec, benchmark, side, scale, size=size)
+            rate = stats[(spec, benchmark)].miss_rate
             reductions[spec][benchmark] = miss_rate_reduction(base, rate)
     return ReductionPanel(
         title=title or f"{side} cache {size // 1024}kB miss-rate reductions",

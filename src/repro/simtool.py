@@ -7,67 +7,143 @@ statistics, making the library usable as a drop-in miss-rate tool:
     bcache-sim --trace app.din dm 4way mf8_bas8
     bcache-sim --benchmark equake --side data --n 200000 dm mf8_bas8
     bcache-sim --benchmark gcc --side instr mf8_bas8 --balance
+    bcache-sim --benchmark gcc --jobs 4 dm 2way 4way 8way mf8_bas8
+
+Traces are replayed through the batch :meth:`Cache.access_trace` fast
+path: trace files stream straight into compact ``array`` blobs and
+synthetic benchmarks come from the on-disk trace store, so nothing
+materialises a per-access object list.  ``--jobs N`` fans the specs of
+a benchmark run across processes with bit-identical statistics (see
+``docs/engine.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from array import array
 
 from repro.caches import make_cache
+from repro.engine.runner import SweepJob, default_jobs, run_sweep
+from repro.engine.trace_store import default_store
 from repro.stats.balance import analyze_balance
-from repro.trace.trace_file import load_trace
-from repro.workloads.spec2k import ALL_BENCHMARKS, get_profile
+from repro.stats.counters import CacheStats
+from repro.trace.trace_file import stream_trace
+from repro.workloads.spec2k import ALL_BENCHMARKS
 
 
-def _load_accesses(args: argparse.Namespace) -> list:
+def _load_accesses(args: argparse.Namespace) -> tuple[array, array]:
+    """The reference stream as parallel (address, kind) arrays.
+
+    Trace files are streamed record-by-record into the arrays (constant
+    memory, no ``list[Access]``); synthetic benchmarks load the stored
+    ``array('Q')``/``array('B')`` blobs from the trace store.
+    """
     if args.trace:
-        return load_trace(args.trace)
-    profile = get_profile(args.benchmark)
-    if args.side == "data":
-        return list(profile.data_trace(args.n, seed=args.seed))
-    if args.side == "instr":
-        return list(profile.instruction_trace(args.n, seed=args.seed))
-    return list(profile.combined_trace(args.n, seed=args.seed))
+        addresses = array("Q")
+        kinds = array("B")
+        for access in stream_trace(args.trace):
+            addresses.append(access.address)
+            kinds.append(int(access.kind))
+        return addresses, kinds
+    return default_store().accesses(args.benchmark, args.side, args.n, args.seed)
 
 
-def _maybe_sanitize(cache, args: argparse.Namespace):
-    """Wrap ``cache`` in the runtime sanitizer when ``--sanitize`` is on."""
-    if not args.sanitize:
-        return cache
-    from repro.analysis.sanitizer import SanitizedCache, strict_capable
+def _simulate_one(
+    spec: str, args: argparse.Namespace, addresses: array, kinds: array
+) -> CacheStats:
+    """Replay the stream through one spec in this process."""
+    cache = make_cache(
+        spec, size=args.size, line_size=args.line, policy=args.policy
+    )
+    if args.sanitize:
+        from repro.analysis.sanitizer import SanitizedCache, strict_capable
 
-    return SanitizedCache(cache, strict=strict_capable(cache), check_interval=1024)
+        checked = SanitizedCache(
+            cache, strict=strict_capable(cache), check_interval=1024
+        )
+        checked.access_trace(addresses, kinds)
+        checked.finalize()
+        return cache.stats
+    cache.access_trace(addresses, kinds)
+    return cache.stats
 
 
-def _run_json(args: argparse.Namespace, accesses: list) -> int:
+def _run_specs(
+    args: argparse.Namespace, addresses: array, kinds: array
+) -> tuple[dict[str, CacheStats], dict[str, str], int]:
+    """Run every spec; returns (stats by spec, errors by spec, status).
+
+    Benchmark runs with ``--jobs > 1`` go through the process-pool
+    sweep runner (each worker loads the same stored trace); trace-file
+    and ``--sanitize`` runs stay serial.
+    """
+    results: dict[str, CacheStats] = {}
+    errors: dict[str, str] = {}
+    status = 0
+
+    valid_specs = []
+    for spec in args.specs:
+        try:
+            make_cache(spec, size=args.size, line_size=args.line, policy=args.policy)
+        except ValueError as exc:
+            errors[spec] = f"error: {exc}"
+            status = 2
+        else:
+            valid_specs.append(spec)
+
+    parallel = args.jobs > 1 and len(valid_specs) > 1
+    if parallel and (args.trace or args.sanitize):
+        reason = "--sanitize replays serially" if args.sanitize else (
+            "trace files are not in the trace store"
+        )
+        print(f"bcache-sim: {reason}; running with --jobs 1", file=sys.stderr)
+        parallel = False
+
+    if parallel:
+        sweep = [
+            SweepJob(
+                spec=spec,
+                benchmark=args.benchmark,
+                side=args.side,
+                n=args.n,
+                seed=args.seed,
+                size=args.size,
+                line_size=args.line,
+                policy=args.policy,
+                with_kinds=True,
+            )
+            for spec in valid_specs
+        ]
+        for spec, stats in zip(valid_specs, run_sweep(sweep, workers=args.jobs)):
+            results[spec] = stats
+        return results, errors, status
+
+    for spec in valid_specs:
+        try:
+            results[spec] = _simulate_one(spec, args, addresses, kinds)
+        except AssertionError as exc:
+            errors[spec] = f"sanitizer violation: {exc}"
+            status = 3
+    return results, errors, status
+
+
+def _run_json(
+    args: argparse.Namespace, addresses: array, kinds: array
+) -> int:
     """Run all specs and dump one JSON document to stdout."""
     import json
 
-    results = {"trace_length": len(accesses), "configs": {}}
-    status = 0
+    output = {"trace_length": len(addresses), "configs": {}}
+    results, errors, status = _run_specs(args, addresses, kinds)
     for spec in args.specs:
-        try:
-            cache = make_cache(
-                spec, size=args.size, line_size=args.line, policy=args.policy
-            )
-        except ValueError as exc:
-            print(f"{spec}: {exc}", file=sys.stderr)
-            status = 2
+        if spec in errors:
+            print(f"{spec}: {errors[spec]}", file=sys.stderr)
             continue
-        cache = _maybe_sanitize(cache, args)
-        try:
-            for access in accesses:
-                cache.access(access.address, access.is_write)
-            if args.sanitize:
-                cache.finalize()
-        except AssertionError as exc:
-            print(f"{spec}: sanitizer violation: {exc}", file=sys.stderr)
-            status = 3
-            continue
-        entry = cache.stats.as_dict()
+        stats = results[spec]
+        entry = stats.as_dict()
         if args.balance:
-            report = analyze_balance(cache.stats)
+            report = analyze_balance(stats)
             entry["balance"] = {
                 "frequent_hit_sets": report.frequent_hit_sets,
                 "frequent_hit_share": report.frequent_hit_share,
@@ -76,8 +152,8 @@ def _run_json(args: argparse.Namespace, accesses: list) -> int:
                 "less_accessed_sets": report.less_accessed_sets,
                 "less_accessed_share": report.less_accessed_share,
             }
-        results["configs"][spec] = entry
-    print(json.dumps(results, indent=2))
+        output["configs"][spec] = entry
+    print(json.dumps(output, indent=2))
     return status
 
 
@@ -109,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="line size in bytes (default 32)")
     parser.add_argument("--policy", default="lru",
                         help="replacement policy where applicable")
+    parser.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="worker processes for benchmark runs with "
+                        "several specs (default $REPRO_JOBS or 1); results "
+                        "are bit-identical to a serial run")
     parser.add_argument("--balance", action="store_true",
                         help="also print the Table 7 balance classification")
     parser.add_argument("--sanitize", action="store_true",
@@ -122,42 +202,27 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        accesses = _load_accesses(args)
+        addresses, kinds = _load_accesses(args)
     except (OSError, KeyError, ValueError) as exc:
         print(f"error loading trace: {exc}", file=sys.stderr)
         return 1
 
     if args.json:
-        return _run_json(args, accesses)
+        return _run_json(args, addresses, kinds)
 
-    print(f"trace: {len(accesses)} accesses")
+    print(f"trace: {len(addresses)} accesses")
     header = (
         f"{'config':<12} {'miss rate':>10} {'hits':>9} {'misses':>8} "
         f"{'evict':>7} {'wb':>6} {'PDhit@miss':>11}"
     )
     print(header)
     print("-" * len(header))
-    status = 0
+    results, errors, status = _run_specs(args, addresses, kinds)
     for spec in args.specs:
-        try:
-            cache = make_cache(
-                spec, size=args.size, line_size=args.line, policy=args.policy
-            )
-        except ValueError as exc:
-            print(f"{spec:<12} error: {exc}", file=sys.stderr)
-            status = 2
+        if spec in errors:
+            print(f"{spec:<12} {errors[spec]}", file=sys.stderr)
             continue
-        cache = _maybe_sanitize(cache, args)
-        try:
-            for access in accesses:
-                cache.access(access.address, access.is_write)
-            if args.sanitize:
-                cache.finalize()
-        except AssertionError as exc:
-            print(f"{spec:<12} sanitizer violation: {exc}", file=sys.stderr)
-            status = 3
-            continue
-        stats = cache.stats
+        stats = results[spec]
         pd = (
             f"{stats.pd_hit_rate_during_miss:>10.1%}"
             if spec.startswith("mf")

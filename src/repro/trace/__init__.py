@@ -15,6 +15,7 @@ from repro.trace.trace_file import (
     read_binary_trace,
     read_text_trace,
     save_trace,
+    stream_trace,
     write_binary_trace,
     write_text_trace,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "read_binary_trace",
     "read_text_trace",
     "save_trace",
+    "stream_trace",
     "write_access",
     "write_binary_trace",
     "write_text_trace",

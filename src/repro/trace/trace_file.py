@@ -98,3 +98,19 @@ def load_trace(path: str | Path) -> list[Access]:
             return list(read_text_trace(fp))
     with path.open("rb") as fp:
         return list(read_binary_trace(fp))
+
+
+def stream_trace(path: str | Path) -> Iterator[Access]:
+    """Yield a trace file's accesses without materialising the list.
+
+    Unlike :func:`load_trace` this keeps one record alive at a time, so
+    arbitrarily long traces replay in constant memory (``bcache-sim``
+    packs the stream straight into ``array`` blobs).
+    """
+    path = Path(path)
+    if path.suffix in (".din", ".txt"):
+        with path.open() as fp:
+            yield from read_text_trace(fp)
+    else:
+        with path.open("rb") as fp:
+            yield from read_binary_trace(fp)

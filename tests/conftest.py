@@ -33,6 +33,22 @@ if os.environ.get("REPRO_SANITIZE", "1") not in {"0", "off", "no"}:
     install_global_sanitizer(check_interval=256)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_store(tmp_path_factory: pytest.TempPathFactory):
+    """Point the process-wide trace store at a per-session temp dir.
+
+    Keeps test runs from writing blobs into the user's real cache
+    directory and from reading stale blobs left by earlier runs.
+    """
+    from repro.engine.trace_store import TraceStore, set_default_store
+
+    previous = set_default_store(
+        TraceStore(tmp_path_factory.mktemp("trace-store"))
+    )
+    yield
+    set_default_store(previous)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)

@@ -1,0 +1,223 @@
+"""The batch fast path must be bit-identical to the per-access path.
+
+``Cache.access_trace`` (and every ``_batch_trace`` override) exists
+purely for speed: for any spec the factory can build and any reference
+stream, the resulting :class:`CacheStats` — including the per-set
+counters — must equal a per-access ``Cache.access`` replay exactly.
+
+The global test sanitizer reroutes ``access_trace`` through the checked
+per-access path, which would make these tests vacuous; the
+``real_kernels`` fixture temporarily uninstalls it so the actual batch
+kernels run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.sanitizer import (
+    SanitizedCache,
+    global_sanitizer_installed,
+    install_global_sanitizer,
+    uninstall_global_sanitizer,
+)
+from repro.caches import make_cache
+
+#: Every spec family the factory understands (see make_cache's docs).
+ALL_SPECS = (
+    "dm",
+    "fa",
+    "column",
+    "hac",
+    "agac",
+    "pagecolor",
+    "2way",
+    "4way",
+    "8way",
+    "victim4",
+    "victim16",
+    "mf2_bas2",
+    "mf8_bas8",
+    "mf16_bas4",
+    "skew2",
+    "pam2",
+    "psa2",
+)
+
+
+@pytest.fixture
+def real_kernels():
+    """Run the actual batch kernels (not the sanitizer's checked loop)."""
+    was_installed = global_sanitizer_installed()
+    uninstall_global_sanitizer()
+    yield
+    if was_installed:
+        install_global_sanitizer(check_interval=256)
+
+
+def mixed_trace(n: int, seed: int) -> tuple[list[int], list[int]]:
+    """A seeded read/write stream with reuse, conflicts and strides."""
+    rng = random.Random(seed)
+    hot = [rng.randrange(0, 1 << 20) for _ in range(32)]
+    addresses, kinds = [], []
+    for i in range(n):
+        roll = rng.random()
+        if roll < 0.5:
+            address = rng.choice(hot)
+        elif roll < 0.8:
+            address = (i * 64) % (1 << 18)
+        else:
+            address = rng.randrange(0, 1 << 26)
+        addresses.append(address)
+        kinds.append(1 if rng.random() < 0.3 else 0)
+    return addresses, kinds
+
+
+def scalar_stats(spec: str, addresses, kinds, **kwargs):
+    cache = make_cache(spec, **kwargs)
+    access = cache.access
+    if kinds is None:
+        for address in addresses:
+            access(address)
+    else:
+        for address, kind in zip(addresses, kinds):
+            access(address, kind == 1)
+    return cache.stats
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_mixed_stream(self, spec, real_kernels):
+        addresses, kinds = mixed_trace(4000, seed=7)
+        expected = scalar_stats(spec, addresses, kinds, seed=3)
+        cache = make_cache(spec, seed=3)
+        assert cache.access_trace(addresses, kinds) == expected
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_reads_only_default(self, spec, real_kernels):
+        addresses, _ = mixed_trace(2500, seed=11)
+        expected = scalar_stats(spec, addresses, None, seed=1)
+        cache = make_cache(spec, seed=1)
+        assert cache.access_trace(addresses) == expected
+
+    @pytest.mark.parametrize("spec", ("dm", "8way", "mf8_bas8"))
+    def test_random_policy(self, spec, real_kernels):
+        addresses, kinds = mixed_trace(3000, seed=23)
+        expected = scalar_stats(spec, addresses, kinds, policy="random", seed=9)
+        cache = make_cache(spec, policy="random", seed=9)
+        assert cache.access_trace(addresses, kinds) == expected
+
+    @pytest.mark.parametrize("spec", ("mf2_bas2", "mf8_bas8"))
+    def test_bcache_decoder_counters_match(self, spec, real_kernels):
+        addresses, kinds = mixed_trace(3000, seed=5)
+        scalar = make_cache(spec)
+        for address, kind in zip(addresses, kinds):
+            scalar.access(address, kind == 1)
+        batch = make_cache(spec)
+        batch.access_trace(addresses, kinds)
+        assert batch.stats == scalar.stats
+        assert batch.decoder.searches == scalar.decoder.searches
+        assert batch.decoder.programs == scalar.decoder.programs
+        batch.check_integrity()
+
+    @pytest.mark.parametrize("spec", ("pam2", "psa2"))
+    def test_way_prediction_counters_match(self, spec, real_kernels):
+        """Subclass overrides of ``_access_block`` keep their bookkeeping.
+
+        The set-associative fast kernel never calls ``_access_block``,
+        so for these organisations it must defer to the generic kernel
+        — otherwise fast/slow-hit accounting silently reads zero.
+        """
+        addresses, kinds = mixed_trace(3000, seed=41)
+        scalar = make_cache(spec)
+        for address, kind in zip(addresses, kinds):
+            scalar.access(address, kind == 1)
+        batch = make_cache(spec)
+        batch.access_trace(addresses, kinds)
+        assert batch.stats == scalar.stats
+        assert batch.fast_hits == scalar.fast_hits > 0
+        assert batch.slow_hits == scalar.slow_hits > 0
+        if spec == "psa2":
+            assert batch.extra_probe_count == scalar.extra_probe_count
+
+    def test_victim_buffer_counters_match(self, real_kernels):
+        addresses, kinds = mixed_trace(3000, seed=43)
+        scalar = make_cache("victim16")
+        for address, kind in zip(addresses, kinds):
+            scalar.access(address, kind == 1)
+        batch = make_cache("victim16")
+        batch.access_trace(addresses, kinds)
+        assert batch.stats == scalar.stats
+        assert batch.victim_hits == scalar.victim_hits > 0
+
+    @pytest.mark.parametrize("spec", ("dm", "4way", "mf8_bas8"))
+    def test_resumable_between_batches(self, spec, real_kernels):
+        """Two batch calls == one; the kernel keeps state, not a copy."""
+        addresses, kinds = mixed_trace(2000, seed=31)
+        whole = make_cache(spec)
+        whole.access_trace(addresses, kinds)
+        split = make_cache(spec)
+        split.access_trace(addresses[:777], kinds[:777])
+        split.access_trace(addresses[777:], kinds[777:])
+        assert split.stats == whole.stats
+
+    def test_iterables_are_accepted(self, real_kernels):
+        addresses, _ = mixed_trace(500, seed=2)
+        expected = scalar_stats("dm", addresses, None)
+        cache = make_cache("dm")
+        assert cache.access_trace(iter(addresses)) == expected
+
+    def test_length_mismatch_rejected(self, real_kernels):
+        cache = make_cache("dm")
+        with pytest.raises(ValueError, match="kinds"):
+            cache.access_trace([0x40, 0x80], [0])
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 1 << 22), st.integers(0, 2)),
+            max_size=300,
+        ),
+        spec=st.sampled_from(("dm", "2way", "8way", "fa", "mf8_bas8", "victim4")),
+    )
+    def test_property_equivalence(self, data, spec):
+        """Batch == scalar for arbitrary streams, any factory spec."""
+        was_installed = global_sanitizer_installed()
+        uninstall_global_sanitizer()
+        try:
+            addresses = [address for address, _ in data]
+            kinds = [kind for _, kind in data]
+            expected = scalar_stats(spec, addresses, kinds)
+            cache = make_cache(spec)
+            assert cache.access_trace(addresses, kinds) == expected
+        finally:
+            if was_installed:
+                install_global_sanitizer(check_interval=256)
+
+
+class TestSanitizerComposability:
+    @pytest.mark.parametrize("spec", ("dm", "8way", "mf8_bas8"))
+    def test_sanitized_wrapper_batch(self, spec, real_kernels):
+        """SanitizedCache.access_trace checks every access, same stats."""
+        addresses, kinds = mixed_trace(2000, seed=13)
+        expected = scalar_stats(spec, addresses, kinds)
+        checked = SanitizedCache(make_cache(spec), check_interval=64)
+        assert checked.access_trace(addresses, kinds) == expected
+        checked.finalize()
+
+    def test_global_hook_intercepts_batch(self):
+        """With the hook installed, access_trace runs the checked path.
+
+        (No ``real_kernels`` fixture here on purpose: the suite-wide
+        sanitizer is active, and stats must still be identical.)
+        """
+        if not global_sanitizer_installed():
+            pytest.skip("suite runs with REPRO_SANITIZE=0")
+        addresses, kinds = mixed_trace(1500, seed=17)
+        expected_cache = make_cache("mf8_bas8")
+        for address, kind in zip(addresses, kinds):
+            expected_cache.access(address, kind == 1)
+        cache = make_cache("mf8_bas8")
+        assert cache.access_trace(addresses, kinds) == expected_cache.stats

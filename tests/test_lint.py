@@ -90,6 +90,22 @@ class TestStatsRouting:
         source = "class CacheLevel:\n    def access(self, address):\n        pass\n"
         assert "BCL002" not in codes(source)
 
+    def test_access_trace_override_fires(self):
+        source = (
+            "class SneakyCache(Cache):\n"
+            "    def access_trace(self, addresses, kinds=None):\n"
+            "        return self.stats\n"
+        )
+        assert "BCL002" in codes(source)
+
+    def test_batch_trace_override_is_clean(self):
+        source = (
+            "class FastCache(DirectMappedCache):\n"
+            "    def _batch_trace(self, addresses, kinds):\n"
+            "        return self.stats\n"
+        )
+        assert "BCL002" not in codes(source)
+
 
 # ----------------------------------------------------------------------
 # BCL003 — slots on hot-path dataclasses
@@ -224,6 +240,65 @@ class TestInterfaceAnnotations:
 # ----------------------------------------------------------------------
 # Mechanics: noqa, syntax errors, file discovery, CLI
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# BCL009 — allocation-free batch kernels
+# ----------------------------------------------------------------------
+class TestBatchAllocation:
+    def test_allocation_in_batch_loop_fires(self):
+        source = (
+            "class SlowCache(DirectMappedCache):\n"
+            "    def _batch_trace(self, addresses, kinds):\n"
+            "        for address in addresses:\n"
+            "            result = AccessResult(hit=True, set_index=0)\n"
+            "        return self.stats\n"
+        )
+        assert "BCL009" in codes(source)
+
+    def test_allocation_in_access_trace_loop_fires(self):
+        source = (
+            "def access_trace(self, addresses, kinds=None):\n"
+            "    while addresses:\n"
+            "        AccessResult(hit=False, set_index=1)\n"
+        )
+        assert "BCL009" in codes(source)
+
+    def test_allocation_in_comprehension_fires(self):
+        source = (
+            "def _batch_trace(self, addresses, kinds):\n"
+            "    return [AccessResult(hit=True, set_index=0) for _ in addresses]\n"
+        )
+        assert "BCL009" in codes(source)
+
+    def test_allocation_outside_loop_is_clean(self):
+        source = (
+            "def _batch_trace(self, addresses, kinds):\n"
+            "    sentinel = AccessResult(hit=False, set_index=0)\n"
+            "    for address in addresses:\n"
+            "        pass\n"
+            "    return sentinel\n"
+        )
+        assert "BCL009" not in codes(source)
+
+    def test_loop_in_other_function_is_clean(self):
+        source = (
+            "def _access_block(self, block: int, is_write: bool) -> int:\n"
+            "    for _ in range(2):\n"
+            "        AccessResult(hit=True, set_index=0)\n"
+            "    return 0\n"
+        )
+        assert "BCL009" not in codes(source)
+
+    def test_helper_nested_in_batch_kernel_fires(self):
+        source = (
+            "def _batch_trace(self, addresses, kinds):\n"
+            "    def drain():\n"
+            "        for address in addresses:\n"
+            "            AccessResult(hit=True, set_index=0)\n"
+            "    drain()\n"
+        )
+        assert "BCL009" in codes(source)
+
+
 class TestMechanics:
     def test_noqa_with_code_suppresses(self):
         source = "rng = random.Random()  # noqa: BCL005\n"

@@ -1,0 +1,127 @@
+"""Tests for the on-disk trace store."""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.engine.trace_store import (
+    TraceStore,
+    TraceStoreError,
+    default_store,
+    set_default_store,
+)
+from repro.workloads.spec2k import get_profile
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceStore:
+    return TraceStore(tmp_path / "traces", memory_entries=4)
+
+
+class TestAddresses:
+    def test_matches_profile(self, store):
+        blob = store.addresses("gzip", "data", 300, 1)
+        assert list(blob) == list(get_profile("gzip").data_addresses(300, 1))
+
+    def test_returns_u64_array(self, store):
+        blob = store.addresses("gcc", "instr", 200, 2)
+        assert isinstance(blob, array) and blob.typecode == "Q"
+        assert len(blob) == 200
+
+    def test_persists_on_disk(self, store):
+        store.addresses("gzip", "data", 250, 1)
+        path = store.address_path("gzip", "data", 250, 1)
+        assert path.is_file() and path.stat().st_size == 8 * 250
+
+    def test_second_process_reloads(self, store, tmp_path):
+        first = store.addresses("gzip", "data", 250, 1)
+        fresh = TraceStore(tmp_path / "traces")  # same root, cold memory
+        reloaded = fresh.addresses("gzip", "data", 250, 1)
+        assert reloaded == first
+        assert fresh.disk_hits == 1 and fresh.disk_misses == 0
+
+    def test_memory_lru_returns_same_object(self, store):
+        assert store.addresses("gzip", "data", 100, 1) is store.addresses(
+            "gzip", "data", 100, 1
+        )
+
+    def test_memory_lru_bounded(self, store):
+        for seed in range(6):  # memory_entries=4
+            store.addresses("gzip", "data", 50, seed)
+        assert len(store._memory) == 4
+
+    def test_truncated_blob_regenerates(self, store):
+        expected = list(store.addresses("gzip", "data", 200, 1))
+        path = store.address_path("gzip", "data", 200, 1)
+        path.write_bytes(path.read_bytes()[:-8])  # corrupt: drop a record
+        store.clear_memory()
+        again = store.addresses("gzip", "data", 200, 1)
+        assert list(again) == expected
+        assert path.stat().st_size == 8 * 200
+
+    def test_unknown_side_rejected(self, store):
+        with pytest.raises(TraceStoreError, match="side"):
+            store.addresses("gzip", "combined", 100, 1)
+
+    def test_different_seeds_differ(self, store):
+        assert store.addresses("gzip", "data", 200, 1) != store.addresses(
+            "gzip", "data", 200, 2
+        )
+
+
+class TestAccesses:
+    def test_pair_shapes(self, store):
+        addresses, kinds = store.accesses("gzip", "data", 300, 1)
+        assert addresses.typecode == "Q" and kinds.typecode == "B"
+        assert len(addresses) == len(kinds) == 300
+
+    def test_matches_profile_stream(self, store):
+        addresses, kinds = store.accesses("gcc", "instr", 150, 3)
+        expected = list(get_profile("gcc").instruction_trace(150, 3))
+        assert list(addresses) == [a.address for a in expected]
+        assert list(kinds) == [int(a.kind) for a in expected]
+
+    def test_combined_side_length_from_blob(self, store):
+        addresses, kinds = store.accesses("gzip", "combined", 200, 1)
+        assert len(addresses) == len(kinds) >= 200  # >= one ifetch per instr
+        fresh = TraceStore(store.root)
+        again_addresses, again_kinds = fresh.accesses("gzip", "combined", 200, 1)
+        assert again_addresses == addresses and again_kinds == kinds
+        assert fresh.disk_hits == 1
+
+    def test_stale_pair_regenerates(self, store):
+        addresses, kinds = store.accesses("gzip", "data", 100, 1)
+        store.kind_path("gzip", "data", 100, 1).write_bytes(b"\x00")  # stale
+        store.clear_memory()
+        again_addresses, again_kinds = store.accesses("gzip", "data", 100, 1)
+        assert again_addresses == addresses and again_kinds == kinds
+
+
+class TestMaintenance:
+    def test_ensure_materialises_without_memory(self, store):
+        path = store.ensure("gzip", "data", 120, 1)
+        assert path.is_file()
+        assert not store._memory  # prewarm must not pin blobs
+
+    def test_ensure_with_kinds(self, store):
+        store.ensure("gzip", "data", 120, 1, kinds=True)
+        assert store.kind_path("gzip", "data", 120, 1).is_file()
+
+    def test_wipe(self, store):
+        store.addresses("gzip", "data", 100, 1)
+        store.accesses("gzip", "data", 100, 1)
+        assert store.wipe() == 3  # 2 address blobs + 1 kind blob
+        assert not any(store.root.iterdir())
+
+
+class TestDefaultStore:
+    def test_set_and_restore(self, tmp_path):
+        mine = TraceStore(tmp_path / "mine")
+        previous = set_default_store(mine)
+        try:
+            assert default_store() is mine
+        finally:
+            set_default_store(previous)
+        assert default_store() is previous
