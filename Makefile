@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test lint bench bench-engine experiments experiments-full examples clean
+.PHONY: install dev test lint bench bench-engine chaos experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -21,6 +21,11 @@ bench:
 
 bench-engine:
 	PYTHONPATH=src $(PYTHON) -m repro.engine.bench --check BENCH_engine.json
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.engine.faultinject --workers 2 \
+		--timeout 20 \
+		--faults "crash@0,hang@1:0,flaky@2,corrupt_blob@3,torn_journal@4"
 
 experiments:
 	$(PYTHON) -m repro.cli all --scale default

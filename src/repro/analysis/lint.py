@@ -29,6 +29,10 @@ BCL008    cache-interface methods must carry full type annotations so
 BCL009    batch kernels (``access_trace`` / ``_batch_trace``) must stay
           allocation-free: no ``AccessResult(...)`` construction inside
           their loops (accumulate locals, bulk-update the stats once)
+BCL010    engine code (``repro.engine``) must not swallow failures or
+          spin-retry: no bare ``except:``, no ``except Exception:
+          pass``, and retry loops (``while``/``for range(...)`` with an
+          except-and-continue) must back off via a sleep/delay call
 ========  =============================================================
 
 A violation on a line containing ``# noqa: BCLxxx`` (or a bare
@@ -59,12 +63,21 @@ RULES: dict[str, str] = {
     "BCL007": "mutable default argument",
     "BCL008": "cache-interface method missing type annotations",
     "BCL009": "AccessResult allocation inside a batch-kernel loop",
+    "BCL010": "engine code swallows exceptions or retries without backoff",
 }
 
 #: Sub-packages of ``repro`` whose code runs once per simulated access.
 HOT_PACKAGES = frozenset(
     {"caches", "core", "trace", "hierarchy", "replacement", "stats"}
 )
+
+#: Sub-packages holding the fault-tolerant engine: failure handling
+#: there must be explicit (BCL010) — a swallowed exception is a lost
+#: worker, a sleepless retry loop is a busy-wait against a dead pool.
+ENGINE_PACKAGES = frozenset({"engine"})
+
+#: Call names that count as backing off inside a retry loop.
+BACKOFF_CALLS = frozenset({"sleep", "delay", "backoff", "wait"})
 
 #: Modules where ``math.log2`` itself is banned (geometry must go
 #: through ``log2_exact``); the energy models legitimately need floats.
@@ -185,6 +198,7 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.hot = bool(segments) and segments[0] in HOT_PACKAGES
         self.geometry_module = bool(segments) and segments[0] in GEOMETRY_PACKAGES
+        self.engine_module = bool(segments) and segments[0] in ENGINE_PACKAGES
         self.violations: list[Violation] = []
         self._func_stack: list[str] = []
         self._class_stack: list[bool] = []  # "is cache-like" per frame
@@ -318,13 +332,99 @@ class _Linter(ast.NodeVisitor):
         self._loop_depth -= 1
 
     def visit_For(self, node: ast.For) -> None:
+        # Only counted ``for`` loops (``for _ in range(...)``) look like
+        # retry loops; journal/line iteration legitimately continues on
+        # bad records without sleeping.
+        if (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+        ):
+            self._check_retry_loop(node)
         self._visit_loop(node)
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
         self._visit_loop(node)
 
     def visit_While(self, node: ast.While) -> None:
+        self._check_retry_loop(node)
         self._visit_loop(node)
+
+    def _check_retry_loop(self, node: ast.While | ast.For) -> None:
+        """BCL010 (engine only): a loop that catches-and-continues must
+        back off — a sleepless retry loop busy-waits against a failure
+        that is not going away this microsecond."""
+        if not self.engine_module:
+            return
+        retries = False
+        backs_off = False
+        for child in ast.walk(node):
+            if isinstance(child, ast.ExceptHandler) and any(
+                isinstance(sub, ast.Continue) for sub in ast.walk(child)
+            ):
+                retries = True
+            elif isinstance(child, ast.Call):
+                func = child.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                if name in BACKOFF_CALLS:
+                    backs_off = True
+        if retries and not backs_off:
+            self._add(
+                node,
+                "BCL010",
+                "retry loop without backoff: call sleep/delay before "
+                "retrying a failed operation",
+            )
+
+    # -- exception handling (BCL010, engine only) ----------------------
+    @staticmethod
+    def _handler_type_names(node: ast.ExceptHandler) -> list[str]:
+        """Exception class names a handler catches (empty for bare)."""
+        if node.type is None:
+            return []
+        exprs = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        names = []
+        for expr in exprs:
+            if isinstance(expr, ast.Name):
+                names.append(expr.id)
+            elif isinstance(expr, ast.Attribute):
+                names.append(expr.attr)
+        return names
+
+    @staticmethod
+    def _is_noop_body(body: list[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in body
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.engine_module:
+            if node.type is None:
+                self._add(
+                    node,
+                    "BCL010",
+                    "bare except: hides worker failures; catch specific "
+                    "exception types (contextlib.suppress for expected ones)",
+                )
+            elif any(
+                name in {"Exception", "BaseException"}
+                for name in self._handler_type_names(node)
+            ) and self._is_noop_body(node.body):
+                self._add(
+                    node,
+                    "BCL010",
+                    "except Exception: pass swallows failures silently; "
+                    "log, retry with backoff, or re-raise",
+                )
+        self.generic_visit(node)
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
         self._visit_loop(node)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import DEFAULT, FULL, SMOKE, ExperimentScale
@@ -30,65 +31,90 @@ from repro.experiments import sensitivity, tab56_tradeoff, tab7_balance
 _SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
 
 
-def _render_fig3(scale: ExperimentScale) -> str:
-    return fig3_mf_sweep.run(scale).render()
+@dataclass(frozen=True)
+class RunOptions:
+    """Engine options shared by the sweep-backed experiments.
+
+    ``run_id`` opts into the crash-safe journal: the id is namespaced
+    per experiment (``<run_id>-fig4`` etc.) so one ``bcache-repro all
+    --run-id nightly`` invocation resumes each experiment independently
+    after a kill.
+    """
+
+    jobs: int | None = None
+    run_id: str | None = None
+
+    def sub_id(self, name: str) -> str | None:
+        return f"{self.run_id}-{name}" if self.run_id else None
 
 
-def _render_fig4(scale: ExperimentScale) -> str:
-    return missrate_figures.run_fig4(scale).render()
+def _render_fig3(scale: ExperimentScale, opts: "RunOptions") -> str:
+    return fig3_mf_sweep.run(
+        scale, jobs=opts.jobs, run_id=opts.sub_id("fig3")
+    ).render()
 
 
-def _render_fig5(scale: ExperimentScale) -> str:
-    return missrate_figures.run_fig5(scale).render()
+def _render_fig4(scale: ExperimentScale, opts: "RunOptions") -> str:
+    return missrate_figures.run_fig4(
+        scale, jobs=opts.jobs, run_id=opts.sub_id("fig4")
+    ).render()
 
 
-def _render_fig12(scale: ExperimentScale) -> str:
-    return missrate_figures.run_fig12(scale).render()
+def _render_fig5(scale: ExperimentScale, opts: "RunOptions") -> str:
+    return missrate_figures.run_fig5(
+        scale, jobs=opts.jobs, run_id=opts.sub_id("fig5")
+    ).render()
 
 
-def _render_fig8(scale: ExperimentScale) -> str:
+def _render_fig12(scale: ExperimentScale, opts: "RunOptions") -> str:
+    return missrate_figures.run_fig12(
+        scale, jobs=opts.jobs, run_id=opts.sub_id("fig12")
+    ).render()
+
+
+def _render_fig8(scale: ExperimentScale, opts: "RunOptions") -> str:
     return perf_energy.run(scale).render_fig8()
 
 
-def _render_fig9(scale: ExperimentScale) -> str:
+def _render_fig9(scale: ExperimentScale, opts: "RunOptions") -> str:
     return perf_energy.run(scale).render_fig9()
 
 
-def _render_tab1(scale: ExperimentScale) -> str:
+def _render_tab1(scale: ExperimentScale, opts: "RunOptions") -> str:
     return circuit_tables.run_tab1().render()
 
 
-def _render_tab2(scale: ExperimentScale) -> str:
+def _render_tab2(scale: ExperimentScale, opts: "RunOptions") -> str:
     return circuit_tables.run_tab2().render()
 
 
-def _render_tab3(scale: ExperimentScale) -> str:
+def _render_tab3(scale: ExperimentScale, opts: "RunOptions") -> str:
     return circuit_tables.run_tab3().render()
 
 
-def _render_tab56(scale: ExperimentScale) -> str:
+def _render_tab56(scale: ExperimentScale, opts: "RunOptions") -> str:
     return tab56_tradeoff.run(scale).render()
 
 
-def _render_tab7(scale: ExperimentScale) -> str:
+def _render_tab7(scale: ExperimentScale, opts: "RunOptions") -> str:
     return tab7_balance.run(scale).render()
 
 
-def _render_hac(scale: ExperimentScale) -> str:
+def _render_hac(scale: ExperimentScale, opts: "RunOptions") -> str:
     return comparisons.run_hac(scale).render()
 
 
-def _render_prior_art(scale: ExperimentScale) -> str:
+def _render_prior_art(scale: ExperimentScale, opts: "RunOptions") -> str:
     return comparisons.run_prior_art(scale).render(
         "Section 7.1 prior art comparison"
     )
 
 
-def _render_replacement(scale: ExperimentScale) -> str:
+def _render_replacement(scale: ExperimentScale, opts: "RunOptions") -> str:
     return comparisons.run_replacement_ablation(scale).render()
 
 
-def _render_sensitivity(scale: ExperimentScale) -> str:
+def _render_sensitivity(scale: ExperimentScale, opts: "RunOptions") -> str:
     return (
         sensitivity.run_line_size(scale).render()
         + "\n\n"
@@ -96,23 +122,23 @@ def _render_sensitivity(scale: ExperimentScale) -> str:
     )
 
 
-def _render_3c(scale: ExperimentScale) -> str:
+def _render_3c(scale: ExperimentScale, opts: "RunOptions") -> str:
     return miss_decomposition.run(scale).render()
 
 
-def _render_latency(scale: ExperimentScale) -> str:
+def _render_latency(scale: ExperimentScale, opts: "RunOptions") -> str:
     return latency_study.run(scale).render()
 
 
-def _render_addressing(scale: ExperimentScale) -> str:
+def _render_addressing(scale: ExperimentScale, opts: "RunOptions") -> str:
     return extensions.run_addressing().render()
 
 
-def _render_drowsy(scale: ExperimentScale) -> str:
+def _render_drowsy(scale: ExperimentScale, opts: "RunOptions") -> str:
     return extensions.run_drowsy(scale).render()
 
 
-EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
+EXPERIMENTS: dict[str, Callable[[ExperimentScale, RunOptions], str]] = {
     "fig3": _render_fig3,
     "fig4": _render_fig4,
     "fig5": _render_fig5,
@@ -158,6 +184,23 @@ def main(argv: list[str] | None = None) -> int:
         help="additionally write the selected experiments into one "
         "markdown report file",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep-backed experiments "
+        "(default: $REPRO_JOBS or serial); results are bit-identical "
+        "to serial runs",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="journal sweep results under this id and resume a "
+        "previously killed run bit-identically (stored in "
+        "$REPRO_RUN_ROOT or ~/.cache/bcache-repro/runs)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -167,23 +210,43 @@ def main(argv: list[str] | None = None) -> int:
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     scale = _SCALES[args.scale]
+    opts = RunOptions(jobs=args.jobs, run_id=args.run_id)
     status = 0
-    for name in names:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
-            status = 2
-            continue
-        started = time.time()
-        print(f"== {name} (scale={args.scale}) ==")
-        print(runner(scale))
-        print(f"[{time.time() - started:.1f}s]\n")
+    try:
+        for name in names:
+            runner = EXPERIMENTS.get(name)
+            if runner is None:
+                print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+                status = 2
+                continue
+            started = time.time()
+            print(f"== {name} (scale={args.scale}) ==")
+            print(runner(scale, opts))
+            print(f"[{time.time() - started:.1f}s]\n")
+    except KeyboardInterrupt:
+        print(
+            "\nbcache-repro: interrupted — workers terminated"
+            + (
+                f"; completed jobs are journaled under run id {args.run_id!r} "
+                "(rerun with the same --run-id to resume)"
+                if args.run_id
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 130
 
     if args.report and status == 0:
         from repro.experiments.report import write_report
 
         valid = tuple(name for name in names if name in EXPERIMENTS)
-        path = write_report(args.report, scale, ids=valid)
+        # Bind this invocation's engine options; with --run-id the
+        # report replays journaled results instead of recomputing.
+        registry = {
+            name: (lambda s, _fn=fn: _fn(s, opts))
+            for name, fn in EXPERIMENTS.items()
+        }
+        path = write_report(args.report, scale, experiments=registry, ids=valid)
         print(f"report written to {path}")
     return status
 

@@ -1,24 +1,75 @@
-"""Parallel experiment engine: trace store, process-pool runner, bench.
+"""Parallel experiment engine: trace store, runner, resilience, bench.
 
-Three pieces (see ``docs/engine.md``):
+Five pieces (see ``docs/engine.md``):
 
-* :mod:`repro.engine.trace_store` — on-disk ``array('Q')`` blobs so
-  every synthetic trace is generated exactly once per machine;
+* :mod:`repro.engine.trace_store` — on-disk ``array('Q')`` blobs (CRC32
+  framed, corrupt files quarantined + regenerated) so every synthetic
+  trace is generated exactly once per machine;
 * :mod:`repro.engine.runner` — deterministic process-pool fan-out of
   (spec, benchmark, side, scale) jobs with bit-identical statistics;
+* :mod:`repro.engine.resilience` — crash-safe execution: per-job
+  retries with backoff, hung-worker timeouts, the durable result
+  journal behind ``run_sweep(..., resume=run_id)``, and serial
+  fallback after repeated pool failures;
+* :mod:`repro.engine.faultinject` — deterministic fault injection
+  (:class:`FaultPlan`) proving every recovery path, plus the CI chaos
+  harness (``python -m repro.engine.faultinject``);
 * :mod:`repro.engine.bench` — the ``bcache-bench`` perf-tracking
   harness behind ``BENCH_engine.json``.
 """
 
+import importlib
+
 from repro.engine.runner import SweepJob, default_jobs, execute_job, run_sweep
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
 
+#: Symbols resolved lazily (PEP 562) so ``python -m
+#: repro.engine.faultinject`` does not double-import its own module and
+#: plain sweeps never pay the resilience import.
+_LAZY = {
+    "FAULT_KINDS": "faultinject",
+    "FaultPlan": "faultinject",
+    "FaultPlanError": "faultinject",
+    "FaultSpec": "faultinject",
+    "InjectedFault": "faultinject",
+    "ResilienceConfig": "resilience",
+    "ResultJournal": "resilience",
+    "RetryPolicy": "resilience",
+    "SweepFailure": "resilience",
+    "default_run_root": "resilience",
+    "job_key": "resilience",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(f"{__name__}.{submodule}"), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
 __all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceConfig",
+    "ResultJournal",
+    "RetryPolicy",
+    "SweepFailure",
     "SweepJob",
     "TraceStore",
     "default_jobs",
+    "default_run_root",
     "default_store",
     "execute_job",
+    "job_key",
     "run_sweep",
     "set_default_store",
 ]

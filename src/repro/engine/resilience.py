@@ -1,0 +1,718 @@
+"""Crash-safe sweep execution: retries, timeouts, journal, fallback.
+
+The plain pool runner (``repro.engine.runner``) assumes a well-behaved
+world: no worker hangs, nothing is OOM-killed, nobody presses Ctrl-C
+at hour two of a 26-benchmark panel.  This layer drops that assumption
+while preserving the engine's core guarantee — **bit-identical
+statistics** — because recovery never changes *what* is simulated,
+only *when and where* a job runs:
+
+* **Retry with exponential backoff + deterministic jitter** — every
+  :class:`~repro.engine.runner.SweepJob` is retried up to
+  ``RetryPolicy.max_attempts`` times; jitter comes from a seeded
+  ``random.Random`` so two runs of the same failing sweep behave the
+  same.
+* **Per-job wall-clock timeouts** — each job runs in its own
+  supervised worker process; a worker that exceeds
+  ``ResilienceConfig.job_timeout`` is killed and the job is
+  rescheduled on a fresh worker.
+* **Crash-consistent result journal** — ``journal.jsonl`` (one
+  CRC32-framed record per completed job, fsync'd append-only) plus an
+  atomically-replaced ``index.json``.  ``run_sweep(..., resume=run_id)``
+  reloads the journal and skips completed jobs, returning their stats
+  bit-identically; a sweep killed with SIGKILL resumes from its last
+  durable record, and torn tail writes are healed on reopen.
+* **Graceful degradation** — after ``max_pool_failures`` consecutive
+  worker-process failures (crashes or timeouts, not in-job Python
+  errors) the supervisor stops forking and finishes the remaining jobs
+  serially in-process with a warning instead of aborting the sweep.
+
+Serial (in-process) execution keeps the retry/backoff behaviour but
+cannot enforce ``job_timeout`` — a process cannot kill itself out of a
+hang; timeouts need the supervised worker path (``workers > 1``).
+
+Every recovery path is exercised deterministically by the fault
+injector in :mod:`repro.engine.faultinject` (see ``docs/engine.md``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import multiprocessing
+import os
+import time
+import zlib
+from dataclasses import asdict, dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+from random import Random
+from typing import Iterable, Sequence
+
+from repro.engine.faultinject import (
+    FaultPlan,
+    apply_child_faults,
+    apply_inprocess_faults,
+    corrupt_job_blobs,
+)
+from repro.engine.runner import SweepJob, _prewarm, execute_job
+from repro.engine.trace_store import TraceStore, set_default_store
+from repro.stats.counters import CacheStats
+
+log = logging.getLogger("repro.engine.resilience")
+
+SCHEMA = "bcache-journal/1"
+
+ENV_RUN_ROOT = "REPRO_RUN_ROOT"
+
+JOURNAL_NAME = "journal.jsonl"
+INDEX_NAME = "index.json"
+
+
+def default_run_root() -> Path:
+    """Journal root: ``$REPRO_RUN_ROOT`` or ``~/.cache/bcache-repro/runs``."""
+    env = os.environ.get(ENV_RUN_ROOT)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path("~/.cache").expanduser()
+    return base / "bcache-repro" / "runs"
+
+
+class SweepFailure(RuntimeError):
+    """A job exhausted its retry budget (the journal keeps what finished)."""
+
+
+# ----------------------------------------------------------------------
+# Retry/timeout knobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt, rng)`` for attempt 0, 1, 2, ... is
+    ``min(max_delay, base_delay * 2**attempt)`` plus a uniform jitter of
+    up to ``jitter`` times that value, drawn from the caller's seeded
+    ``Random`` so reruns back off identically.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: Random) -> float:
+        raw = min(self.max_delay, self.base_delay * (2 ** max(0, attempt)))
+        return raw + rng.uniform(0.0, self.jitter * raw)
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """Tuning for the resilient sweep executor.
+
+    Attributes:
+        retry: per-job retry/backoff policy.
+        job_timeout: wall-clock seconds a supervised worker may spend
+            on one job before it is killed and the job rescheduled.
+        max_pool_failures: consecutive worker-process failures (crash
+            or timeout) after which the supervisor falls back to serial
+            in-process execution for the remaining jobs.
+        backoff_seed: seed for the jitter generator (deterministic).
+        fsync: flush journal records to stable storage on every append
+            (the crash-consistency guarantee; disable only in tests).
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    job_timeout: float = 120.0
+    max_pool_failures: int = 3
+    backoff_seed: int = 2006
+    fsync: bool = True
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+def job_key(job: SweepJob) -> str:
+    """Stable identity of a job across processes and runs."""
+    return json.dumps(asdict(job), sort_keys=True, separators=(",", ":"))
+
+
+def sweep_fingerprint(jobs: Sequence[SweepJob]) -> str:
+    """Order-insensitive CRC of a whole sweep's job keys."""
+    digest = zlib.crc32("\n".join(sorted(job_key(job) for job in jobs)).encode())
+    return f"{digest:08x}"
+
+
+def _frame_line(payload: dict) -> str:
+    """One journal line: ``<crc32-hex> <canonical-json>\\n``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(body.encode()):08x} {body}\n"
+
+
+def _parse_line(raw: str) -> dict | None:
+    """Decode one journal line; ``None`` for torn/corrupt lines."""
+    head, sep, body = raw.partition(" ")
+    if not sep or len(head) != 8:
+        return None
+    try:
+        expected = int(head, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode()) != expected:
+        return None
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _atomic_write_text(path: Path, text: str, fsync: bool) -> None:
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ResultJournal:
+    """Append-only per-run result journal with an atomic index.
+
+    ``journal.jsonl`` holds one CRC32-framed JSON line per event: a
+    header describing the sweep, then one ``result`` record per
+    completed job (full :meth:`CacheStats.snapshot`, so replaying a
+    record is bit-identical to re-running the job).  Records are
+    flushed and (by default) fsync'd on append — a record either fully
+    survives a crash or is a torn tail that the loader skips and the
+    next append heals.  ``index.json`` is a small progress summary
+    replaced atomically after every record; the journal itself is
+    authoritative on resume.
+    """
+
+    def __init__(self, run_dir: str | Path, fsync: bool = True) -> None:
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / JOURNAL_NAME
+        self.index_path = self.run_dir / INDEX_NAME
+        self.fsync = fsync
+        self.completed: dict[str, CacheStats] = {}
+        self.header: dict | None = None
+        self.corrupt_lines = 0
+        self.torn_writes = 0
+        self.total_jobs = 0
+        self._handle = None
+        self._tail_needs_newline = False
+        self._load()
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        for raw in self.path.read_text(encoding="utf-8").split("\n"):
+            if not raw.strip():
+                continue
+            payload = _parse_line(raw)
+            if payload is None:
+                self.corrupt_lines += 1
+                continue
+            kind = payload.get("kind")
+            if kind == "header":
+                if self.header is None:
+                    self.header = payload
+                    self.total_jobs = int(payload.get("total_jobs", 0))
+            elif kind == "result":
+                try:
+                    stats = CacheStats.from_snapshot(payload["stats"])
+                    key = json.dumps(
+                        payload["job"], sort_keys=True, separators=(",", ":")
+                    )
+                except (KeyError, TypeError, ValueError):
+                    self.corrupt_lines += 1
+                    continue
+                self.completed[key] = stats
+        if self.corrupt_lines:
+            log.warning(
+                "journal %s: skipped %d torn/corrupt line(s); the jobs they "
+                "described will simply re-run",
+                self.path,
+                self.corrupt_lines,
+            )
+
+    # -- appending -----------------------------------------------------
+    def open_run(self, run_id: str, jobs: Sequence[SweepJob]) -> None:
+        """Open (or reopen) the journal for appending this sweep's results."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        fingerprint = sweep_fingerprint(jobs)
+        if self.header is not None and self.header.get("fingerprint") != fingerprint:
+            log.warning(
+                "resuming run %r against a different job list (fingerprint "
+                "%s != %s); records for matching jobs are still reused",
+                run_id,
+                fingerprint,
+                self.header.get("fingerprint"),
+            )
+        self._tail_needs_newline = self._tail_dirty()
+        self._handle = open(self.path, "ab")
+        if self.header is None:
+            self._append_line(
+                {
+                    "kind": "header",
+                    "schema": SCHEMA,
+                    "run_id": run_id,
+                    "total_jobs": len(jobs),
+                    "fingerprint": fingerprint,
+                }
+            )
+            self.header = {
+                "kind": "header",
+                "schema": SCHEMA,
+                "run_id": run_id,
+                "total_jobs": len(jobs),
+                "fingerprint": fingerprint,
+            }
+        self.total_jobs = len(jobs)
+        self.write_index()
+
+    def _tail_dirty(self) -> bool:
+        """Did a previous run die mid-append (no trailing newline)?"""
+        if not self.path.is_file() or self.path.stat().st_size == 0:
+            return False
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
+    def _append(self, data: bytes) -> None:
+        assert self._handle is not None, "journal is not open for appending"
+        if self._tail_needs_newline:
+            # Heal a torn tail (killed run or injected torn write) so
+            # this record starts on its own parseable line.
+            self._handle.write(b"\n")
+            self._tail_needs_newline = False
+        self._handle.write(data)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def _append_line(self, payload: dict) -> None:
+        self._append(_frame_line(payload).encode())
+
+    def record(self, job: SweepJob, stats: CacheStats, torn: bool = False) -> None:
+        """Durably append one completed job's stats.
+
+        ``torn=True`` (fault injection only) simulates a crash
+        mid-append: half the bytes reach the file, no newline, and the
+        record does **not** count as completed — exactly what a power
+        loss between ``write`` and ``fsync`` leaves behind.
+        """
+        data = _frame_line(
+            {"kind": "result", "job": asdict(job), "stats": stats.snapshot()}
+        ).encode()
+        if torn:
+            self._append(data[: max(1, len(data) // 2)])
+            self._tail_needs_newline = True
+            self.torn_writes += 1
+            return
+        self._append(data)
+        self.completed[job_key(job)] = stats
+        self.write_index()
+
+    def write_index(self) -> None:
+        """Atomically replace ``index.json`` with current progress."""
+        run_id = (self.header or {}).get("run_id")
+        index = {
+            "schema": SCHEMA,
+            "run_id": run_id,
+            "completed": len(self.completed),
+            "total_jobs": self.total_jobs,
+            "corrupt_lines": self.corrupt_lines,
+        }
+        _atomic_write_text(
+            self.index_path,
+            json.dumps(index, indent=2, sort_keys=True) + "\n",
+            self.fsync,
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self.write_index()
+
+
+# ----------------------------------------------------------------------
+# Supervised workers
+# ----------------------------------------------------------------------
+def _safe_send(conn, message: object) -> None:
+    with contextlib.suppress(OSError, ValueError, BrokenPipeError):
+        conn.send(message)
+
+
+def _worker_entry(
+    conn,
+    job: SweepJob,
+    store_root: str,
+    sanitize: bool,
+    fault_kinds: tuple[str, ...],
+) -> None:
+    """Child process: run one job, send ('ok', snapshot) or ('error', msg)."""
+    try:
+        apply_child_faults(fault_kinds)  # may _exit, hang, or raise
+        set_default_store(TraceStore(store_root, fsync=False))
+        stats = execute_job(job, sanitize=sanitize)
+    except Exception as exc:
+        _safe_send(conn, ("error", f"{type(exc).__name__}: {exc}"))
+    else:
+        _safe_send(conn, ("ok", stats.snapshot()))
+    finally:
+        conn.close()
+
+
+@dataclass(slots=True)
+class _Pending:
+    ready_at: float
+    index: int
+    attempt: int
+
+
+@dataclass(slots=True)
+class _Active:
+    index: int
+    attempt: int
+    proc: multiprocessing.process.BaseProcess
+    conn: object
+    deadline: float
+
+
+class _PoolDegraded(Exception):
+    """Internal: too many consecutive worker failures; go serial."""
+
+
+def _reap(worker: _Active) -> int | None:
+    """Close the pipe, collect the worker, return its exit code."""
+    with contextlib.suppress(OSError, ValueError):
+        worker.conn.close()  # type: ignore[attr-defined]
+    worker.proc.join(timeout=5.0)
+    if worker.proc.is_alive():
+        worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+    exitcode = worker.proc.exitcode
+    with contextlib.suppress(OSError, ValueError, AttributeError):
+        worker.proc.close()
+    return exitcode
+
+
+def _receive(worker: _Active) -> tuple | None:
+    """The worker's message, or ``None`` if it died before sending."""
+    try:
+        message = worker.conn.recv()  # type: ignore[attr-defined]
+    except (EOFError, OSError):
+        return None
+    return message if isinstance(message, tuple) and len(message) == 2 else None
+
+
+def _spawn(
+    ctx,
+    jobs: Sequence[SweepJob],
+    entry: _Pending,
+    store: TraceStore,
+    config: ResilienceConfig,
+    plan: FaultPlan | None,
+    sanitize: bool,
+) -> _Active:
+    job = jobs[entry.index]
+    if plan is not None and plan.matches("corrupt_blob", entry.index, entry.attempt):
+        corrupt_job_blobs(store, job)
+    child_kinds = plan.child_kinds(entry.index, entry.attempt) if plan else ()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_worker_entry,
+        args=(child_conn, job, str(store.root), sanitize, child_kinds),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    return _Active(
+        index=entry.index,
+        attempt=entry.attempt,
+        proc=proc,
+        conn=parent_conn,
+        deadline=time.monotonic() + config.job_timeout,
+    )
+
+
+def _commit(
+    results: list,
+    journal: ResultJournal | None,
+    jobs: Sequence[SweepJob],
+    index: int,
+    attempt: int,
+    stats: CacheStats,
+    plan: FaultPlan | None,
+) -> None:
+    results[index] = stats
+    if journal is not None:
+        torn = bool(plan and plan.matches("torn_journal", index, attempt))
+        journal.record(jobs[index], stats, torn=torn)
+
+
+def _schedule_retry(
+    pending: list[_Pending],
+    index: int,
+    attempt: int,
+    reason: str,
+    config: ResilienceConfig,
+    rng: Random,
+    jobs: Sequence[SweepJob],
+) -> None:
+    """Queue the next attempt with backoff, or give up with SweepFailure."""
+    job = jobs[index]
+    if attempt + 1 >= config.retry.max_attempts:
+        raise SweepFailure(
+            f"job {index} ({job.spec}/{job.benchmark}) failed after "
+            f"{config.retry.max_attempts} attempt(s): {reason}"
+        )
+    delay = config.retry.delay(attempt, rng)
+    log.warning(
+        "job %d (%s/%s) attempt %d failed (%s); retrying in %.3fs",
+        index,
+        job.spec,
+        job.benchmark,
+        attempt,
+        reason,
+        delay,
+    )
+    pending.append(_Pending(time.monotonic() + delay, index, attempt + 1))
+
+
+def _wait_for_activity(
+    active: list[_Active], pending: list[_Pending], now: float
+) -> list[_Active]:
+    """Block until a worker speaks, a deadline nears, or a retry is due."""
+    timeout = 0.2
+    for worker in active:
+        timeout = min(timeout, max(worker.deadline - now, 0.0))
+    for entry in pending:
+        timeout = min(timeout, max(entry.ready_at - now, 0.0))
+    timeout = max(timeout, 0.01)
+    if not active:
+        time.sleep(timeout)
+        return []
+    ready = set(_conn_wait([worker.conn for worker in active], timeout))
+    return [worker for worker in active if worker.conn in ready]
+
+
+def _run_supervised(
+    jobs: Sequence[SweepJob],
+    todo: Sequence[int],
+    results: list,
+    store: TraceStore,
+    config: ResilienceConfig,
+    journal: ResultJournal | None,
+    plan: FaultPlan | None,
+    workers: int,
+    sanitize: bool,
+    rng: Random,
+) -> None:
+    """Fan ``todo`` over supervised worker processes with recovery."""
+    ctx = multiprocessing.get_context()
+    pending = [_Pending(0.0, index, 0) for index in todo]
+    active: list[_Active] = []
+    consecutive_failures = 0
+    degraded: list[tuple[int, int]] = []
+    try:
+        while pending or active:
+            now = time.monotonic()
+            due = sorted(
+                (entry for entry in pending if entry.ready_at <= now),
+                key=lambda entry: entry.index,
+            )
+            for entry in due:
+                if len(active) >= workers:
+                    break
+                pending.remove(entry)
+                active.append(
+                    _spawn(ctx, jobs, entry, store, config, plan, sanitize)
+                )
+            for worker in _wait_for_activity(active, pending, time.monotonic()):
+                message = _receive(worker)
+                exitcode = _reap(worker)
+                active.remove(worker)
+                if message is not None and message[0] == "ok":
+                    consecutive_failures = 0
+                    _commit(
+                        results,
+                        journal,
+                        jobs,
+                        worker.index,
+                        worker.attempt,
+                        CacheStats.from_snapshot(message[1]),
+                        plan,
+                    )
+                else:
+                    if message is None:
+                        consecutive_failures += 1
+                        reason = f"worker died (exit code {exitcode})"
+                    else:
+                        reason = str(message[1])
+                    _schedule_retry(
+                        pending, worker.index, worker.attempt, reason, config, rng, jobs
+                    )
+            now = time.monotonic()
+            for worker in [w for w in active if w.deadline <= now]:
+                worker.proc.kill()
+                _reap(worker)
+                active.remove(worker)
+                consecutive_failures += 1
+                _schedule_retry(
+                    pending,
+                    worker.index,
+                    worker.attempt,
+                    f"hung: exceeded job_timeout={config.job_timeout:.1f}s",
+                    config,
+                    rng,
+                    jobs,
+                )
+            if consecutive_failures >= config.max_pool_failures and (
+                pending or active
+            ):
+                raise _PoolDegraded
+    except _PoolDegraded:
+        degraded = sorted(
+            [(worker.index, worker.attempt) for worker in active]
+            + [(entry.index, entry.attempt) for entry in pending]
+        )
+    finally:
+        for worker in active:
+            worker.proc.kill()
+            _reap(worker)
+    if degraded:
+        log.warning(
+            "%d consecutive worker-pool failures; degrading to serial "
+            "in-process execution for the remaining %d job(s)",
+            consecutive_failures,
+            len(degraded),
+        )
+        _run_serial_entries(
+            jobs, degraded, results, store, config, journal, plan, sanitize, rng
+        )
+
+
+def _run_serial_entries(
+    jobs: Sequence[SweepJob],
+    entries: Iterable[tuple[int, int]],
+    results: list,
+    store: TraceStore,
+    config: ResilienceConfig,
+    journal: ResultJournal | None,
+    plan: FaultPlan | None,
+    sanitize: bool,
+    rng: Random,
+) -> None:
+    """Run jobs in-process with retry/backoff (no kill-based timeouts).
+
+    In-process execution cannot enforce ``job_timeout`` — a process
+    cannot kill itself out of a hang — so ``crash``/``hang`` faults
+    degrade to transient exceptions here (see ``faultinject``).
+    """
+    for index, attempt in sorted(entries):
+        job = jobs[index]
+        while True:
+            if plan is not None and plan.matches("corrupt_blob", index, attempt):
+                corrupt_job_blobs(store, job)
+            try:
+                apply_inprocess_faults(
+                    plan.child_kinds(index, attempt) if plan else ()
+                )
+                stats = execute_job(job, store=store, sanitize=sanitize)
+            except Exception as exc:
+                if attempt + 1 >= config.retry.max_attempts:
+                    raise SweepFailure(
+                        f"job {index} ({job.spec}/{job.benchmark}) failed "
+                        f"after {config.retry.max_attempts} attempt(s): {exc}"
+                    ) from exc
+                delay = config.retry.delay(attempt, rng)
+                log.warning(
+                    "job %d (%s/%s) attempt %d failed (%s); retrying in %.3fs",
+                    index,
+                    job.spec,
+                    job.benchmark,
+                    attempt,
+                    exc,
+                    delay,
+                )
+                time.sleep(delay)
+                attempt += 1
+            else:
+                _commit(results, journal, jobs, index, attempt, stats, plan)
+                break
+
+
+# ----------------------------------------------------------------------
+# Entry point (reached via run_sweep's resilience kwargs)
+# ----------------------------------------------------------------------
+def run_resilient(
+    jobs: Iterable[SweepJob],
+    workers: int,
+    store: TraceStore,
+    config: ResilienceConfig,
+    sanitize: bool = False,
+    run_id: str | None = None,
+    run_root: str | Path | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> list[CacheStats]:
+    """Run a sweep crash-safely; returns stats order-aligned with jobs.
+
+    With ``run_id`` every completed job is journaled durably under
+    ``<run_root>/<run_id>/``; if that journal already holds records
+    (an earlier run of the same id, killed or completed), matching
+    jobs are skipped and their journaled stats returned bit-identically.
+    """
+    jobs = list(jobs)
+    rng = Random(config.backoff_seed)
+    journal: ResultJournal | None = None
+    if run_id:
+        run_dir = Path(run_root) / run_id if run_root else default_run_root() / run_id
+        journal = ResultJournal(run_dir, fsync=config.fsync)
+        journal.open_run(run_id, jobs)
+    try:
+        results: list[CacheStats] = [None] * len(jobs)  # type: ignore[list-item]
+        todo: list[int] = []
+        for index, job in enumerate(jobs):
+            done = journal.completed.get(job_key(job)) if journal else None
+            if done is not None:
+                results[index] = done
+            else:
+                todo.append(index)
+        if todo:
+            if sanitize or workers <= 1 or len(todo) == 1:
+                _run_serial_entries(
+                    jobs,
+                    [(index, 0) for index in todo],
+                    results,
+                    store,
+                    config,
+                    journal,
+                    fault_plan,
+                    sanitize,
+                    rng,
+                )
+            else:
+                _prewarm([jobs[index] for index in todo], store)
+                _run_supervised(
+                    jobs,
+                    todo,
+                    results,
+                    store,
+                    config,
+                    journal,
+                    fault_plan,
+                    min(workers, len(todo)),
+                    sanitize,
+                    rng,
+                )
+        return results
+    finally:
+        if journal is not None:
+            journal.close()

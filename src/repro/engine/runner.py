@@ -16,18 +16,29 @@ process-wide store at the same root.
 When the runtime sanitizer is requested the runner falls back to a
 serial, per-access checked replay (see ``docs/analysis.md``): the
 sanitizer's value is the invariant trail, not throughput.
+
+Long or flaky sweeps should opt into the crash-safe path via the
+``run_id``/``resume``/``resilience`` keywords of :func:`run_sweep`,
+which delegate to :mod:`repro.engine.resilience` (per-job retries,
+hung-worker timeouts, a durable result journal, serial fallback) —
+see ``docs/engine.md``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.caches import make_cache
 from repro.stats.counters import CacheStats
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
+
+if TYPE_CHECKING:  # resilience imports this module; keep the cycle lazy
+    from repro.engine.faultinject import FaultPlan
+    from repro.engine.resilience import ResilienceConfig
 
 ENV_JOBS = "REPRO_JOBS"
 
@@ -116,6 +127,12 @@ def run_sweep(
     workers: int | None = None,
     sanitize: bool = False,
     store: TraceStore | None = None,
+    *,
+    run_id: str | None = None,
+    resume: str | None = None,
+    resilience: "ResilienceConfig | None" = None,
+    fault_plan: "FaultPlan | None" = None,
+    run_root: str | Path | None = None,
 ) -> list[CacheStats]:
     """Run every job; returns stats order-aligned with the job list.
 
@@ -125,25 +142,76 @@ def run_sweep(
             (default 1).  ``<= 1`` runs serially in this process.
         sanitize: shadow-check every access — forces the serial
             per-access path (the parallel batch kernels bypass the
-            per-access hooks by design).
+            per-access hooks by design).  Composes with ``run_id``:
+            a sanitized run is journaled and resumable like any other.
         store: trace store to use (defaults to the process-wide one).
+        run_id: journal completed jobs durably under
+            ``<run_root>/<run_id>/`` and resume from any existing
+            journal with that id (create-or-resume semantics).
+        resume: explicit alias for ``run_id`` that reads better at call
+            sites restarting a killed sweep; if both are given they
+            must agree.
+        resilience: retry/timeout/fallback knobs
+            (:class:`repro.engine.resilience.ResilienceConfig`); any
+            non-``None`` value routes execution through the resilient
+            supervisor even without a journal.
+        fault_plan: deterministic fault injection
+            (:class:`repro.engine.faultinject.FaultPlan`) — testing/CI
+            only.
+        run_root: journal root override (default ``$REPRO_RUN_ROOT`` or
+            ``~/.cache/bcache-repro/runs``).
+
+    Plain calls (no resilience kwargs) keep the fast pool path; any of
+    ``run_id``/``resume``/``resilience``/``fault_plan`` routes through
+    :func:`repro.engine.resilience.run_resilient`, which adds per-job
+    retries, wall-clock timeouts with hung-worker replacement, the
+    crash-consistent journal, and serial fallback after repeated pool
+    failures — still bit-identical to a serial run.
     """
     jobs = list(jobs)
     if workers is None:
         workers = default_jobs()
     store = store if store is not None else default_store()
+    if run_id or resume or resilience is not None or fault_plan is not None:
+        if run_id and resume and run_id != resume:
+            raise ValueError(
+                f"run_id={run_id!r} and resume={resume!r} disagree; "
+                "pass one (they are aliases)"
+            )
+        from repro.engine.resilience import ResilienceConfig, run_resilient
+
+        return run_resilient(
+            jobs,
+            workers=workers,
+            store=store,
+            config=resilience if resilience is not None else ResilienceConfig(),
+            sanitize=sanitize,
+            run_id=run_id or resume,
+            run_root=run_root,
+            fault_plan=fault_plan,
+        )
     if sanitize or workers <= 1 or len(jobs) <= 1:
         return [execute_job(job, store=store, sanitize=sanitize) for job in jobs]
 
     _prewarm(jobs, store)
     workers = min(workers, len(jobs))
     chunksize = max(1, len(jobs) // (workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=workers,
+    pool = multiprocessing.get_context().Pool(
+        processes=workers,
         initializer=_init_worker,
         initargs=(str(store.root),),
-    ) as pool:
-        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+    )
+    try:
+        results = pool.map(_run_job, jobs, chunksize=chunksize)
+        pool.close()
+    except BaseException:
+        # Ctrl-C (or any failure) must not orphan workers: terminate
+        # reaps the whole pool before the exception propagates.
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
+    return results
 
 
 def _prewarm(jobs: Sequence[SweepJob], store: TraceStore) -> None:

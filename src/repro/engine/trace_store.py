@@ -9,7 +9,8 @@ objects.
 
 This store keeps traces on disk as compact little-endian ``uint64``
 blobs (8 bytes per reference instead of a ~28-byte ``int`` object each)
-keyed by ``(benchmark, side, n, seed)``.  Two stream flavours exist:
+keyed by ``(benchmark, side, n, seed)``, each followed by a 4-byte
+little-endian CRC32 footer.  Two stream flavours exist:
 
 * **address streams** (:meth:`TraceStore.addresses`) — the raw address
   sequence the experiment harness replays (reads only), sides ``data``
@@ -18,10 +19,14 @@ keyed by ``(benchmark, side, n, seed)``.  Two stream flavours exist:
   parallel ``uint8`` kind blob (read/write/ifetch), sides ``data``,
   ``instr`` and ``combined`` — what ``bcache-sim`` replays.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent worker
-processes can safely race to materialise the same trace; the loser's
-write simply replaces the winner's identical bytes.  A small in-process
-LRU keeps the hot handful of traces in memory.
+Writes are atomic *and durable* (temp file + ``fsync`` +
+``os.replace``) so concurrent worker processes can safely race to
+materialise the same trace and a power loss cannot leave a live path
+pointing at garbage; the loser's write simply replaces the winner's
+identical bytes.  Blobs whose CRC footer does not match are moved to
+``<root>/quarantine/`` and transparently regenerated from the
+deterministic seed — corruption costs one regeneration, never a crash.
+A small in-process LRU keeps the hot handful of traces in memory.
 
 The default root is ``$REPRO_TRACE_STORE`` or
 ``~/.cache/bcache-repro/traces``.
@@ -29,16 +34,27 @@ The default root is ``$REPRO_TRACE_STORE`` or
 
 from __future__ import annotations
 
+import logging
 import os
+import zlib
 from array import array
 from collections import OrderedDict
 from pathlib import Path
 
 from repro.workloads.spec2k import get_profile
 
-#: File suffixes: raw little-endian uint64 addresses / uint8 kinds.
+log = logging.getLogger("repro.engine.trace_store")
+
+#: File suffixes: raw little-endian uint64 addresses / uint8 kinds
+#: (each blob carries a trailing 4-byte little-endian CRC32 footer).
 ADDRESS_SUFFIX = ".addr.u64"
 KIND_SUFFIX = ".kind.u8"
+
+#: Bytes of CRC32 footer appended to every blob.
+CRC_BYTES = 4
+
+#: Directory (under the store root) where corrupt blobs are parked.
+QUARANTINE_DIR = "quarantine"
 
 #: Sides with a raw-address fast path (reads only, experiment harness).
 ADDRESS_SIDES = ("data", "instr")
@@ -59,17 +75,43 @@ def default_root() -> Path:
     return base / "bcache-repro" / "traces"
 
 
-def _atomic_write(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (safe under racing workers)."""
+def _frame(payload: bytes) -> bytes:
+    """Append the CRC32 footer that makes bit rot detectable on load."""
+    return payload + zlib.crc32(payload).to_bytes(CRC_BYTES, "little")
+
+
+def _unframe(data: bytes) -> bytes | None:
+    """Strip and verify the CRC32 footer; ``None`` if the blob is corrupt."""
+    if len(data) < CRC_BYTES:
+        return None
+    payload, footer = data[:-CRC_BYTES], data[-CRC_BYTES:]
+    if zlib.crc32(payload) != int.from_bytes(footer, "little"):
+        return None
+    return payload
+
+
+def _atomic_write(path: Path, payload: bytes, fsync: bool = True) -> None:
+    """Write a framed ``payload`` to ``path`` atomically and durably.
+
+    Safe under racing workers (temp file + ``os.replace``); with
+    ``fsync`` (the default) the temp file's contents reach stable
+    storage *before* the rename, so a power loss cannot leave the live
+    path pointing at a half-written blob.  Tests pass ``fsync=False``
+    to skip the flush — durability is irrelevant under ``tmp_path``.
+    """
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    tmp.write_bytes(payload)
+    data = _frame(payload)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
-def _load_u64(path: Path) -> array:
-    blob = array("Q")
-    blob.frombytes(path.read_bytes())
-    return blob
+def _payload_size(count: int) -> int:
+    """On-disk size of a framed blob holding ``count`` payload bytes."""
+    return count + CRC_BYTES
 
 
 class TraceStoreError(ValueError):
@@ -84,14 +126,24 @@ class TraceStore:
             :func:`default_root`.
         memory_entries: number of decoded traces kept in the in-process
             LRU (a FULL-scale entry is ~8 MB as ``array('Q')``).
+        fsync: flush blob bytes to stable storage before the atomic
+            rename (durable across power loss).  ``fsync=False`` is the
+            escape hatch for tests and throwaway stores.
     """
 
-    def __init__(self, root: str | Path | None = None, memory_entries: int = 16) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        memory_entries: int = 16,
+        fsync: bool = True,
+    ) -> None:
         self.root = Path(root) if root is not None else default_root()
         self.memory_entries = max(1, memory_entries)
+        self.fsync = fsync
         self._memory: OrderedDict[tuple, object] = OrderedDict()
         self.disk_hits = 0
         self.disk_misses = 0
+        self.quarantined = 0
 
     # -- paths ---------------------------------------------------------
     def _stem(self, benchmark: str, side: str, n: int, seed: int, kinds: bool) -> str:
@@ -105,6 +157,53 @@ class TraceStore:
 
     def kind_path(self, benchmark: str, side: str, n: int, seed: int) -> Path:
         return self.root / (self._stem(benchmark, side, n, seed, True) + KIND_SUFFIX)
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    # -- verified blob IO ----------------------------------------------
+    def _write(self, path: Path, payload: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write(path, payload, fsync=self.fsync)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Park a corrupt blob under ``quarantine/`` for forensics.
+
+        The store never raises on corruption: the caller regenerates
+        the trace from its deterministic seed and the damaged bytes are
+        kept aside instead of silently overwritten.
+        """
+        target = self.quarantine_root / path.name
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # A racing process already moved/replaced it; regeneration
+            # is still correct, so just drop the stale handle.
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        log.warning("quarantined corrupt trace blob %s (%s)", path.name, reason)
+
+    def _load_payload(self, path: Path, expected_size: int | None = None) -> bytes | None:
+        """Read and CRC-verify one blob; ``None`` means regenerate.
+
+        Missing files regenerate silently.  Present files that are the
+        wrong size (truncated writes, stale pre-CRC layouts) or fail
+        their checksum (bit rot) are quarantined and regenerated from
+        the deterministic seed — never raised to the caller.
+        """
+        if not path.is_file():
+            return None
+        data = path.read_bytes()
+        if expected_size is not None and len(data) != expected_size:
+            self._quarantine(path, f"size {len(data)} != expected {expected_size}")
+            return None
+        payload = _unframe(data)
+        if payload is None:
+            self._quarantine(path, "CRC32 mismatch")
+            return None
+        return payload
 
     # -- memory LRU ----------------------------------------------------
     def _remember(self, key: tuple, value: object) -> None:
@@ -125,7 +224,8 @@ class TraceStore:
         self._memory.clear()
 
     def wipe(self) -> int:
-        """Delete every blob under the root; returns the count removed."""
+        """Delete every blob under the root (quarantine included);
+        returns the count of live blobs removed."""
         self.clear_memory()
         removed = 0
         if self.root.is_dir():
@@ -133,6 +233,11 @@ class TraceStore:
                 if path.suffix in (".u64", ".u8"):
                     path.unlink(missing_ok=True)
                     removed += 1
+        quarantine = self.quarantine_root
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                path.unlink(missing_ok=True)
+            quarantine.rmdir()
         return removed
 
     # -- address streams (experiment harness; reads only) --------------
@@ -147,9 +252,11 @@ class TraceStore:
         if cached is not None:
             return cached  # type: ignore[return-value]
         path = self.address_path(benchmark, side, n, seed)
-        if path.is_file() and path.stat().st_size == 8 * n:
+        payload = self._load_payload(path, expected_size=_payload_size(8 * n))
+        if payload is not None:
             self.disk_hits += 1
-            blob = _load_u64(path)
+            blob = array("Q")
+            blob.frombytes(payload)
         else:
             self.disk_misses += 1
             blob = self._generate_addresses(benchmark, side, n, seed)
@@ -164,8 +271,7 @@ class TraceStore:
             else profile.instr_addresses(n, seed)
         )
         blob = array("Q", raw)
-        self.root.mkdir(parents=True, exist_ok=True)
-        _atomic_write(self.address_path(benchmark, side, n, seed), blob.tobytes())
+        self._write(self.address_path(benchmark, side, n, seed), blob.tobytes())
         return blob
 
     # -- access streams (addresses + kinds) ----------------------------
@@ -203,13 +309,22 @@ class TraceStore:
     ) -> tuple[array, array] | None:
         if not (addr_path.is_file() and kind_path.is_file()):
             return None
-        addr_size = addr_path.stat().st_size
-        count = kind_path.stat().st_size
-        if addr_size != 8 * count or (side != "combined" and count != n):
-            return None  # truncated or stale blob: regenerate
-        addresses = _load_u64(addr_path)
+        kind_payload = self._load_payload(kind_path)
+        if kind_payload is None:
+            return None
+        count = len(kind_payload)
+        if side != "combined" and count != n:
+            self._quarantine(kind_path, f"kind count {count} != expected {n}")
+            return None
+        addr_payload = self._load_payload(
+            addr_path, expected_size=_payload_size(8 * count)
+        )
+        if addr_payload is None:
+            return None
+        addresses = array("Q")
+        addresses.frombytes(addr_payload)
         kinds = array("B")
-        kinds.frombytes(kind_path.read_bytes())
+        kinds.frombytes(kind_payload)
         return addresses, kinds
 
     def _generate_accesses(
@@ -229,12 +344,11 @@ class TraceStore:
         for access in stream:
             append_address(access.address)
             append_kind(access.kind)
-        self.root.mkdir(parents=True, exist_ok=True)
-        _atomic_write(
+        self._write(
             self.address_path(benchmark, side, n, seed, kinds=True),
             addresses.tobytes(),
         )
-        _atomic_write(self.kind_path(benchmark, side, n, seed), kinds.tobytes())
+        self._write(self.kind_path(benchmark, side, n, seed), kinds.tobytes())
         return addresses, kinds
 
     # -- bulk materialisation ------------------------------------------
@@ -256,7 +370,7 @@ class TraceStore:
                 self._generate_accesses(benchmark, side, n, seed)
             return addr_path
         path = self.address_path(benchmark, side, n, seed)
-        if not (path.is_file() and path.stat().st_size == 8 * n):
+        if self._load_payload(path, expected_size=_payload_size(8 * n)) is None:
             self._generate_addresses(benchmark, side, n, seed)
         return path
 
@@ -264,7 +378,7 @@ class TraceStore:
         return (
             f"<TraceStore root={self.root} memory={len(self._memory)}/"
             f"{self.memory_entries} disk_hits={self.disk_hits} "
-            f"disk_misses={self.disk_misses}>"
+            f"disk_misses={self.disk_misses} quarantined={self.quarantined}>"
         )
 
 

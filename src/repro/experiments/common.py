@@ -119,6 +119,8 @@ def sweep_stats(
     line_size: int = 32,
     policy: str = "lru",
     jobs: int | None = None,
+    run_id: str | None = None,
+    resume: str | None = None,
 ) -> dict[tuple[str, str], CacheStats]:
     """Run a (spec x benchmark) sweep, optionally across processes.
 
@@ -127,6 +129,11 @@ def sweep_stats(
     worker count produces bit-identical statistics because every job
     runs :func:`repro.engine.runner.execute_job` on the same stored
     trace (see ``docs/engine.md``).
+
+    ``run_id``/``resume`` opt into the crash-safe engine path: every
+    completed (spec, benchmark) cell is journaled durably and a rerun
+    with the same id skips completed cells bit-identically — use it
+    for FULL-scale panels that must survive a kill mid-run.
     """
     sweep = [
         SweepJob(
@@ -142,7 +149,7 @@ def sweep_stats(
         for spec in specs
         for benchmark in benchmarks
     ]
-    results = run_sweep(sweep, workers=jobs)
+    results = run_sweep(sweep, workers=jobs, run_id=run_id, resume=resume)
     return {
         (job.spec, job.benchmark): stats for job, stats in zip(sweep, results)
     }

@@ -57,10 +57,17 @@ def run(
     benchmark: str = "wupwise",
     mapping_factors: tuple[int, ...] = MF_SWEEP,
     jobs: int | None = None,
+    run_id: str | None = None,
 ) -> Fig3Result:
-    """Run the MF sweep of Figure 3 (parallelised across ``jobs``)."""
+    """Run the MF sweep of Figure 3 (parallelised across ``jobs``).
+
+    ``run_id`` journals each MF point durably and resumes a previously
+    killed sweep bit-identically (see ``docs/engine.md``).
+    """
     specs = [f"mf{mf}_bas8" for mf in mapping_factors]
-    stats_by_key = sweep_stats(specs, [benchmark], "data", scale, jobs=jobs)
+    stats_by_key = sweep_stats(
+        specs, [benchmark], "data", scale, jobs=jobs, run_id=run_id
+    )
     points = []
     for mf, spec in zip(mapping_factors, specs):
         stats = stats_by_key[(spec, benchmark)]

@@ -73,15 +73,20 @@ def run_panel(
     specs: Sequence[str] = FIGURE45_SPECS,
     title: str = "",
     jobs: int | None = None,
+    run_id: str | None = None,
 ) -> ReductionPanel:
     """Measure one panel of miss-rate reductions.
 
     The (spec x benchmark) grid goes through the engine's sweep runner:
     ``jobs`` (default ``$REPRO_JOBS``) fans the jobs across processes
-    with bit-identical results.
+    with bit-identical results.  ``run_id`` journals every grid cell
+    durably so a killed panel resumes where it stopped (see
+    ``docs/engine.md``).
     """
     all_specs = ["dm"] + [spec for spec in specs if spec != "dm"]
-    stats = sweep_stats(all_specs, benchmarks, side, scale, size=size, jobs=jobs)
+    stats = sweep_stats(
+        all_specs, benchmarks, side, scale, size=size, jobs=jobs, run_id=run_id
+    )
     baseline_rates: dict[str, float] = {}
     reductions: dict[str, dict[str, float]] = {spec: {} for spec in specs}
     for benchmark in benchmarks:
@@ -118,24 +123,41 @@ class Fig4Result:
         )
 
 
-def run_fig4(scale: ExperimentScale = DEFAULT) -> Fig4Result:
+def _sub_id(run_id: str | None, suffix: str) -> str | None:
+    """Derive a per-panel journal id (multi-panel figures get one
+    journal per panel so each resumes independently)."""
+    return f"{run_id}-{suffix}" if run_id else None
+
+
+def run_fig4(
+    scale: ExperimentScale = DEFAULT,
+    jobs: int | None = None,
+    run_id: str | None = None,
+) -> Fig4Result:
     """Figure 4: D$ reductions at 16 kB, CFP2K and CINT2K panels."""
     cfp = run_panel(
         CFP2K, "data", scale,
         title="Figure 4 (top): SPEC CFP2K data cache, 16kB",
+        jobs=jobs, run_id=_sub_id(run_id, "cfp"),
     )
     cint = run_panel(
         CINT2K, "data", scale,
         title="Figure 4 (bottom): SPEC CINT2K data cache, 16kB",
+        jobs=jobs, run_id=_sub_id(run_id, "cint"),
     )
     return Fig4Result(cint=cint, cfp=cfp)
 
 
-def run_fig5(scale: ExperimentScale = DEFAULT) -> ReductionPanel:
+def run_fig5(
+    scale: ExperimentScale = DEFAULT,
+    jobs: int | None = None,
+    run_id: str | None = None,
+) -> ReductionPanel:
     """Figure 5: I$ reductions at 16 kB for the reported benchmarks."""
     return run_panel(
         REPORTED_ICACHE, "instr", scale,
         title="Figure 5: instruction cache, 16kB",
+        jobs=jobs, run_id=run_id,
     )
 
 
@@ -156,23 +178,30 @@ class Fig12Result:
         )
 
 
-def run_fig12(scale: ExperimentScale = DEFAULT) -> Fig12Result:
+def run_fig12(
+    scale: ExperimentScale = DEFAULT,
+    jobs: int | None = None,
+    run_id: str | None = None,
+) -> Fig12Result:
     """Figure 12: average reductions at 32 kB and 8 kB, both caches."""
     benchmarks_d = CINT2K + CFP2K
     panels = []
     for size in (32 * 1024, 8 * 1024):
+        kb = size // 1024
         panels.append(
             run_panel(
                 benchmarks_d, "data", scale, size=size,
                 specs=FIGURE12_SPECS,
-                title=f"Figure 12: D$ {size // 1024}kB",
+                title=f"Figure 12: D$ {kb}kB",
+                jobs=jobs, run_id=_sub_id(run_id, f"d{kb}k"),
             )
         )
         panels.append(
             run_panel(
                 REPORTED_ICACHE, "instr", scale, size=size,
                 specs=FIGURE12_SPECS,
-                title=f"Figure 12: I$ {size // 1024}kB",
+                title=f"Figure 12: I$ {kb}kB",
+                jobs=jobs, run_id=_sub_id(run_id, f"i{kb}k"),
             )
         )
     # Order: 32K D$, 32K I$, 8K D$, 8K I$ (paper's x-axis order).

@@ -21,10 +21,18 @@ Renderer = Callable[[ExperimentScale], str]
 
 
 def default_registry() -> Mapping[str, Renderer]:
-    """The full experiment registry (same ids as the CLI)."""
-    from repro.cli import EXPERIMENTS
+    """The full experiment registry (same ids as the CLI).
 
-    return EXPERIMENTS
+    CLI renderers take engine options (worker count, resume id); the
+    report protocol stays single-argument, so defaults are bound here.
+    """
+    from repro.cli import EXPERIMENTS, RunOptions
+
+    opts = RunOptions()
+    return {
+        name: (lambda scale, _fn=fn: _fn(scale, opts))
+        for name, fn in EXPERIMENTS.items()
+    }
 
 
 #: Section headers per experiment id, in report order.

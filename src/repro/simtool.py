@@ -76,7 +76,9 @@ def _run_specs(
 
     Benchmark runs with ``--jobs > 1`` go through the process-pool
     sweep runner (each worker loads the same stored trace); trace-file
-    and ``--sanitize`` runs stay serial.
+    and ``--sanitize`` runs stay serial.  ``--run-id``/``--inject-faults``
+    route benchmark runs through the crash-safe resilient engine
+    (retries, timeouts, durable journal — see ``docs/engine.md``).
     """
     results: dict[str, CacheStats] = {}
     errors: dict[str, str] = {}
@@ -92,15 +94,17 @@ def _run_specs(
         else:
             valid_specs.append(spec)
 
+    fault_plan = getattr(args, "fault_plan", None)
+    resilient = bool(args.run_id or fault_plan)
     parallel = args.jobs > 1 and len(valid_specs) > 1
-    if parallel and (args.trace or args.sanitize):
+    if parallel and not resilient and (args.trace or args.sanitize):
         reason = "--sanitize replays serially" if args.sanitize else (
             "trace files are not in the trace store"
         )
         print(f"bcache-sim: {reason}; running with --jobs 1", file=sys.stderr)
         parallel = False
 
-    if parallel:
+    if resilient or parallel:
         sweep = [
             SweepJob(
                 spec=spec,
@@ -115,7 +119,25 @@ def _run_specs(
             )
             for spec in valid_specs
         ]
-        for spec, stats in zip(valid_specs, run_sweep(sweep, workers=args.jobs)):
+        if resilient:
+            from repro.engine.resilience import SweepFailure
+
+            try:
+                swept = run_sweep(
+                    sweep,
+                    workers=args.jobs,
+                    sanitize=args.sanitize,
+                    run_id=args.run_id,
+                    fault_plan=fault_plan,
+                )
+            except SweepFailure as exc:
+                print(f"bcache-sim: sweep failed: {exc}", file=sys.stderr)
+                for spec in valid_specs:
+                    errors.setdefault(spec, "sweep failed (see stderr)")
+                return results, errors, 4
+        else:
+            swept = run_sweep(sweep, workers=args.jobs)
+        for spec, stats in zip(valid_specs, swept):
             results[spec] = stats
         return results, errors, status
 
@@ -158,7 +180,26 @@ def _run_json(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point of ``bcache-sim``; returns a process exit code."""
+    """Entry point of ``bcache-sim``; returns a process exit code.
+
+    Ctrl-C is handled here once for every execution mode: the sweep
+    runner terminates and reaps its worker pool (no orphan processes,
+    no half-written journal — records are atomic appends) before the
+    interrupt reaches this handler, which reports and exits 130.
+    """
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print(
+            "\nbcache-sim: interrupted — workers terminated and reaped; "
+            "with --run-id, completed jobs stay journaled and the run "
+            "resumes with the same id",
+            file=sys.stderr,
+        )
+        return 130
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bcache-sim",
         description="Trace-driven cache simulator (B-Cache reproduction).",
@@ -197,9 +238,35 @@ def main(argv: list[str] | None = None) -> int:
                         "invariant violation")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of the table")
+    parser.add_argument("--run-id", default=None, metavar="ID",
+                        help="journal benchmark results durably under this "
+                        "id and resume a killed run bit-identically "
+                        "($REPRO_RUN_ROOT or ~/.cache/bcache-repro/runs)")
+    parser.add_argument("--inject-faults", default=None, metavar="PLAN",
+                        help="deterministic fault-plan DSL for chaos "
+                        "testing, e.g. 'crash@0,hang@1,corrupt_blob@2' "
+                        "(kind@job[:attempt]; see docs/engine.md)")
     parser.add_argument("specs", nargs="+",
                         help="cache specs, e.g. dm 4way victim16 mf8_bas8")
     args = parser.parse_args(argv)
+
+    args.fault_plan = None
+    if args.inject_faults or args.run_id:
+        if args.trace:
+            print(
+                "bcache-sim: --run-id/--inject-faults need --benchmark runs "
+                "(trace files are not in the trace store)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.inject_faults:
+            from repro.engine.faultinject import FaultPlan, FaultPlanError
+
+            try:
+                args.fault_plan = FaultPlan.parse(args.inject_faults)
+            except FaultPlanError as exc:
+                print(f"bcache-sim: bad --inject-faults: {exc}", file=sys.stderr)
+                return 2
 
     try:
         addresses, kinds = _load_accesses(args)

@@ -94,6 +94,63 @@ class CacheStats:
             "pd_hit_rate_during_miss": self.pd_hit_rate_during_miss,
         }
 
+    def snapshot(self) -> dict:
+        """Lossless JSON-serialisable state, including per-set counters.
+
+        Unlike :meth:`as_dict` (an aggregate summary), a snapshot round
+        trips through :meth:`from_snapshot` bit-identically — this is
+        the wire/journal format of the resilience layer.
+        """
+        return {
+            "num_sets": self.num_sets,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "pd_hit_misses": self.pd_hit_misses,
+            "pd_miss_misses": self.pd_miss_misses,
+            "set_accesses": list(self.set_accesses),
+            "set_hits": list(self.set_hits),
+            "set_misses": list(self.set_misses),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "CacheStats":
+        """Rebuild a stats object from :meth:`snapshot` output.
+
+        Raises ``ValueError`` on malformed state (wrong per-set lengths
+        or non-integral counters) so journal readers can treat a bad
+        record as corrupt instead of resurrecting garbage.
+        """
+        try:
+            stats = cls(
+                num_sets=int(state["num_sets"]),
+                accesses=int(state["accesses"]),
+                hits=int(state["hits"]),
+                misses=int(state["misses"]),
+                reads=int(state["reads"]),
+                writes=int(state["writes"]),
+                evictions=int(state["evictions"]),
+                writebacks=int(state["writebacks"]),
+                pd_hit_misses=int(state["pd_hit_misses"]),
+                pd_miss_misses=int(state["pd_miss_misses"]),
+                set_accesses=[int(v) for v in state["set_accesses"]],
+                set_hits=[int(v) for v in state["set_hits"]],
+                set_misses=[int(v) for v in state["set_misses"]],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed stats snapshot: {exc}") from exc
+        for per_set in (stats.set_accesses, stats.set_hits, stats.set_misses):
+            if len(per_set) != stats.num_sets:
+                raise ValueError(
+                    "malformed stats snapshot: per-set counter length "
+                    f"{len(per_set)} != num_sets {stats.num_sets}"
+                )
+        return stats
+
     def reset(self) -> None:
         """Zero all counters, keeping the set count."""
         per_set = self.num_sets

@@ -43,10 +43,26 @@ def _isolated_trace_store(tmp_path_factory: pytest.TempPathFactory):
     from repro.engine.trace_store import TraceStore, set_default_store
 
     previous = set_default_store(
-        TraceStore(tmp_path_factory.mktemp("trace-store"))
+        TraceStore(tmp_path_factory.mktemp("trace-store"), fsync=False)
     )
     yield
     set_default_store(previous)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_root(tmp_path_factory: pytest.TempPathFactory):
+    """Point the resilience journal root at a per-session temp dir.
+
+    Tests that pass ``run_id=`` without an explicit ``run_root`` must
+    never journal into the user's real ``~/.cache`` runs directory.
+    """
+    previous = os.environ.get("REPRO_RUN_ROOT")
+    os.environ["REPRO_RUN_ROOT"] = str(tmp_path_factory.mktemp("run-root"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RUN_ROOT", None)
+    else:
+        os.environ["REPRO_RUN_ROOT"] = previous
 
 
 @pytest.fixture

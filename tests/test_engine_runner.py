@@ -84,6 +84,35 @@ class TestRunSweep:
         assert stats == execute_job(job, store=store)
 
 
+class TestResilientRouting:
+    """run_sweep routes to the resilient engine; depth in test_resilience."""
+
+    def test_resilience_config_matches_plain(self, store):
+        from repro.engine.resilience import ResilienceConfig
+
+        sweep = small_sweep()[:3]
+        plain = run_sweep(sweep, workers=1, store=store)
+        resilient = run_sweep(
+            sweep, workers=1, store=store,
+            resilience=ResilienceConfig(fsync=False),
+        )
+        assert resilient == plain
+
+    def test_run_id_creates_journal(self, store, tmp_path):
+        run_sweep(
+            small_sweep()[:2], workers=1, store=store,
+            run_id="routed", run_root=tmp_path,
+        )
+        assert (tmp_path / "routed" / "journal.jsonl").is_file()
+        assert (tmp_path / "routed" / "index.json").is_file()
+
+    def test_run_id_resume_alias_conflict(self, store):
+        with pytest.raises(ValueError, match="disagree"):
+            run_sweep(
+                small_sweep()[:1], store=store, run_id="a", resume="b"
+            )
+
+
 class TestDefaultJobs:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)

@@ -1,0 +1,138 @@
+"""Tests for the deterministic fault injector and chaos harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.faultinject import (
+    CHILD_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
+    apply_inprocess_faults,
+    main as chaos_main,
+)
+
+
+class TestFaultSpec:
+    def test_render_default_attempt(self):
+        assert FaultSpec("crash", 3).render() == "crash@3"
+
+    def test_render_explicit_attempt(self):
+        assert FaultSpec("flaky", 2, 1).render() == "flaky@2:1"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec("meteor", 0)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-negative"):
+            FaultSpec("crash", -1)
+        with pytest.raises(FaultPlanError, match="non-negative"):
+            FaultSpec("crash", 0, -2)
+
+
+class TestFaultPlanDSL:
+    def test_parse_render_round_trip(self):
+        text = "crash@0,hang@1:2,flaky@2,corrupt_blob@3,torn_journal@4:1"
+        plan = FaultPlan.parse(text)
+        assert plan.render() == text
+        assert FaultPlan.parse(plan.render()) == plan
+
+    def test_whitespace_and_empty_terms_tolerated(self):
+        assert FaultPlan.parse(" crash@0 , ,flaky@1 ") == FaultPlan.parse(
+            "crash@0,flaky@1"
+        )
+
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan.parse("")
+        assert not plan and len(plan) == 0
+
+    def test_missing_at_rejected(self):
+        with pytest.raises(FaultPlanError, match="kind@job"):
+            FaultPlan.parse("crash0")
+
+    def test_non_integer_job_rejected(self):
+        with pytest.raises(FaultPlanError, match="integers"):
+            FaultPlan.parse("crash@one")
+
+    def test_non_integer_attempt_rejected(self):
+        with pytest.raises(FaultPlanError, match="integers"):
+            FaultPlan.parse("crash@0:zero")
+
+    def test_unknown_kind_in_dsl_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.parse("meteor@0")
+
+
+class TestFaultPlanQueries:
+    def test_matches_exact_coordinates_only(self):
+        plan = FaultPlan.parse("flaky@2:1")
+        assert plan.matches("flaky", 2, 1)
+        assert not plan.matches("flaky", 2, 0)
+        assert not plan.matches("flaky", 1, 1)
+        assert not plan.matches("crash", 2, 1)
+
+    def test_child_kinds_filters_and_orders(self):
+        plan = FaultPlan.parse("flaky@5,corrupt_blob@5,crash@5,torn_journal@5")
+        assert plan.child_kinds(5, 0) == ("crash", "flaky")  # FAULT_KINDS order
+        assert plan.child_kinds(5, 1) == ()
+        assert plan.child_kinds(4, 0) == ()
+
+    def test_hash_and_equality(self):
+        a = FaultPlan.parse("crash@0,hang@1")
+        b = FaultPlan.parse("crash@0,hang@1")
+        assert a == b and hash(a) == hash(b)
+        assert a != FaultPlan.parse("hang@1,crash@0")  # order-sensitive tuple
+
+
+class TestScatter:
+    def test_deterministic(self):
+        assert FaultPlan.scatter(2006, 10) == FaultPlan.scatter(2006, 10)
+
+    def test_one_fault_per_kind_in_range(self):
+        plan = FaultPlan.scatter(7, 5)
+        assert len(plan) == len(FAULT_KINDS)
+        assert [spec.kind for spec in plan.specs] == list(FAULT_KINDS)
+        assert all(0 <= spec.job_index < 5 for spec in plan.specs)
+        assert all(spec.attempt == 0 for spec in plan.specs)
+
+    def test_empty_for_no_jobs(self):
+        assert not FaultPlan.scatter(1, 0)
+
+
+class TestInprocessFaults:
+    def test_child_kinds_degrade_to_injected_fault(self):
+        for kind in sorted(CHILD_KINDS):
+            with pytest.raises(InjectedFault, match=kind):
+                apply_inprocess_faults((kind,))
+
+    def test_parent_kinds_and_empty_are_noops(self):
+        apply_inprocess_faults(())
+        apply_inprocess_faults(("corrupt_blob", "torn_journal"))
+
+
+class TestChaosHarness:
+    def test_smoke_recovers_all_fault_kinds(self, tmp_path):
+        # Every kind except hang (kept out to keep the test fast; the
+        # supervised-timeout path is covered in test_resilience.py).
+        status = chaos_main(
+            [
+                "--benchmarks", "gzip",
+                "--specs", "dm,2way",
+                "--n", "1500",
+                "--workers", "2",
+                "--faults", "crash@0,flaky@1,corrupt_blob@0:1,torn_journal@1:1",
+                "--run-root", str(tmp_path),
+            ]
+        )
+        assert status == 0
+
+    def test_out_of_range_fault_rejected(self, capsys):
+        status = chaos_main(
+            ["--benchmarks", "gzip", "--specs", "dm", "--faults", "crash@9"]
+        )
+        assert status == 2
+        assert "only 1 jobs" in capsys.readouterr().err

@@ -299,6 +299,110 @@ class TestBatchAllocation:
         assert "BCL009" in codes(source)
 
 
+# ----------------------------------------------------------------------
+# BCL010 — engine code must not swallow failures or retry blind
+# ----------------------------------------------------------------------
+ENGINE_PATH = "src/repro/engine/example.py"
+
+
+class TestEngineExceptionHygiene:
+    def test_bare_except_fires(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except:\n"
+            "    handle()\n"
+        )
+        assert "BCL010" in codes(source, ENGINE_PATH)
+
+    def test_except_exception_pass_fires(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert "BCL010" in codes(source, ENGINE_PATH)
+
+    def test_except_base_exception_ellipsis_fires(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except BaseException:\n"
+            "    ...\n"
+        )
+        assert "BCL010" in codes(source, ENGINE_PATH)
+
+    def test_broad_handler_with_real_body_is_clean(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception as exc:\n"
+            "    log.warning('failed: %s', exc)\n"
+        )
+        assert "BCL010" not in codes(source, ENGINE_PATH)
+
+    def test_narrow_except_pass_is_clean(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert "BCL010" not in codes(source, ENGINE_PATH)
+
+    def test_retry_loop_without_backoff_fires(self):
+        source = (
+            "while True:\n"
+            "    try:\n"
+            "        return job()\n"
+            "    except Exception:\n"
+            "        attempt += 1\n"
+            "        continue\n"
+        )
+        assert "BCL010" in codes(source, ENGINE_PATH)
+
+    def test_retry_for_range_without_backoff_fires(self):
+        source = (
+            "for attempt in range(5):\n"
+            "    try:\n"
+            "        return job()\n"
+            "    except OSError:\n"
+            "        continue\n"
+        )
+        assert "BCL010" in codes(source, ENGINE_PATH)
+
+    def test_retry_loop_with_sleep_is_clean(self):
+        source = (
+            "while True:\n"
+            "    try:\n"
+            "        return job()\n"
+            "    except Exception:\n"
+            "        time.sleep(policy.delay(attempt, rng))\n"
+            "        continue\n"
+        )
+        assert "BCL010" not in codes(source, ENGINE_PATH)
+
+    def test_non_engine_modules_are_exempt(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert "BCL010" not in codes(source, COLD_PATH)
+        assert "BCL010" not in codes(source, HOT_PATH)
+
+    def test_noqa_suppresses(self):
+        source = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:  # noqa: BCL010\n"
+            "    pass\n"
+        )
+        assert "BCL010" not in codes(source, ENGINE_PATH)
+
+
 class TestMechanics:
     def test_noqa_with_code_suppresses(self):
         source = "rng = random.Random()  # noqa: BCL005\n"

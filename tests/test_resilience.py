@@ -1,0 +1,360 @@
+"""Tests for the crash-safe sweep engine (retries, journal, resume)."""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from random import Random
+
+import pytest
+
+from repro.engine.faultinject import FaultPlan
+from repro.engine.resilience import (
+    ResilienceConfig,
+    ResultJournal,
+    RetryPolicy,
+    SweepFailure,
+    default_run_root,
+    job_key,
+)
+from repro.engine.runner import SweepJob, execute_job, run_sweep
+from repro.engine.trace_store import TraceStore
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceStore:
+    return TraceStore(tmp_path / "traces", fsync=False)
+
+
+def small_sweep(n: int = 2000) -> list[SweepJob]:
+    return [
+        SweepJob(spec=spec, benchmark=benchmark, n=n)
+        for spec in ("dm", "2way")
+        for benchmark in ("gzip", "equake")
+    ]
+
+
+FAST = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=4, base_delay=0.005, max_delay=0.05),
+    job_timeout=30.0,
+    fsync=False,
+)
+
+
+class TestRetryPolicy:
+    def test_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.delay(2, Random(7)) == policy.delay(2, Random(7))
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, jitter=0.0)
+        rng = Random(1)
+        assert policy.delay(0, rng) == pytest.approx(0.1)
+        assert policy.delay(1, rng) == pytest.approx(0.2)
+        assert policy.delay(10, rng) == pytest.approx(0.4)  # capped
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+        delay = policy.delay(0, Random(3))
+        assert 0.1 <= delay <= 0.15
+
+
+class TestResultJournal:
+    def test_round_trip_bit_identical(self, tmp_path, store):
+        job = SweepJob(spec="dm", benchmark="gzip", n=1200)
+        stats = execute_job(job, store=store)
+        journal = ResultJournal(tmp_path / "run", fsync=False)
+        journal.open_run("r1", [job])
+        journal.record(job, stats)
+        journal.close()
+
+        reloaded = ResultJournal(tmp_path / "run")
+        assert reloaded.completed[job_key(job)] == stats
+        assert reloaded.corrupt_lines == 0
+        assert reloaded.header is not None
+        assert reloaded.header["run_id"] == "r1"
+
+    def test_torn_tail_skipped_and_healed(self, tmp_path, store):
+        jobs = small_sweep(1000)[:2]
+        stats = [execute_job(job, store=store) for job in jobs]
+        journal = ResultJournal(tmp_path / "run", fsync=False)
+        journal.open_run("r1", jobs)
+        journal.record(jobs[0], stats[0])
+        journal.record(jobs[1], stats[1], torn=True)  # simulated crash
+        journal.close()
+
+        reloaded = ResultJournal(tmp_path / "run", fsync=False)
+        assert job_key(jobs[0]) in reloaded.completed
+        assert job_key(jobs[1]) not in reloaded.completed
+        assert reloaded.corrupt_lines == 1
+        # Appending after the torn tail heals it: the new record parses.
+        reloaded.open_run("r1", jobs)
+        reloaded.record(jobs[1], stats[1])
+        reloaded.close()
+        final = ResultJournal(tmp_path / "run")
+        assert final.completed[job_key(jobs[1])] == stats[1]
+
+    def test_corrupt_line_skipped(self, tmp_path, store):
+        job = SweepJob(spec="dm", benchmark="gzip", n=1000)
+        stats = execute_job(job, store=store)
+        journal = ResultJournal(tmp_path / "run", fsync=False)
+        journal.open_run("r1", [job])
+        journal.record(job, stats)
+        journal.close()
+        path = tmp_path / "run" / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        flipped = lines[-1][:9] + ("X" if lines[-1][9] != "X" else "Y") + lines[-1][10:]
+        path.write_text("\n".join(lines[:-1] + [flipped]) + "\n")
+
+        reloaded = ResultJournal(tmp_path / "run")
+        assert job_key(job) not in reloaded.completed
+        assert reloaded.corrupt_lines == 1
+
+    def test_index_written_atomically(self, tmp_path, store):
+        job = SweepJob(spec="dm", benchmark="gzip", n=1000)
+        journal = ResultJournal(tmp_path / "run", fsync=False)
+        journal.open_run("r1", [job])
+        journal.record(job, execute_job(job, store=store))
+        index = json.loads((tmp_path / "run" / "index.json").read_text())
+        assert index["completed"] == 1
+        assert index["total_jobs"] == 1
+        assert index["run_id"] == "r1"
+
+    def test_default_run_root_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUN_ROOT", str(tmp_path / "runs"))
+        assert default_run_root() == tmp_path / "runs"
+
+
+class TestResumeSerial:
+    def test_run_id_journals_and_resumes(self, tmp_path, store):
+        jobs = small_sweep()
+        clean = run_sweep(jobs, workers=1, store=store)
+        first = run_sweep(
+            jobs, workers=1, store=store, run_id="r", run_root=tmp_path,
+            resilience=FAST,
+        )
+        assert first == clean
+        resumed = run_sweep(
+            jobs, workers=1, store=store, resume="r", run_root=tmp_path,
+            resilience=FAST,
+        )
+        assert resumed == clean
+
+    def test_resume_skips_execution(self, tmp_path, store, monkeypatch):
+        jobs = small_sweep()
+        expected = run_sweep(
+            jobs, workers=1, store=store, run_id="r", run_root=tmp_path,
+            resilience=FAST,
+        )
+
+        import repro.engine.resilience as resilience
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("resume must not re-execute completed jobs")
+
+        monkeypatch.setattr(resilience, "execute_job", _boom)
+        resumed = run_sweep(
+            jobs, workers=1, store=store, resume="r", run_root=tmp_path,
+            resilience=FAST,
+        )
+        assert resumed == expected
+
+    def test_run_id_resume_conflict_rejected(self, tmp_path, store):
+        with pytest.raises(ValueError, match="disagree"):
+            run_sweep(
+                small_sweep()[:1], workers=1, store=store,
+                run_id="a", resume="b", run_root=tmp_path,
+            )
+
+    def test_sanitized_run_survives_resume(self, tmp_path, store):
+        jobs = small_sweep()[:2]
+        plain = run_sweep(jobs, workers=1, store=store)
+        checked = run_sweep(
+            jobs, workers=1, store=store, sanitize=True,
+            run_id="san", run_root=tmp_path, resilience=FAST,
+        )
+        assert checked == plain
+        resumed = run_sweep(
+            jobs, workers=1, store=store, sanitize=True,
+            resume="san", run_root=tmp_path, resilience=FAST,
+        )
+        assert resumed == plain
+
+
+class TestFaultRecovery:
+    def test_flaky_job_retries_serially(self, tmp_path, store):
+        jobs = small_sweep()
+        clean = run_sweep(jobs, workers=1, store=store)
+        plan = FaultPlan.parse("flaky@0,flaky@2")
+        got = run_sweep(
+            jobs, workers=1, store=store, resilience=FAST, fault_plan=plan,
+        )
+        assert got == clean
+
+    def test_crash_and_hang_recovered_by_supervisor(self, tmp_path, store):
+        jobs = small_sweep()
+        clean = run_sweep(jobs, workers=1, store=store)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=4, base_delay=0.005),
+            job_timeout=8.0,
+            fsync=False,
+        )
+        plan = FaultPlan.parse("crash@0,hang@1")
+        got = run_sweep(
+            jobs, workers=2, store=store, resilience=config, fault_plan=plan,
+        )
+        assert got == clean
+
+    def test_corrupt_blob_quarantined_and_recovered(self, tmp_path, store):
+        jobs = small_sweep()
+        clean = run_sweep(jobs, workers=1, store=store)
+        plan = FaultPlan.parse("corrupt_blob@1")
+        got = run_sweep(
+            jobs, workers=1, store=store, resilience=FAST, fault_plan=plan,
+        )
+        assert got == clean
+        assert (store.quarantine_root).is_dir()
+
+    def test_torn_journal_rerun_on_resume(self, tmp_path, store):
+        jobs = small_sweep()
+        clean = run_sweep(jobs, workers=1, store=store)
+        plan = FaultPlan.parse("torn_journal@2")
+        got = run_sweep(
+            jobs, workers=1, store=store, run_id="torn", run_root=tmp_path,
+            resilience=FAST, fault_plan=plan,
+        )
+        assert got == clean
+        journal = ResultJournal(tmp_path / "torn")
+        assert len(journal.completed) == len(jobs) - 1
+        assert journal.corrupt_lines == 1
+        resumed = run_sweep(
+            jobs, workers=1, store=store, resume="torn", run_root=tmp_path,
+            resilience=FAST,
+        )
+        assert resumed == clean
+        assert len(ResultJournal(tmp_path / "torn").completed) == len(jobs)
+
+    def test_retry_budget_exhaustion_raises(self, store):
+        jobs = small_sweep()[:1]
+        plan = FaultPlan(
+            # Fail every attempt the budget allows.
+            [
+                spec
+                for attempt in range(4)
+                for spec in FaultPlan.parse(f"flaky@0:{attempt}").specs
+            ]
+        )
+        with pytest.raises(SweepFailure, match="failed after"):
+            run_sweep(jobs, workers=1, store=store, resilience=FAST, fault_plan=plan)
+
+    def test_pool_degrades_to_serial_after_failures(self, tmp_path, store, caplog):
+        jobs = small_sweep()
+        clean = run_sweep(jobs, workers=1, store=store)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=5, base_delay=0.005),
+            job_timeout=30.0,
+            max_pool_failures=2,
+            fsync=False,
+        )
+        plan = FaultPlan.parse("crash@0,crash@1")
+        with caplog.at_level("WARNING", logger="repro.engine.resilience"):
+            got = run_sweep(
+                jobs, workers=2, store=store, resilience=config, fault_plan=plan,
+            )
+        assert got == clean
+        assert any("serial" in record.message for record in caplog.records)
+
+
+class TestKillResume:
+    """SIGKILL a journaled sweep mid-run; resume must be bit-identical."""
+
+    def test_sigkill_mid_run_resumes_bit_identically(self, tmp_path, store):
+        jobs = small_sweep(3000)
+        run_root = tmp_path / "runs"
+        # The child hangs forever on job 0 (huge timeout, no retry help),
+        # so it deterministically finishes every other job, journals
+        # them, and then blocks — a guaranteed mid-run SIGKILL window.
+        child_code = """
+import sys
+from repro.engine.faultinject import FaultPlan
+from repro.engine.resilience import ResilienceConfig
+from repro.engine.runner import SweepJob, run_sweep
+from repro.engine.trace_store import TraceStore, set_default_store
+
+store_root, run_root = sys.argv[1], sys.argv[2]
+set_default_store(TraceStore(store_root, fsync=False))
+jobs = [
+    SweepJob(spec=spec, benchmark=benchmark, n=3000)
+    for spec in ("dm", "2way")
+    for benchmark in ("gzip", "equake")
+]
+run_sweep(
+    jobs,
+    workers=2,
+    run_id="killed",
+    run_root=run_root,
+    resilience=ResilienceConfig(job_timeout=3600.0),
+    fault_plan=FaultPlan.parse("hang@0"),
+)
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child_code, str(store.root), str(run_root)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,  # killpg must reach the hung worker too
+        )
+        journal_path = run_root / "killed" / "journal.jsonl"
+        try:
+            deadline = time.monotonic() + 60.0
+            # Wait for header + every job except the hung one, then kill.
+            while time.monotonic() < deadline:
+                if (
+                    journal_path.is_file()
+                    and journal_path.read_text().count("\n") >= len(jobs)
+                ):
+                    break
+                assert proc.poll() is None, "sweep exited before the kill"
+                time.sleep(0.02)
+            else:
+                pytest.fail("journal never reached the pre-kill state")
+        finally:
+            with contextlib.suppress(ProcessLookupError):
+                os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        journal = ResultJournal(run_root / "killed")
+        assert len(journal.completed) == len(jobs) - 1  # killed mid-run
+
+        clean = run_sweep(jobs, workers=1, store=store)
+        resumed = run_sweep(
+            jobs, workers=1, store=store, resume="killed", run_root=run_root,
+            resilience=FAST,
+        )
+        assert resumed == clean
+        assert len(ResultJournal(run_root / "killed").completed) == len(jobs)
+
+
+class TestFingerprintWarning:
+    def test_resuming_different_sweep_warns(self, tmp_path, store, caplog):
+        jobs = small_sweep()[:2]
+        run_sweep(
+            jobs, workers=1, store=store, run_id="fp", run_root=tmp_path,
+            resilience=FAST,
+        )
+        other = small_sweep()[1:3]
+        with caplog.at_level("WARNING", logger="repro.engine.resilience"):
+            got = run_sweep(
+                other, workers=1, store=store, resume="fp", run_root=tmp_path,
+                resilience=FAST,
+            )
+        assert any("fingerprint" in r.message for r in caplog.records)
+        assert got == run_sweep(other, workers=1, store=store)

@@ -7,6 +7,7 @@ from array import array
 import pytest
 
 from repro.engine.trace_store import (
+    CRC_BYTES,
     TraceStore,
     TraceStoreError,
     default_store,
@@ -33,7 +34,7 @@ class TestAddresses:
     def test_persists_on_disk(self, store):
         store.addresses("gzip", "data", 250, 1)
         path = store.address_path("gzip", "data", 250, 1)
-        assert path.is_file() and path.stat().st_size == 8 * 250
+        assert path.is_file() and path.stat().st_size == 8 * 250 + CRC_BYTES
 
     def test_second_process_reloads(self, store, tmp_path):
         first = store.addresses("gzip", "data", 250, 1)
@@ -59,7 +60,7 @@ class TestAddresses:
         store.clear_memory()
         again = store.addresses("gzip", "data", 200, 1)
         assert list(again) == expected
-        assert path.stat().st_size == 8 * 200
+        assert path.stat().st_size == 8 * 200 + CRC_BYTES
 
     def test_unknown_side_rejected(self, store):
         with pytest.raises(TraceStoreError, match="side"):
@@ -114,6 +115,77 @@ class TestMaintenance:
         store.accesses("gzip", "data", 100, 1)
         assert store.wipe() == 3  # 2 address blobs + 1 kind blob
         assert not any(store.root.iterdir())
+
+
+class TestCorruptionHardening:
+    def test_bitflip_quarantined_and_regenerated(self, store):
+        expected = list(store.addresses("gzip", "data", 200, 1))
+        path = store.address_path("gzip", "data", 200, 1)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF  # bit rot in the payload; size stays right
+        path.write_bytes(bytes(data))
+        store.clear_memory()
+        again = store.addresses("gzip", "data", 200, 1)
+        assert list(again) == expected
+        assert store.quarantined == 1
+        assert (store.quarantine_root / path.name).is_file()
+        # The regenerated blob is clean: a fresh load verifies.
+        fresh = TraceStore(store.root)
+        assert list(fresh.addresses("gzip", "data", 200, 1)) == expected
+        assert fresh.quarantined == 0
+
+    def test_corrupt_footer_quarantined(self, store):
+        store.addresses("gzip", "data", 150, 1)
+        path = store.address_path("gzip", "data", 150, 1)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # damage the CRC footer itself
+        path.write_bytes(bytes(data))
+        store.clear_memory()
+        assert len(store.addresses("gzip", "data", 150, 1)) == 150
+        assert store.quarantined == 1
+
+    def test_truncation_quarantined(self, store):
+        expected = list(store.addresses("gzip", "data", 100, 1))
+        path = store.address_path("gzip", "data", 100, 1)
+        path.write_bytes(path.read_bytes()[:17])  # torn write
+        store.clear_memory()
+        assert list(store.addresses("gzip", "data", 100, 1)) == expected
+        assert store.quarantined == 1
+
+    def test_corrupt_kind_blob_regenerates_pair(self, store):
+        addresses, kinds = store.accesses("gzip", "data", 120, 1)
+        kind_path = store.kind_path("gzip", "data", 120, 1)
+        data = bytearray(kind_path.read_bytes())
+        data[0] ^= 0xFF
+        kind_path.write_bytes(bytes(data))
+        store.clear_memory()
+        again_addresses, again_kinds = store.accesses("gzip", "data", 120, 1)
+        assert again_addresses == addresses and again_kinds == kinds
+        assert store.quarantined >= 1
+
+    def test_missing_blob_regenerates_silently(self, store):
+        expected = list(store.addresses("gzip", "data", 80, 1))
+        store.address_path("gzip", "data", 80, 1).unlink()
+        store.clear_memory()
+        assert list(store.addresses("gzip", "data", 80, 1)) == expected
+        assert store.quarantined == 0  # absence is not corruption
+
+    def test_wipe_clears_quarantine(self, store):
+        store.addresses("gzip", "data", 90, 1)
+        path = store.address_path("gzip", "data", 90, 1)
+        path.write_bytes(b"garbage")
+        store.clear_memory()
+        store.addresses("gzip", "data", 90, 1)
+        assert (store.quarantine_root).is_dir()
+        store.wipe()
+        assert not any(store.root.iterdir())
+
+    def test_fsync_escape_hatch_still_writes(self, tmp_path):
+        store = TraceStore(tmp_path / "nofsync", fsync=False)
+        blob = store.addresses("gzip", "data", 60, 1)
+        fresh = TraceStore(tmp_path / "nofsync")
+        assert fresh.addresses("gzip", "data", 60, 1) == blob
+        assert fresh.disk_hits == 1
 
 
 class TestDefaultStore:
