@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test lint bench bench-engine chaos experiments experiments-full examples clean
+.PHONY: install dev test lint bench bench-engine chaos serve loadgen experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -26,6 +26,13 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.engine.faultinject --workers 2 \
 		--timeout 20 \
 		--faults "crash@0,hang@1:0,flaky@2,corrupt_blob@3,torn_journal@4"
+
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --port 4006 --shards 2
+
+loadgen:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.loadgen \
+		--connect 127.0.0.1:4006 --requests 200 --clients 8 --verify
 
 experiments:
 	$(PYTHON) -m repro.cli all --scale default

@@ -33,6 +33,11 @@ BCL010    engine code (``repro.engine``) must not swallow failures or
           spin-retry: no bare ``except:``, no ``except Exception:
           pass``, and retry loops (``while``/``for range(...)`` with an
           except-and-continue) must back off via a sleep/delay call
+BCL011    serve code (``repro.serve``) must not block the event loop:
+          no ``time.sleep``, synchronous file I/O (``open``,
+          ``read_text``/``write_text``/…) or ``Future.result()``
+          inside a coroutine — await, or offload via
+          ``run_in_executor``
 ========  =============================================================
 
 A violation on a line containing ``# noqa: BCLxxx`` (or a bare
@@ -64,6 +69,8 @@ RULES: dict[str, str] = {
     "BCL008": "cache-interface method missing type annotations",
     "BCL009": "AccessResult allocation inside a batch-kernel loop",
     "BCL010": "engine code swallows exceptions or retries without backoff",
+    "BCL011": "blocking call (time.sleep / sync file I/O / Future.result) "
+    "inside a serve coroutine",
 }
 
 #: Sub-packages of ``repro`` whose code runs once per simulated access.
@@ -78,6 +85,16 @@ ENGINE_PACKAGES = frozenset({"engine"})
 
 #: Call names that count as backing off inside a retry loop.
 BACKOFF_CALLS = frozenset({"sleep", "delay", "backoff", "wait"})
+
+#: Sub-packages running on an asyncio event loop: a blocking call in a
+#: coroutine there stalls every connection at once (BCL011).
+SERVE_PACKAGES = frozenset({"serve"})
+
+#: Method calls that do synchronous file I/O when issued on a ``Path``
+#: (or file object) inside a coroutine.
+BLOCKING_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
 
 #: Modules where ``math.log2`` itself is banned (geometry must go
 #: through ``log2_exact``); the energy models legitimately need floats.
@@ -199,9 +216,12 @@ class _Linter(ast.NodeVisitor):
         self.hot = bool(segments) and segments[0] in HOT_PACKAGES
         self.geometry_module = bool(segments) and segments[0] in GEOMETRY_PACKAGES
         self.engine_module = bool(segments) and segments[0] in ENGINE_PACKAGES
+        self.serve_module = bool(segments) and segments[0] in SERVE_PACKAGES
         self.violations: list[Violation] = []
         self._func_stack: list[str] = []
+        self._async_stack: list[bool] = []  # "is coroutine" per frame
         self._class_stack: list[bool] = []  # "is cache-like" per frame
+        self._awaited_calls: set[ast.Call] = set()
         self._loop_depth = 0  # loops inside the current function body
 
     # -- helpers -------------------------------------------------------
@@ -221,6 +241,16 @@ class _Linter(ast.NodeVisitor):
     @property
     def _in_cache_class(self) -> bool:
         return bool(self._class_stack) and self._class_stack[-1]
+
+    @property
+    def _in_coroutine(self) -> bool:
+        """Is the nearest enclosing function frame an ``async def``?
+
+        A plain nested ``def`` inside a coroutine is *not* a coroutine
+        frame — it typically runs in an executor thread, where blocking
+        is the whole point.
+        """
+        return bool(self._async_stack) and self._async_stack[-1]
 
     # -- classes -------------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -313,10 +343,12 @@ class _Linter(ast.NodeVisitor):
                 )
 
         self._func_stack.append(node.name)
+        self._async_stack.append(isinstance(node, ast.AsyncFunctionDef))
         enclosing_loops = self._loop_depth
         self._loop_depth = 0
         self.generic_visit(node)
         self._loop_depth = enclosing_loops
+        self._async_stack.pop()
         self._func_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -345,6 +377,11 @@ class _Linter(ast.NodeVisitor):
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
         self._visit_loop(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited_calls.add(node.value)
+        self.generic_visit(node)
 
     def visit_While(self, node: ast.While) -> None:
         self._check_retry_loop(node)
@@ -507,6 +544,12 @@ class _Linter(ast.NodeVisitor):
                 node, "BCL005", f"{func.id}() without a seed is irreproducible"
             )
 
+        # BCL011: serve coroutines share one event loop; a single
+        # blocking call there stalls every connection.  Blocking work
+        # belongs in an executor (see ShardPool's shard-io threads).
+        if self.serve_module and self._in_coroutine:
+            self._check_blocking_call(node)
+
         # BCL006: float() / math.* inside address math.
         if self._in_index_func and self.hot:
             if isinstance(func, ast.Name) and func.id == "float":
@@ -528,6 +571,47 @@ class _Linter(ast.NodeVisitor):
                 "true division in index/tag computation (use // or shifts)",
             )
         self.generic_visit(node)
+
+    def _check_blocking_call(self, node: ast.Call) -> None:
+        """BCL011: blocking primitives inside a serve coroutine."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            self._add(
+                node,
+                "BCL011",
+                "open() blocks the event loop; offload file I/O via "
+                "loop.run_in_executor",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr == "sleep"
+        ):
+            self._add(
+                node,
+                "BCL011",
+                "time.sleep() blocks the event loop; use await asyncio.sleep",
+            )
+        elif func.attr in BLOCKING_IO_METHODS:
+            self._add(
+                node,
+                "BCL011",
+                f".{func.attr}() does synchronous file I/O in a coroutine; "
+                "offload via loop.run_in_executor",
+            )
+        elif func.attr == "result" and not self._is_awaited(node):
+            self._add(
+                node,
+                "BCL011",
+                ".result() blocks the event loop waiting on a future; "
+                "await the future (or run_in_executor) instead",
+            )
+
+    def _is_awaited(self, node: ast.Call) -> bool:
+        return node in self._awaited_calls
 
     @staticmethod
     def _is_math_call(node: ast.expr, names: set[str] | None) -> bool:

@@ -20,7 +20,13 @@ Five pieces (see ``docs/engine.md``):
 
 import importlib
 
-from repro.engine.runner import SweepJob, default_jobs, execute_job, run_sweep
+from repro.engine.runner import (
+    SweepJob,
+    available_cpus,
+    default_jobs,
+    execute_job,
+    run_sweep,
+)
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
 
 #: Symbols resolved lazily (PEP 562) so ``python -m
@@ -65,6 +71,7 @@ __all__ = [
     "SweepFailure",
     "SweepJob",
     "TraceStore",
+    "available_cpus",
     "default_jobs",
     "default_run_root",
     "default_store",

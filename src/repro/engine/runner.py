@@ -72,12 +72,34 @@ class SweepJob:
     with_kinds: bool = False
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Containers and CI runners routinely pin a process to a slice of the
+    machine; ``os.cpu_count()`` still reports every core.  Honouring
+    ``os.sched_getaffinity(0)`` (where the platform provides it) keeps
+    worker pools and server shards from oversubscribing a 2-CPU cgroup
+    on a 64-core host.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def default_jobs() -> int:
-    """Worker count: ``$REPRO_JOBS`` or 1 (serial)."""
+    """Worker count: ``$REPRO_JOBS`` (capped to usable CPUs) or 1.
+
+    The cap uses :func:`available_cpus`, so an over-eager
+    ``REPRO_JOBS=64`` inside a 2-CPU container forks 2 workers, not 64.
+    """
     try:
-        return max(1, int(os.environ.get(ENV_JOBS, "1")))
+        requested = int(os.environ.get(ENV_JOBS, "1"))
     except ValueError:
         return 1
+    return max(1, min(requested, available_cpus()))
 
 
 def execute_job(

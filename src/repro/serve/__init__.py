@@ -1,0 +1,65 @@
+"""``repro.serve`` — the simulation engine as a network service.
+
+Five pieces (see ``docs/serve.md``):
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON framing with a
+  sans-IO incremental decoder and asyncio stream helpers;
+* :mod:`repro.serve.workers` — persistent sharded worker processes with
+  trace-affinity routing, restart-on-crash and in-process fallback;
+* :mod:`repro.serve.batcher` — the micro-batching coalescer that turns
+  many concurrent ``simulate`` requests into few worker round-trips;
+* :mod:`repro.serve.server` — the ``bcache-serve`` asyncio TCP/Unix
+  server: admission control, load shedding, graceful SIGTERM drain;
+* :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — blocking and
+  asyncio clients, plus the ``bcache-loadgen`` benchmark harness behind
+  ``BENCH_serve.json``.
+
+Served statistics are **bit-identical** to a local
+``Cache.access_trace`` replay of the same job: the shards run the very
+:func:`repro.engine.runner.execute_job` path every CLI tool uses.
+"""
+
+from repro.serve.batcher import BatchMetrics, MicroBatcher, SimulationError
+from repro.serve.client import (
+    AsyncServeClient,
+    DrainingError,
+    OverloadedError,
+    ServeClient,
+    ServeError,
+    parse_address,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import ServeConfig, SimServer
+from repro.serve.workers import ShardPool
+
+__all__ = [
+    "AsyncServeClient",
+    "BatchMetrics",
+    "DrainingError",
+    "FrameDecoder",
+    "FrameTooLarge",
+    "MAX_FRAME_BYTES",
+    "MicroBatcher",
+    "OverloadedError",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ShardPool",
+    "SimServer",
+    "SimulationError",
+    "decode_payload",
+    "encode_frame",
+    "parse_address",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,184 @@
+"""Micro-batching coalescer: many small requests, few worker round-trips.
+
+Concurrent ``simulate`` requests are cheap individually but expensive
+collectively if each one pays a worker-pipe round-trip.  The batcher
+holds each admitted job for at most ``window`` seconds and flushes
+everything that accumulated for a shard as **one** batch message, which
+the shard replays through the ``access_trace`` batch kernels job by
+job.  Two levels of coalescing happen:
+
+* **Identical-job coalescing** — requests for the *same* deterministic
+  job (same spec, benchmark, side, n, seed, geometry, policy) attach to
+  one pending entry and share a single execution; every waiter gets the
+  same snapshot.  Simulations are pure functions of the job, so this is
+  semantically invisible.
+* **Batch coalescing** — distinct jobs bound for the same shard within
+  the window travel in one pipe message, amortising IPC and scheduling.
+
+The flush trigger is whichever comes first: the window timer, or the
+pending set reaching ``max_batch`` entries.  Metrics
+(:class:`BatchMetrics`) feed the server's ``status`` response — the
+``mean_batch_size`` counter is how the load generator proves the
+batcher actually coalesces under concurrency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.resilience import job_key
+from repro.engine.runner import SweepJob
+from repro.serve.workers import ShardPool
+
+
+class SimulationError(RuntimeError):
+    """A worker reported a job failure (bad spec, trace error, ...)."""
+
+
+@dataclass(slots=True)
+class BatchMetrics:
+    """Coalescing counters (exported via the ``status`` op)."""
+
+    requests: int = 0  #: jobs admitted to the batcher
+    coalesced: int = 0  #: requests that piggybacked on an identical pending job
+    batches: int = 0  #: worker round-trips
+    batched_jobs: int = 0  #: distinct jobs sent across all batches
+    batch_errors: int = 0  #: jobs whose worker reported an error
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Admitted requests per worker round-trip (> 1 means coalescing)."""
+        if not self.batches:
+            return 0.0
+        return self.requests / self.batches
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "batch_errors": self.batch_errors,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+        }
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One distinct pending job and everyone waiting on it."""
+
+    job: SweepJob
+    futures: list = field(default_factory=list)
+    requests: int = 0
+
+
+class MicroBatcher:
+    """Gather concurrent jobs per shard; flush as single batches.
+
+    Args:
+        pool: the shard pool executing the batches.
+        window: max seconds a job waits for company before its shard's
+            pending set is flushed.
+        max_batch: pending-entry count that forces an immediate flush.
+    """
+
+    def __init__(
+        self, pool: ShardPool, window: float = 0.002, max_batch: int = 64
+    ) -> None:
+        self.pool = pool
+        self.window = window
+        self.max_batch = max(1, max_batch)
+        self.metrics = BatchMetrics()
+        self._pending: dict[int, dict[str, _Entry]] = {}
+        self._timers: dict[int, asyncio.Task] = {}
+        self._inflight: set[asyncio.Task] = set()
+
+    # -- submission ----------------------------------------------------
+    async def submit(self, job: SweepJob) -> dict[str, Any]:
+        """Queue one job; returns its ``CacheStats.snapshot()`` dict.
+
+        Raises :class:`SimulationError` if the worker reports a failure
+        for this job.
+        """
+        loop = asyncio.get_running_loop()
+        shard = self.pool.shard_of(job)
+        bucket = self._pending.setdefault(shard, {})
+        key = job_key(job)
+        entry = bucket.get(key)
+        self.metrics.requests += 1
+        if entry is None:
+            entry = _Entry(job=job)
+            bucket[key] = entry
+        else:
+            self.metrics.coalesced += 1
+        future: asyncio.Future = loop.create_future()
+        entry.futures.append(future)
+        entry.requests += 1
+        if len(bucket) >= self.max_batch:
+            self._flush_shard(shard)
+        elif shard not in self._timers:
+            self._timers[shard] = loop.create_task(self._flush_after(shard))
+        return await future
+
+    # -- flushing ------------------------------------------------------
+    async def _flush_after(self, shard: int) -> None:
+        await asyncio.sleep(self.window)
+        self._timers.pop(shard, None)
+        self._launch_flush(shard)
+
+    def _flush_shard(self, shard: int) -> None:
+        """Immediate flush (max_batch hit or drain): cancel the timer."""
+        timer = self._timers.pop(shard, None)
+        if timer is not None and not timer.done():
+            timer.cancel()
+        self._launch_flush(shard)
+
+    def _launch_flush(self, shard: int) -> None:
+        bucket = self._pending.pop(shard, None)
+        if not bucket:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(shard, list(bucket.values()))
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, shard: int, entries: list[_Entry]) -> None:
+        self.metrics.batches += 1
+        self.metrics.batched_jobs += len(entries)
+        try:
+            results = await self.pool.run_batch(
+                shard, [entry.job for entry in entries]
+            )
+        except Exception as exc:
+            for entry in entries:
+                self._resolve(entry, "error", f"batch failed: {exc}")
+            return
+        for entry, (status, payload) in zip(entries, results):
+            self._resolve(entry, status, payload)
+
+    def _resolve(self, entry: _Entry, status: str, payload: Any) -> None:
+        if status != "ok":
+            self.metrics.batch_errors += 1
+        for future in entry.futures:
+            if future.done():  # waiter disconnected / cancelled
+                continue
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(SimulationError(str(payload)))
+
+    # -- drain ---------------------------------------------------------
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight batches."""
+        for shard in list(self._pending):
+            self._flush_shard(shard)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    @property
+    def pending_jobs(self) -> int:
+        """Distinct jobs currently waiting for a flush."""
+        return sum(len(bucket) for bucket in self._pending.values())

@@ -1,0 +1,231 @@
+"""Client library for the ``bcache-serve`` simulation service.
+
+Two flavours over the same length-prefixed JSON protocol:
+
+* :class:`ServeClient` — blocking sockets, for scripts, tests and
+  ``bcache-sim --connect``.  One request at a time per connection.
+* :class:`AsyncServeClient` — asyncio streams, used by the load
+  generator to keep hundreds of requests in flight.
+
+Both return real :class:`~repro.stats.counters.CacheStats` objects
+rebuilt from the server's snapshots, so a served result compares
+``==`` (bit-identical, per-set counters included) against a local
+``access_trace`` replay of the same job.
+
+Addresses are given as ``host:port`` or ``unix:/path/to.sock`` (a bare
+path containing ``/`` also works).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from dataclasses import asdict
+from typing import Any, Sequence
+
+from repro.engine.runner import SweepJob
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.stats.counters import CacheStats
+
+
+class ServeError(RuntimeError):
+    """The server answered with an error response."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+
+
+class OverloadedError(ServeError):
+    """The server shed this request (bounded queue full); retry later."""
+
+
+class DrainingError(ServeError):
+    """The server is draining and no longer accepts work."""
+
+
+def parse_address(address: str) -> tuple[str, Any]:
+    """``host:port`` / ``unix:/path`` → ``("tcp", (host, port))`` / ``("unix", path)``."""
+    if address.startswith("unix:"):
+        return ("unix", address[len("unix:"):])
+    if ":" in address:
+        host, _, port_text = address.rpartition(":")
+        try:
+            return ("tcp", (host or "127.0.0.1", int(port_text)))
+        except ValueError:
+            pass
+    if "/" in address:
+        return ("unix", address)
+    raise ValueError(
+        f"bad server address {address!r}; use host:port or unix:/path.sock"
+    )
+
+
+def _raise_for_error(response: dict[str, Any]) -> None:
+    if response.get("ok"):
+        return
+    code = str(response.get("error", "unknown_error"))
+    detail = str(response.get("detail", ""))
+    if code == "overloaded":
+        raise OverloadedError(code, detail)
+    if code == "draining":
+        raise DrainingError(code, detail)
+    raise ServeError(code, detail)
+
+
+def _job_payload(job: SweepJob | dict[str, Any]) -> dict[str, Any]:
+    return asdict(job) if isinstance(job, SweepJob) else dict(job)
+
+
+def _stats_from(response: dict[str, Any]) -> CacheStats:
+    _raise_for_error(response)
+    return CacheStats.from_snapshot(response["stats"])
+
+
+def _sweep_stats_from(response: dict[str, Any]) -> list[CacheStats]:
+    _raise_for_error(response)
+    return [_stats_from(entry) for entry in response["results"]]
+
+
+class ServeClient:
+    """Blocking client; one in-flight request per connection.
+
+    Usage::
+
+        with ServeClient.connect("127.0.0.1:4006") as client:
+            stats = client.simulate(SweepJob(spec="mf8_bas8", benchmark="gcc"))
+    """
+
+    def __init__(self, sock: socket.socket, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder(max_frame)
+        self.max_frame = max_frame
+
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        timeout: float | None = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "ServeClient":
+        kind, target = parse_address(address)
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            raise
+        return cls(sock, max_frame)
+
+    # -- low level -----------------------------------------------------
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request frame and block for its response frame."""
+        self._sock.sendall(encode_frame(payload, self.max_frame))
+        while True:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("server closed the connection mid-response")
+            frames = self._decoder.feed(chunk)
+            if frames:
+                return frames[0]
+
+    # -- ops -----------------------------------------------------------
+    def simulate(self, job: SweepJob | dict[str, Any]) -> CacheStats:
+        return _stats_from(self.request({"op": "simulate", **_job_payload(job)}))
+
+    def sweep(self, jobs: Sequence[SweepJob | dict[str, Any]]) -> list[CacheStats]:
+        payload = {"op": "sweep", "jobs": [_job_payload(job) for job in jobs]}
+        return _sweep_stats_from(self.request(payload))
+
+    def status(self) -> dict[str, Any]:
+        response = self.request({"op": "status"})
+        _raise_for_error(response)
+        return response
+
+    def drain(self) -> dict[str, Any]:
+        response = self.request({"op": "drain"})
+        _raise_for_error(response)
+        return response
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """asyncio client; one in-flight request per connection.
+
+    Open many instances for concurrency — the load generator opens one
+    per simulated user.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.max_frame = max_frame
+
+    @classmethod
+    async def connect(
+        cls, address: str, max_frame: int = MAX_FRAME_BYTES
+    ) -> "AsyncServeClient":
+        kind, target = parse_address(address)
+        if kind == "unix":
+            reader, writer = await asyncio.open_unix_connection(target)
+        else:
+            reader, writer = await asyncio.open_connection(target[0], target[1])
+        return cls(reader, writer, max_frame)
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        await write_frame(self._writer, payload, self.max_frame)
+        response = await read_frame(self._reader, self.max_frame)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-response")
+        return response
+
+    async def simulate(self, job: SweepJob | dict[str, Any]) -> CacheStats:
+        return _stats_from(await self.request({"op": "simulate", **_job_payload(job)}))
+
+    async def sweep(
+        self, jobs: Sequence[SweepJob | dict[str, Any]]
+    ) -> list[CacheStats]:
+        payload = {"op": "sweep", "jobs": [_job_payload(job) for job in jobs]}
+        return _sweep_stats_from(await self.request(payload))
+
+    async def status(self) -> dict[str, Any]:
+        response = await self.request({"op": "status"})
+        _raise_for_error(response)
+        return response
+
+    async def drain(self) -> dict[str, Any]:
+        response = await self.request({"op": "drain"})
+        _raise_for_error(response)
+        return response
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,360 @@
+"""``bcache-loadgen`` — closed/open-loop load generator for ``bcache-serve``.
+
+Closed loop (default): ``--clients C`` simulated users each hold one
+connection and fire their next request the moment the previous answer
+lands — the standard saturation benchmark.  Open loop (``--rate R``):
+requests arrive on a fixed schedule regardless of completions, which is
+what exposes queueing collapse; a bounded connection pool supplies the
+transports.
+
+The request mix cycles through the cross product of ``--specs`` and
+``--benchmarks``, so concurrent clients repeatedly ask for identical
+and near-identical jobs — exactly the traffic shape the server's
+micro-batcher coalesces.  After the run the tool fetches the server's
+``status`` metrics and reports the **mean batch size** alongside
+throughput and latency percentiles; with ``--verify`` it also replays
+every distinct job locally through the same ``execute_job`` path and
+asserts the served statistics are bit-identical.
+
+``--out`` writes a machine-readable report (``BENCH_serve.json``
+schema); ``--check BASELINE`` gates regressions the same ratio-based
+way ``bcache-bench`` does — only dimensionless quantities (errors,
+identity, coalescing factor) are compared, so a baseline recorded on
+one machine transfers to another.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from random import Random
+from typing import Any
+
+from repro.engine.resilience import job_key
+from repro.engine.runner import SweepJob, execute_job
+from repro.serve.client import AsyncServeClient, OverloadedError, ServeError
+from repro.serve.protocol import ProtocolError
+from repro.stats.counters import CacheStats
+from repro.stats.latency import LatencyRecorder
+from repro.workloads.spec2k import ALL_BENCHMARKS
+
+SCHEMA = "bcache-loadgen/1"
+
+DEFAULT_SPECS = "dm,mf8_bas8"
+DEFAULT_BENCHMARKS = "gzip,gcc,equake,mcf"
+
+#: Overload responses are retried this many times with seeded backoff.
+SHED_RETRIES = 5
+
+
+class _RunState:
+    """Shared counters for one load-generation run."""
+
+    def __init__(self) -> None:
+        self.latency = LatencyRecorder()
+        self.errors: list[str] = []
+        self.shed = 0
+        self.served: dict[str, CacheStats] = {}  # job_key -> first result
+
+
+def build_mix(
+    specs: list[str], benchmarks: list[str], n: int, seed: int
+) -> list[SweepJob]:
+    """The request mix: every (spec, benchmark) pair at one scale."""
+    return [
+        SweepJob(spec=spec, benchmark=benchmark, n=n, seed=seed)
+        for benchmark in benchmarks
+        for spec in specs
+    ]
+
+
+async def _issue(
+    client: AsyncServeClient,
+    job: SweepJob,
+    state: _RunState,
+    rng: Random,
+) -> None:
+    """One request, with bounded retry on load shedding."""
+    for attempt in range(SHED_RETRIES + 1):
+        started = time.perf_counter()
+        try:
+            stats = await client.simulate(job)
+        except OverloadedError:
+            state.shed += 1
+            if attempt == SHED_RETRIES:
+                state.errors.append(
+                    f"{job.spec}/{job.benchmark}: still overloaded after "
+                    f"{SHED_RETRIES} retries"
+                )
+                return
+            await asyncio.sleep(0.01 * (2**attempt) * (1.0 + rng.random()))
+            continue
+        except (ServeError, ProtocolError, ConnectionError, OSError) as exc:
+            state.errors.append(f"{job.spec}/{job.benchmark}: {exc}")
+            return
+        state.latency.record(time.perf_counter() - started)
+        state.served.setdefault(job_key(job), stats)
+        return
+
+
+async def _closed_loop(
+    address: str, mix: list[SweepJob], requests: int, clients: int, seed: int
+) -> _RunState:
+    state = _RunState()
+    queue: asyncio.Queue[int] = asyncio.Queue()
+    for index in range(requests):
+        queue.put_nowait(index)
+
+    async def worker(worker_id: int) -> None:
+        rng = Random(seed + worker_id)
+        try:
+            client = await AsyncServeClient.connect(address)
+        except OSError as exc:
+            state.errors.append(f"client {worker_id}: connect failed: {exc}")
+            return
+        try:
+            while True:
+                try:
+                    index = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                await _issue(client, mix[index % len(mix)], state, rng)
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker(i) for i in range(clients)))
+    return state
+
+
+async def _open_loop(
+    address: str,
+    mix: list[SweepJob],
+    requests: int,
+    clients: int,
+    rate: float,
+    seed: int,
+) -> _RunState:
+    state = _RunState()
+    pool: asyncio.Queue[AsyncServeClient] = asyncio.Queue()
+    opened: list[AsyncServeClient] = []
+    for index in range(clients):
+        try:
+            client = await AsyncServeClient.connect(address)
+        except OSError as exc:
+            state.errors.append(f"connection {index}: connect failed: {exc}")
+            continue
+        opened.append(client)
+        pool.put_nowait(client)
+    if not opened:
+        return state
+
+    interval = 1.0 / rate
+
+    async def fire(index: int) -> None:
+        client = await pool.get()
+        try:
+            await _issue(client, mix[index % len(mix)], state, Random(seed + index))
+        finally:
+            pool.put_nowait(client)
+
+    tasks = []
+    start = time.perf_counter()
+    for index in range(requests):
+        due = start + index * interval
+        delay = due - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(index)))
+    await asyncio.gather(*tasks)
+    for client in opened:
+        await client.close()
+    return state
+
+
+async def _fetch_status(address: str) -> dict[str, Any] | None:
+    try:
+        client = await AsyncServeClient.connect(address)
+    except OSError:
+        return None
+    try:
+        return await client.status()
+    except (ServeError, ProtocolError, ConnectionError, OSError):
+        return None
+    finally:
+        await client.close()
+
+
+def verify_identical(
+    served: dict[str, CacheStats], mix: list[SweepJob]
+) -> tuple[bool, list[str]]:
+    """Replay every distinct served job locally; compare bit-for-bit."""
+    mismatches = []
+    by_key = {job_key(job): job for job in mix}
+    for key, remote_stats in served.items():
+        job = by_key.get(key)
+        if job is None:
+            continue
+        local_stats = execute_job(job)
+        if local_stats != remote_stats:
+            mismatches.append(
+                f"{job.spec}/{job.benchmark}: served stats differ from "
+                "local access_trace replay"
+            )
+    return (not mismatches, mismatches)
+
+
+def check_against_baseline(
+    report: dict[str, Any], baseline: dict[str, Any], tolerance: float
+) -> list[str]:
+    """Ratio-based regression gate; returns failure messages (empty = ok)."""
+    failures = []
+    if report["errors"]:
+        failures.append(f"{report['errors']} request error(s); need zero")
+    if report.get("verified_identical") is False:
+        failures.append("served stats are not bit-identical to local replay")
+    base_batch = baseline.get("mean_batch_size", 0.0)
+    if base_batch:
+        floor = base_batch * tolerance
+        if report["mean_batch_size"] < floor:
+            failures.append(
+                f"mean batch size {report['mean_batch_size']:.2f} fell below "
+                f"{floor:.2f} ({tolerance:.0%} of baseline {base_batch:.2f}) — "
+                "the micro-batcher stopped coalescing"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-loadgen``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="bcache-loadgen",
+        description="Load generator / benchmark harness for bcache-serve.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--connect", metavar="HOST:PORT",
+                        help="TCP address of the server")
+    target.add_argument("--unix", metavar="PATH",
+                        help="Unix socket path of the server")
+    parser.add_argument("--requests", type=int, default=200, metavar="N",
+                        help="total requests to issue (default 200)")
+    parser.add_argument("--clients", type=int, default=8, metavar="C",
+                        help="concurrent connections (default 8)")
+    parser.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="open-loop arrival rate; omit for closed loop")
+    parser.add_argument("--specs", default=DEFAULT_SPECS,
+                        help=f"comma-separated specs (default {DEFAULT_SPECS})")
+    parser.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
+                        help="comma-separated benchmarks "
+                        f"(default {DEFAULT_BENCHMARKS})")
+    parser.add_argument("--n", type=int, default=20_000,
+                        help="trace length per request (default 20000)")
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--verify", action="store_true",
+                        help="replay every distinct job locally and require "
+                        "bit-identical statistics")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the JSON report (BENCH_serve.json schema)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="ratio-based regression gate against a baseline "
+                        "JSON; exit 1 on errors, identity loss, or a "
+                        "coalescing regression")
+    parser.add_argument("--tolerance", type=float, default=0.6,
+                        help="minimum fraction of the baseline mean batch "
+                        "size to accept (default 0.6)")
+    args = parser.parse_args(argv)
+
+    if args.requests < 1 or args.clients < 1:
+        print("bcache-loadgen: --requests and --clients must be >= 1",
+              file=sys.stderr)
+        return 2
+    specs = [spec for spec in args.specs.split(",") if spec]
+    benchmarks = [name for name in args.benchmarks.split(",") if name]
+    unknown = [name for name in benchmarks if name not in ALL_BENCHMARKS]
+    if unknown:
+        print(f"bcache-loadgen: unknown benchmark(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    address = args.connect if args.connect else f"unix:{args.unix}"
+    mix = build_mix(specs, benchmarks, args.n, args.seed)
+
+    started = time.perf_counter()
+    if args.rate:
+        mode = "open"
+        state = asyncio.run(
+            _open_loop(address, mix, args.requests, args.clients, args.rate,
+                       args.seed)
+        )
+    else:
+        mode = "closed"
+        state = asyncio.run(
+            _closed_loop(address, mix, args.requests, args.clients, args.seed)
+        )
+    wall_s = time.perf_counter() - started
+    status = asyncio.run(_fetch_status(address))
+
+    completed = len(state.latency)
+    batcher = (status or {}).get("batcher", {})
+    mean_batch = float(batcher.get("mean_batch_size", 0.0))
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "requests": args.requests,
+        "clients": args.clients,
+        "completed": completed,
+        "errors": len(state.errors),
+        "shed_retries": state.shed,
+        "wall_s": round(wall_s, 4),
+        "rps": round(completed / wall_s, 2) if wall_s > 0 else 0.0,
+        "mean_batch_size": mean_batch,
+        "coalesced": batcher.get("coalesced", 0),
+        "batches": batcher.get("batches", 0),
+    }
+    if completed:
+        report["latency"] = state.latency.summary().as_dict()
+    if args.verify:
+        identical, mismatches = verify_identical(state.served, mix)
+        report["verified_identical"] = identical
+        state.errors.extend(mismatches)
+        report["errors"] = len(state.errors)
+
+    print(f"mode {mode}: {completed}/{args.requests} ok in {wall_s:.2f}s "
+          f"({report['rps']:.1f} req/s), {len(state.errors)} error(s), "
+          f"{state.shed} shed retry(ies)")
+    if completed:
+        print(f"latency {state.latency.summary().render()}")
+    print(f"coalescing: {report['batches']} batches, mean batch size "
+          f"{mean_batch:.2f}, {report['coalesced']} identical-job hits")
+    if args.verify:
+        print("served stats bit-identical to local replay: "
+              + ("yes" if report["verified_identical"] else "NO"))
+    for message in state.errors[:10]:
+        print(f"error: {message}", file=sys.stderr)
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True)
+                                  + "\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        try:
+            baseline = json.loads(Path(args.check).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.check}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_against_baseline(report, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check} (tolerance {args.tolerance:.0%})")
+        return 0
+
+    return 0 if not state.errors else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

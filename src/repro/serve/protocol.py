@@ -1,0 +1,141 @@
+"""Length-prefixed JSON framing for the simulation service.
+
+One frame is a 4-byte big-endian length header followed by that many
+bytes of UTF-8 JSON holding a single object.  The framing is shared by
+the asyncio server, both client flavours and the load generator, and is
+deliberately boring: every request and response is one frame, requests
+on a connection are answered in order, and a peer that violates the
+framing (oversized header, non-JSON body, torn final frame) gets a
+:class:`ProtocolError` rather than silent corruption.
+
+Three consumption styles are provided:
+
+* :func:`encode_frame` / :func:`decode_payload` — stateless bytes.
+* :class:`FrameDecoder` — sans-IO incremental decoder for blocking
+  sockets and tests; feed it arbitrary chunk boundaries (including one
+  byte at a time) and it yields complete payloads.
+* :func:`read_frame` / :func:`write_frame` — asyncio stream helpers.
+
+The frame size cap (:data:`MAX_FRAME_BYTES` by default) is an admission
+control of its own: a peer cannot make the server buffer an unbounded
+body by advertising a huge header — the header is rejected before any
+body byte is read.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+#: 4-byte big-endian unsigned length header.
+HEADER = struct.Struct(">I")
+
+#: Default cap on one frame's JSON body (1 MiB).
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """The peer violated the framing or sent a malformed payload."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame header advertised a body over the configured cap."""
+
+
+def encode_frame(payload: dict[str, Any], max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise one payload into a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    if len(body) > max_frame:
+        raise FrameTooLarge(
+            f"frame body is {len(body)} bytes, over the {max_frame}-byte cap"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict[str, Any]:
+    """Decode one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+class FrameDecoder:
+    """Incremental (sans-IO) frame decoder.
+
+    Feed byte chunks with arbitrary boundaries — half a header, a
+    header plus half a body, three frames at once — and collect the
+    complete payloads the bytes finish.  Used by the synchronous client
+    and by the torn-read protocol tests.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Absorb ``data``; return every payload it completed."""
+        self._buffer.extend(data)
+        payloads: list[dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return payloads
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise FrameTooLarge(
+                    f"peer advertised a {length}-byte frame, over the "
+                    f"{self.max_frame}-byte cap"
+                )
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return payloads
+            body = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            payloads.append(decode_payload(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF (connection closed between frames)
+    and raises :class:`ProtocolError` on a torn one (EOF mid-frame), so
+    callers can tell a polite hang-up from a crashed peer.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"peer advertised a {length}-byte frame, over the "
+            f"{max_frame}-byte cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(body)
+
+
+async def write_frame(
+    writer, payload: dict[str, Any], max_frame: int = MAX_FRAME_BYTES
+) -> None:
+    """Write one frame to an asyncio stream and drain the transport."""
+    writer.write(encode_frame(payload, max_frame))
+    await writer.drain()

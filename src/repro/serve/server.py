@@ -1,0 +1,509 @@
+"""``bcache-serve`` — asyncio network front end for cache simulations.
+
+Runs the B-Cache simulation engine as a long-lived service: an asyncio
+TCP and/or Unix-domain-socket server speaking the length-prefixed JSON
+protocol of :mod:`repro.serve.protocol`.  Four request ops:
+
+* ``simulate`` — one deterministic job (spec/benchmark/side/n/seed/...);
+  the response carries the full ``CacheStats.snapshot()``, bit-identical
+  to a local ``access_trace`` replay of the same job.
+* ``sweep`` — a list of jobs, answered order-aligned in one response.
+* ``status`` — server/batcher/shard metrics.
+* ``drain`` — start a graceful drain (same path as SIGTERM).
+
+Scale-out shape (the part that transfers to any serving stack):
+
+* **Micro-batching** — concurrent jobs coalesce per shard for up to
+  ``window`` seconds (:mod:`repro.serve.batcher`) and travel as one
+  worker round-trip; identical jobs share one execution.
+* **Sharded workers** — persistent worker processes with trace-affinity
+  routing (:mod:`repro.serve.workers`), restart-on-crash, in-process
+  fallback.
+* **Backpressure** — admission control with a bounded in-flight budget:
+  a request that would exceed ``max_pending`` jobs gets an immediate
+  ``overloaded`` error (load shedding) instead of unbounded queueing;
+  oversized frames are rejected from the header alone.
+* **Graceful drain** — on SIGTERM (or the ``drain`` op) the listeners
+  close first (new connections are refused), in-flight requests finish
+  and are answered, the batcher flushes, the shards stop, and the
+  process exits 0.
+
+Exit codes: ``0`` clean drain · ``130`` SIGINT · ``4`` bind failure.
+See ``docs/serve.md`` for the protocol spec and tuning guidance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.runner import SweepJob, available_cpus
+from repro.engine.trace_store import TraceStore, default_store
+from repro.serve.batcher import MicroBatcher, SimulationError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameTooLarge,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.serve.workers import ShardPool
+
+#: Fields a ``simulate`` request may set on its :class:`SweepJob`.
+JOB_FIELDS = frozenset(
+    {"spec", "benchmark", "side", "n", "seed", "size", "line_size", "policy",
+     "with_kinds"}
+)
+
+#: Hard cap on one job's trace length (memory admission control).
+MAX_TRACE_N = 2_000_000
+
+#: Default TCP port (the paper is ISCA 2006).
+DEFAULT_PORT = 4006
+
+
+class BadRequest(ValueError):
+    """The request payload is malformed; reported to the client."""
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Tuning for one :class:`SimServer`.
+
+    Attributes:
+        host/port: TCP listener (``port=0`` binds an ephemeral port;
+            ``host=None`` disables TCP).
+        unix_path: Unix-domain-socket listener (``None`` disables).
+        shards: persistent worker process count.
+        window: micro-batch gather window in seconds.
+        max_batch: pending-job count that forces an immediate flush.
+        max_pending: in-flight job budget; admissions beyond it are
+            shed with an ``overloaded`` response.
+        max_frame: frame-size cap for both directions.
+    """
+
+    host: str | None = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    unix_path: str | None = None
+    shards: int = 2
+    window: float = 0.002
+    max_batch: int = 64
+    max_pending: int = 256
+    max_frame: int = MAX_FRAME_BYTES
+
+
+@dataclass(slots=True)
+class ServerMetrics:
+    """Aggregate request counters (exported via ``status``)."""
+
+    requests: int = 0
+    simulate_requests: int = 0
+    sweep_requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    shed: int = 0
+    protocol_errors: int = 0
+    connections_total: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+
+def _job_from_payload(payload: dict[str, Any]) -> SweepJob:
+    """Validate one job description and build its :class:`SweepJob`."""
+    unknown = set(payload) - JOB_FIELDS
+    if unknown:
+        raise BadRequest(f"unknown job field(s): {', '.join(sorted(unknown))}")
+    if "spec" not in payload or "benchmark" not in payload:
+        raise BadRequest("job needs at least 'spec' and 'benchmark'")
+    try:
+        job = SweepJob(**payload)
+    except TypeError as exc:
+        raise BadRequest(f"bad job description: {exc}") from exc
+    if not isinstance(job.spec, str) or not isinstance(job.benchmark, str):
+        raise BadRequest("'spec' and 'benchmark' must be strings")
+    if not isinstance(job.n, int) or not 0 < job.n <= MAX_TRACE_N:
+        raise BadRequest(f"'n' must be an int in (0, {MAX_TRACE_N}]")
+    if job.side not in ("data", "instr", "combined"):
+        raise BadRequest(f"bad side {job.side!r}")
+    if job.side == "combined" and not job.with_kinds:
+        raise BadRequest("side 'combined' requires with_kinds=true")
+    return job
+
+
+class SimServer:
+    """The asyncio simulation server (see module docstring)."""
+
+    def __init__(self, config: ServeConfig, store: TraceStore | None = None) -> None:
+        self.config = config
+        self.store = store if store is not None else default_store()
+        self.metrics = ServerMetrics()
+        self.pool: ShardPool | None = None
+        self.batcher: MicroBatcher | None = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight_jobs = 0
+        self._active_requests = 0
+        self._idle: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the shards and bind every configured listener.
+
+        Raises ``OSError`` on bind failure (port in use, bad socket
+        path) — ``main`` maps that to exit code 4.
+        """
+        config = self.config
+        if config.host is None and config.unix_path is None:
+            raise ValueError("no listener configured (need host/port or unix_path)")
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self.pool = ShardPool(config.shards, store=self.store)
+        self.batcher = MicroBatcher(
+            self.pool, window=config.window, max_batch=config.max_batch
+        )
+        try:
+            if config.host is not None:
+                self._servers.append(
+                    await asyncio.start_server(
+                        self._handle_connection, config.host, config.port
+                    )
+                )
+            if config.unix_path is not None:
+                self._servers.append(
+                    await asyncio.start_unix_server(
+                        self._handle_connection, path=config.unix_path
+                    )
+                )
+        except OSError:
+            self.abort()
+            raise
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """The bound TCP ``(host, port)`` (resolves ``port=0``)."""
+        for server in self._servers:
+            for sock in server.sockets or ():
+                if sock.family.name in ("AF_INET", "AF_INET6"):
+                    addr = sock.getsockname()
+                    return (addr[0], addr[1])
+        return None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (signal-handler entry point)."""
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.get_running_loop().create_task(self.drain())
+
+    async def drain(self) -> None:
+        """Refuse new connections, finish in-flight work, stop shards."""
+        if self._draining:
+            await self.wait_stopped()
+            return
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        if self.config.unix_path:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.unix_path)
+        assert self._idle is not None and self.batcher is not None
+        await self._idle.wait()  # every admitted request answered
+        await self.batcher.drain()
+        for writer in list(self._writers):
+            writer.close()
+        if self.pool is not None:
+            await asyncio.get_running_loop().run_in_executor(None, self.pool.close)
+        assert self._stopped is not None
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "server was never started"
+        await self._stopped.wait()
+
+    def abort(self) -> None:
+        """Non-graceful teardown (bind failure, Ctrl-C): drop everything."""
+        for server in self._servers:
+            server.close()
+        self._servers.clear()
+        if self.config.unix_path:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.unix_path)
+        if self.pool is not None:
+            self.pool.close(timeout=1.0)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections_total += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    payload = await read_frame(reader, self.config.max_frame)
+                except FrameTooLarge as exc:
+                    self.metrics.protocol_errors += 1
+                    with contextlib.suppress(ConnectionError):
+                        await write_frame(
+                            writer,
+                            {"ok": False, "error": "frame_too_large",
+                             "detail": str(exc)},
+                            self.config.max_frame,
+                        )
+                    return
+                except ProtocolError:
+                    self.metrics.protocol_errors += 1
+                    return
+                if payload is None:  # clean EOF
+                    return
+                response = await self._handle_request(payload)
+                if "id" in payload:
+                    response["id"] = payload["id"]
+                try:
+                    await write_frame(writer, response, self.config.max_frame)
+                except ConnectionError:
+                    return
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    # -- request handling ----------------------------------------------
+    def _admit(self, jobs: int) -> bool:
+        """Bounded-queue admission: can ``jobs`` more enter the batcher?"""
+        if self._inflight_jobs + jobs > self.config.max_pending:
+            self.metrics.shed += 1
+            return False
+        self._inflight_jobs += jobs
+        self._active_requests += 1
+        assert self._idle is not None
+        self._idle.clear()
+        return True
+
+    def _release(self, jobs: int) -> None:
+        self._inflight_jobs -= jobs
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            assert self._idle is not None
+            self._idle.set()
+
+    async def _handle_request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self.metrics.requests += 1
+        op = payload.get("op")
+        try:
+            if op == "simulate":
+                return await self._op_simulate(payload)
+            if op == "sweep":
+                return await self._op_sweep(payload)
+            if op == "status":
+                return {"ok": True, **self.status()}
+            if op == "drain":
+                self.request_drain()
+                return {"ok": True, "draining": True}
+            raise BadRequest(f"unknown op {op!r}")
+        except BadRequest as exc:
+            self.metrics.errors += 1
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+
+    async def _op_simulate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self._draining:
+            return {"ok": False, "error": "draining"}
+        job = _job_from_payload(
+            {k: v for k, v in payload.items() if k not in ("op", "id")}
+        )
+        if not self._admit(1):
+            return {"ok": False, "error": "overloaded",
+                    "detail": f"in-flight job budget ({self.config.max_pending}) "
+                              "exhausted; retry with backoff"}
+        assert self.batcher is not None
+        try:
+            snapshot = await self.batcher.submit(job)
+        except SimulationError as exc:
+            self.metrics.errors += 1
+            return {"ok": False, "error": "simulation_failed", "detail": str(exc)}
+        finally:
+            self._release(1)
+        self.metrics.simulate_requests += 1
+        self.metrics.completed += 1
+        return {"ok": True, "stats": snapshot}
+
+    async def _op_sweep(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self._draining:
+            return {"ok": False, "error": "draining"}
+        raw_jobs = payload.get("jobs")
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            raise BadRequest("'sweep' needs a non-empty 'jobs' list")
+        jobs = [
+            _job_from_payload(entry) if isinstance(entry, dict)
+            else self._reject_job(entry)
+            for entry in raw_jobs
+        ]
+        if not self._admit(len(jobs)):
+            return {"ok": False, "error": "overloaded",
+                    "detail": f"sweep of {len(jobs)} jobs would exceed the "
+                              f"in-flight budget ({self.config.max_pending})"}
+        assert self.batcher is not None
+        try:
+            outcomes = await asyncio.gather(
+                *(self.batcher.submit(job) for job in jobs),
+                return_exceptions=True,
+            )
+        finally:
+            self._release(len(jobs))
+        results: list[dict[str, Any]] = []
+        for outcome in outcomes:
+            if isinstance(outcome, SimulationError):
+                self.metrics.errors += 1
+                results.append(
+                    {"ok": False, "error": "simulation_failed",
+                     "detail": str(outcome)}
+                )
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                results.append({"ok": True, "stats": outcome})
+        self.metrics.sweep_requests += 1
+        self.metrics.completed += 1
+        return {"ok": True, "results": results}
+
+    @staticmethod
+    def _reject_job(entry: Any) -> SweepJob:
+        raise BadRequest(f"sweep jobs must be objects, got {type(entry).__name__}")
+
+    # -- introspection -------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """The ``status`` response body (also handy in-process)."""
+        metrics = self.metrics
+        assert self.batcher is not None and self.pool is not None
+        return {
+            "server": {
+                "draining": self._draining,
+                "uptime_s": round(time.monotonic() - metrics.started_at, 3),
+                "connections_total": metrics.connections_total,
+                "requests": metrics.requests,
+                "simulate_requests": metrics.simulate_requests,
+                "sweep_requests": metrics.sweep_requests,
+                "completed": metrics.completed,
+                "errors": metrics.errors,
+                "shed": metrics.shed,
+                "protocol_errors": metrics.protocol_errors,
+                "inflight_jobs": self._inflight_jobs,
+                "max_pending": self.config.max_pending,
+                "fallback_batches": self.pool.fallback_batches,
+            },
+            "batcher": self.batcher.metrics.snapshot(),
+            "shards": self.pool.snapshot(),
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bcache-serve",
+        description="Serve cache simulations over TCP / Unix sockets "
+        "(micro-batching, sharded workers, backpressure).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None, metavar="N",
+                        help=f"TCP port (default {DEFAULT_PORT}; 0 = ephemeral; "
+                        "omit with --unix to disable TCP)")
+    parser.add_argument("--unix", default=None, metavar="PATH",
+                        help="also (or only) listen on this Unix socket path")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="worker processes (default: usable CPUs, "
+                        "honouring the scheduler affinity mask)")
+    parser.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
+                        help="micro-batch gather window (default 2.0 ms)")
+    parser.add_argument("--max-batch", type=int, default=64, metavar="N",
+                        help="flush a shard's pending set at this many "
+                        "distinct jobs (default 64)")
+    parser.add_argument("--max-pending", type=int, default=256, metavar="N",
+                        help="in-flight job budget before load shedding "
+                        "(default 256)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="trace-store root (default $REPRO_TRACE_STORE "
+                        "or ~/.cache/bcache-repro/traces)")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    tcp_enabled = args.port is not None or args.unix is None
+    return ServeConfig(
+        host=args.host if tcp_enabled else None,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        unix_path=args.unix,
+        shards=args.shards if args.shards is not None else available_cpus(),
+        window=max(0.0, args.window_ms) / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+
+
+async def _amain(config: ServeConfig, store: TraceStore | None) -> int:
+    server = SimServer(config, store=store)
+    try:
+        await server.start()
+    except OSError as exc:
+        print(f"bcache-serve: cannot bind: {exc}", file=sys.stderr)
+        return 4
+    loop = asyncio.get_running_loop()
+    loop.add_signal_handler(signal.SIGTERM, server.request_drain)
+    tcp = server.tcp_address
+    tcp_text = f"{tcp[0]}:{tcp[1]}" if tcp else "-"
+    print(
+        f"bcache-serve: ready tcp={tcp_text} unix={config.unix_path or '-'} "
+        f"shards={config.shards} window_ms={config.window * 1000:g} "
+        f"max_pending={config.max_pending} pid={os.getpid()}",
+        flush=True,
+    )
+    try:
+        await server.wait_stopped()
+    finally:
+        server.abort()
+    print("bcache-serve: drained, exiting", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-serve``; returns a process exit code.
+
+    ``0`` after a clean drain (SIGTERM or the ``drain`` op), ``130`` on
+    SIGINT, ``4`` when a listener cannot bind, ``2`` for bad usage.
+    """
+    args = _build_parser().parse_args(argv)
+    if args.shards is not None and args.shards < 1:
+        print("bcache-serve: --shards must be >= 1", file=sys.stderr)
+        return 2
+    config = config_from_args(args)
+    store = TraceStore(args.store) if args.store else None
+    try:
+        return asyncio.run(_amain(config, store))
+    except KeyboardInterrupt:
+        print("bcache-serve: interrupted (SIGINT); workers are daemons and "
+              "die with this process", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

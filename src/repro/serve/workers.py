@@ -1,0 +1,256 @@
+"""Sharded, persistent simulation worker processes for the server.
+
+The batch engine (:mod:`repro.engine.runner`) forks a fresh pool per
+sweep — fine for a CLI, wasteful for a long-lived service.  This module
+keeps ``shards`` worker processes alive for the server's whole life,
+each one running the exact :func:`repro.engine.runner.execute_job`
+code path the CLI tools use (which is what keeps served statistics
+bit-identical to a local ``access_trace`` replay), with its process-wide
+:class:`~repro.engine.trace_store.TraceStore` pointed at the server's
+store root — the same initializer contract as the sweep pool.
+
+Jobs are routed to shards by **trace affinity**: every job replaying
+the same ``(benchmark, side, n, seed)`` stream lands on the same shard,
+so that shard's in-memory trace LRU stays hot and a 26-benchmark
+workload does not thrash every worker's memory.
+
+A shard that dies (OOM kill, crash) is restarted with the bounded
+backoff of :class:`repro.engine.resilience.RetryPolicy`; if it dies
+again on the same batch the pool degrades to running that batch
+in-process — the same never-abandon-the-work stance as the resilient
+sweep supervisor, scaled down to one batch.
+
+Parent-side pipe round-trips are blocking by design and therefore run
+on the pool's private thread executor via
+:meth:`ShardPool.run_batch` — never on the event loop (rule BCL011).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from random import Random
+from typing import Any, Sequence
+
+from repro.engine.resilience import RetryPolicy
+from repro.engine.runner import SweepJob, execute_job
+from repro.engine.trace_store import TraceStore, default_store, set_default_store
+
+#: One batch result entry: ``("ok", snapshot)`` or ``("error", message)``.
+ShardResult = tuple[str, Any]
+
+
+def _shard_entry(conn, store_root: str) -> None:
+    """Worker process: serve ``("batch", [job dicts])`` until ``("stop",)``.
+
+    Every job runs through :func:`execute_job` — the single execution
+    path shared with the sweep runner and the serial harness — so a
+    served simulation is bit-identical to a local replay.
+    """
+    set_default_store(TraceStore(store_root, fsync=False))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(message, tuple) or message[0] == "stop":
+            break
+        results: list[ShardResult] = []
+        for payload in message[1]:
+            try:
+                stats = execute_job(SweepJob(**payload))
+            except Exception as exc:
+                results.append(("error", f"{type(exc).__name__}: {exc}"))
+            else:
+                results.append(("ok", stats.snapshot()))
+        try:
+            conn.send(results)
+        except (OSError, BrokenPipeError):
+            break
+    with contextlib.suppress(OSError):
+        conn.close()
+
+
+@dataclass(slots=True)
+class _Shard:
+    """Parent-side handle for one worker process."""
+
+    proc: multiprocessing.process.BaseProcess
+    conn: Any
+    batches: int = 0
+    jobs: int = 0
+    restarts: int = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "pid": self.proc.pid,
+            "alive": self.proc.is_alive(),
+            "batches": self.batches,
+            "jobs": self.jobs,
+            "restarts": self.restarts,
+        }
+
+
+def trace_shard_key(job: SweepJob) -> int:
+    """Stable hash of the job's trace identity (not its cache spec)."""
+    identity = f"{job.benchmark}|{job.side}|{job.n}|{job.seed}|{job.with_kinds}"
+    return zlib.crc32(identity.encode())
+
+
+class ShardPool:
+    """``shards`` persistent worker processes with affinity routing.
+
+    Args:
+        shards: worker process count (>= 1).
+        store: trace store whose root the workers share (defaults to
+            the process-wide store).
+        retry: restart backoff for dead shards; after its attempts are
+            exhausted the batch runs in-process instead of failing.
+        seed: seed for the (deterministic) backoff jitter.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        store: TraceStore | None = None,
+        retry: RetryPolicy = RetryPolicy(max_attempts=2, base_delay=0.05),
+        seed: int = 2006,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.store = store if store is not None else default_store()
+        self.retry = retry
+        self._rng = Random(seed)
+        self._ctx = multiprocessing.get_context()
+        self._shards = [self._spawn() for _ in range(shards)]
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._executor = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="shard-io"
+        )
+        self._closed = False
+        self.fallback_batches = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self) -> _Shard:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shard_entry,
+            args=(child_conn, str(self.store.root)),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _Shard(proc=proc, conn=parent_conn)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker (idempotent); kills stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            with contextlib.suppress(OSError, BrokenPipeError, ValueError):
+                shard.conn.send(("stop",))
+        for shard in self._shards:
+            shard.proc.join(timeout=timeout)
+            if shard.proc.is_alive():
+                shard.proc.kill()
+                shard.proc.join(timeout=timeout)
+            with contextlib.suppress(OSError, ValueError):
+                shard.conn.close()
+        self._executor.shutdown(wait=False)
+
+    # -- routing -------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, job: SweepJob) -> int:
+        """Shard index for ``job`` (trace-affinity routing)."""
+        return trace_shard_key(job) % len(self._shards)
+
+    # -- execution -----------------------------------------------------
+    async def run_batch(
+        self, shard_id: int, jobs: Sequence[SweepJob]
+    ) -> list[ShardResult]:
+        """Run one batch on one shard without blocking the event loop."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._roundtrip, shard_id, list(jobs)
+        )
+
+    def run_batch_blocking(
+        self, shard_id: int, jobs: Sequence[SweepJob]
+    ) -> list[ShardResult]:
+        """Synchronous batch execution (tests and the drain path)."""
+        return self._roundtrip(shard_id, list(jobs))
+
+    def _roundtrip(self, shard_id: int, jobs: list[SweepJob]) -> list[ShardResult]:
+        """Send one batch to a shard and wait for its results.
+
+        Runs on a ``shard-io`` executor thread; the per-shard lock keeps
+        request/response pairs on the pipe strictly alternating.
+        """
+        payloads = [asdict(job) for job in jobs]
+        with self._locks[shard_id]:
+            for attempt in range(self.retry.max_attempts):
+                if self._closed:
+                    break
+                shard = self._shards[shard_id]
+                try:
+                    shard.conn.send(("batch", payloads))
+                    results = shard.conn.recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    self._restart(shard_id, attempt)
+                    continue
+                if isinstance(results, list) and len(results) == len(jobs):
+                    shard.batches += 1
+                    shard.jobs += len(jobs)
+                    return results
+                self._restart(shard_id, attempt)
+            # Degraded mode: the shard keeps dying on this batch — run it
+            # here rather than failing the callers (mirrors the resilient
+            # sweep supervisor's serial fallback).
+            self.fallback_batches += 1
+            return [self._run_local(job) for job in jobs]
+
+    def _restart(self, shard_id: int, attempt: int) -> None:
+        """Replace a dead shard process after a deterministic backoff."""
+        shard = self._shards[shard_id]
+        with contextlib.suppress(OSError, ValueError):
+            shard.conn.close()
+        if shard.proc.is_alive():
+            shard.proc.kill()
+        shard.proc.join(timeout=5.0)
+        if self._closed:
+            return
+        time.sleep(self.retry.delay(attempt, self._rng))
+        replacement = self._spawn()
+        replacement.batches = shard.batches
+        replacement.jobs = shard.jobs
+        replacement.restarts = shard.restarts + 1
+        self._shards[shard_id] = replacement
+
+    def _run_local(self, job: SweepJob) -> ShardResult:
+        try:
+            stats = execute_job(job, store=self.store)
+        except Exception as exc:
+            return ("error", f"{type(exc).__name__}: {exc}")
+        return ("ok", stats.snapshot())
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Per-shard metrics for the ``status`` response."""
+        return [shard.snapshot() for shard in self._shards]
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -8,13 +8,16 @@ statistics, making the library usable as a drop-in miss-rate tool:
     bcache-sim --benchmark equake --side data --n 200000 dm mf8_bas8
     bcache-sim --benchmark gcc --side instr mf8_bas8 --balance
     bcache-sim --benchmark gcc --jobs 4 dm 2way 4way 8way mf8_bas8
+    bcache-sim --benchmark gcc --connect 127.0.0.1:4006 dm mf8_bas8
 
 Traces are replayed through the batch :meth:`Cache.access_trace` fast
 path: trace files stream straight into compact ``array`` blobs and
 synthetic benchmarks come from the on-disk trace store, so nothing
 materialises a per-access object list.  ``--jobs N`` fans the specs of
 a benchmark run across processes with bit-identical statistics (see
-``docs/engine.md``).
+``docs/engine.md``).  ``--connect ADDR`` runs benchmark specs on a
+remote ``bcache-serve`` instance instead — same statistics, shared
+warm trace store (see ``docs/serve.md``).
 """
 
 from __future__ import annotations
@@ -94,6 +97,43 @@ def _run_specs(
         else:
             valid_specs.append(spec)
 
+    if getattr(args, "connect", None):
+        from repro.serve.client import ServeClient, ServeError
+
+        sweep = [
+            SweepJob(
+                spec=spec,
+                benchmark=args.benchmark,
+                side=args.side,
+                n=args.n,
+                seed=args.seed,
+                size=args.size,
+                line_size=args.line,
+                policy=args.policy,
+                with_kinds=True,
+            )
+            for spec in valid_specs
+        ]
+        try:
+            with ServeClient.connect(args.connect) as client:
+                swept = client.sweep(sweep)
+        except ServeError as exc:
+            print(f"bcache-sim: server error: {exc}", file=sys.stderr)
+            for spec in valid_specs:
+                errors.setdefault(spec, f"server error: {exc.code}")
+            return results, errors, 4
+        except OSError as exc:
+            print(
+                f"bcache-sim: cannot reach {args.connect}: {exc}",
+                file=sys.stderr,
+            )
+            for spec in valid_specs:
+                errors.setdefault(spec, "server unreachable")
+            return results, errors, 4
+        for spec, stats in zip(valid_specs, swept):
+            results[spec] = stats
+        return results, errors, status
+
     fault_plan = getattr(args, "fault_plan", None)
     resilient = bool(args.run_id or fault_plan)
     parallel = args.jobs > 1 and len(valid_specs) > 1
@@ -156,7 +196,8 @@ def _run_json(
     """Run all specs and dump one JSON document to stdout."""
     import json
 
-    output = {"trace_length": len(addresses), "configs": {}}
+    length = args.n if getattr(args, "connect", None) else len(addresses)
+    output = {"trace_length": length, "configs": {}}
     results, errors, status = _run_specs(args, addresses, kinds)
     for spec in args.specs:
         if spec in errors:
@@ -238,6 +279,10 @@ def _main(argv: list[str] | None = None) -> int:
                         "invariant violation")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of the table")
+    parser.add_argument("--connect", default=None, metavar="ADDR",
+                        help="run benchmark specs on a bcache-serve instance "
+                        "(host:port or unix:/path.sock) instead of locally; "
+                        "statistics are bit-identical (see docs/serve.md)")
     parser.add_argument("--run-id", default=None, metavar="ID",
                         help="journal benchmark results durably under this "
                         "id and resume a killed run bit-identically "
@@ -249,6 +294,22 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument("specs", nargs="+",
                         help="cache specs, e.g. dm 4way victim16 mf8_bas8")
     args = parser.parse_args(argv)
+
+    if args.connect:
+        if args.trace:
+            print(
+                "bcache-sim: --connect needs --benchmark runs (the server "
+                "replays from its own trace store)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.sanitize or args.run_id or args.inject_faults:
+            print(
+                "bcache-sim: --connect is incompatible with --sanitize/"
+                "--run-id/--inject-faults (those run locally)",
+                file=sys.stderr,
+            )
+            return 2
 
     args.fault_plan = None
     if args.inject_faults or args.run_id:
@@ -268,16 +329,24 @@ def _main(argv: list[str] | None = None) -> int:
                 print(f"bcache-sim: bad --inject-faults: {exc}", file=sys.stderr)
                 return 2
 
-    try:
-        addresses, kinds = _load_accesses(args)
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"error loading trace: {exc}", file=sys.stderr)
-        return 1
+    if args.connect:
+        # The server replays from its own (warm) trace store; don't
+        # generate or load the trace locally just to count it.
+        addresses, kinds = array("Q"), array("B")
+    else:
+        try:
+            addresses, kinds = _load_accesses(args)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"error loading trace: {exc}", file=sys.stderr)
+            return 1
 
     if args.json:
         return _run_json(args, addresses, kinds)
 
-    print(f"trace: {len(addresses)} accesses")
+    if args.connect:
+        print(f"trace: {args.n} accesses (served by {args.connect})")
+    else:
+        print(f"trace: {len(addresses)} accesses")
     header = (
         f"{'config':<12} {'miss rate':>10} {'hits':>9} {'misses':>8} "
         f"{'evict':>7} {'wb':>6} {'PDhit@miss':>11}"

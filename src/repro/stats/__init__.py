@@ -3,6 +3,7 @@
 from repro.stats.balance import BalanceReport, analyze_balance
 from repro.stats.confidence import Estimate, Z_95, estimate, replicate
 from repro.stats.counters import CacheStats
+from repro.stats.latency import LatencyRecorder, LatencySummary, percentile
 from repro.stats.summary import (
     ConfigSummary,
     average_reduction,
@@ -19,6 +20,9 @@ __all__ = [
     "replicate",
     "CacheStats",
     "ConfigSummary",
+    "LatencyRecorder",
+    "LatencySummary",
+    "percentile",
     "analyze_balance",
     "average_reduction",
     "geometric_mean",

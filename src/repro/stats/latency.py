@@ -1,0 +1,89 @@
+"""Latency accounting for the serving layer.
+
+The load generator (``bcache-loadgen``) and the serve tests need
+request-latency percentiles without pulling in numpy on the service
+path.  :func:`percentile` implements the standard linear-interpolation
+estimator (numpy's default) over a sorted sample;
+:class:`LatencyRecorder` accumulates observations and renders the
+summary used in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of an ascending-sorted sample.
+
+    Linear interpolation between closest ranks; raises ``ValueError``
+    on an empty sample or a ``q`` outside [0, 100].
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = rank - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+
+
+@dataclass(slots=True)
+class LatencySummary:
+    """Percentile summary of one latency sample, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p90_ms": round(self.p90_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+    def render(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_ms:.2f}ms "
+            f"p50={self.p50_ms:.2f}ms p90={self.p90_ms:.2f}ms "
+            f"p99={self.p99_ms:.2f}ms max={self.max_ms:.2f}ms"
+        )
+
+
+@dataclass(slots=True)
+class LatencyRecorder:
+    """Accumulate per-request latencies (seconds in, milliseconds out)."""
+
+    samples_s: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.samples_s.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self.samples_s)
+
+    def summary(self) -> LatencySummary:
+        """Summarise what was recorded; raises ``ValueError`` if empty."""
+        if not self.samples_s:
+            raise ValueError("no latencies recorded")
+        ordered = sorted(self.samples_s)
+        scale = 1000.0
+        return LatencySummary(
+            count=len(ordered),
+            mean_ms=scale * sum(ordered) / len(ordered),
+            p50_ms=scale * percentile(ordered, 50.0),
+            p90_ms=scale * percentile(ordered, 90.0),
+            p99_ms=scale * percentile(ordered, 99.0),
+            max_ms=scale * ordered[-1],
+        )

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine.runner import SweepJob, default_jobs, execute_job, run_sweep
+from repro.engine.runner import (
+    SweepJob,
+    available_cpus,
+    default_jobs,
+    execute_job,
+    run_sweep,
+)
 from repro.engine.trace_store import TraceStore
 
 
@@ -118,10 +124,40 @@ class TestDefaultJobs:
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() == 1
 
-    def test_env_override(self, monkeypatch):
+    def test_env_override_capped_by_affinity(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "5")
-        assert default_jobs() == 5
+        assert default_jobs() == min(5, available_cpus())
+
+    def test_oversubscription_clamps_to_affinity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "9999")
+        assert default_jobs() == available_cpus()
 
     def test_garbage_env_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
         assert default_jobs() == 1
+
+
+class TestAvailableCpus:
+    def test_positive(self):
+        assert available_cpus() >= 1
+
+    def test_honors_sched_getaffinity(self, monkeypatch):
+        import repro.engine.runner as runner_mod
+
+        if not hasattr(runner_mod.os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(
+            runner_mod.os, "sched_getaffinity", lambda pid: {0, 1, 2}
+        )
+        assert available_cpus() == 3
+
+    def test_affinity_failure_falls_back(self, monkeypatch):
+        import repro.engine.runner as runner_mod
+
+        def boom(pid):
+            raise OSError("no affinity")
+
+        if not hasattr(runner_mod.os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(runner_mod.os, "sched_getaffinity", boom)
+        assert available_cpus() >= 1

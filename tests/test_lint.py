@@ -403,6 +403,92 @@ class TestEngineExceptionHygiene:
         assert "BCL010" not in codes(source, ENGINE_PATH)
 
 
+# ----------------------------------------------------------------------
+# BCL011 — serve coroutines must not block the event loop
+# ----------------------------------------------------------------------
+SERVE_PATH = "src/repro/serve/example.py"
+
+
+class TestServeBlockingCalls:
+    def test_time_sleep_in_coroutine_fires(self):
+        source = (
+            "async def handler(reader, writer):\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert "BCL011" in codes(source, SERVE_PATH)
+
+    def test_open_in_coroutine_fires(self):
+        source = (
+            "async def handler(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh\n"
+        )
+        assert "BCL011" in codes(source, SERVE_PATH)
+
+    def test_path_io_methods_fire(self):
+        source = (
+            "async def handler(path):\n"
+            "    path.write_text('x')\n"
+            "    return path.read_bytes()\n"
+        )
+        violations = lint_source(source, SERVE_PATH)
+        assert [v.code for v in violations] == ["BCL011", "BCL011"]
+
+    def test_future_result_fires(self):
+        source = (
+            "async def handler(fut):\n"
+            "    return fut.result()\n"
+        )
+        assert "BCL011" in codes(source, SERVE_PATH)
+
+    def test_asyncio_sleep_is_clean(self):
+        source = (
+            "async def handler():\n"
+            "    await asyncio.sleep(0.1)\n"
+        )
+        assert codes(source, SERVE_PATH) == set()
+
+    def test_run_in_executor_is_clean(self):
+        source = (
+            "async def handler(loop, conn, payloads):\n"
+            "    return await loop.run_in_executor(None, roundtrip, payloads)\n"
+        )
+        assert codes(source, SERVE_PATH) == set()
+
+    def test_sync_function_may_block(self):
+        # Plain functions run in executor threads, where blocking is fine.
+        source = (
+            "def roundtrip(conn, payloads):\n"
+            "    time.sleep(0.1)\n"
+            "    return open('x')\n"
+        )
+        assert codes(source, SERVE_PATH) == set()
+
+    def test_nested_sync_helper_in_coroutine_is_clean(self):
+        source = (
+            "async def handler(loop, path):\n"
+            "    def read():\n"
+            "        return path.read_text()\n"
+            "    return await loop.run_in_executor(None, read)\n"
+        )
+        assert codes(source, SERVE_PATH) == set()
+
+    def test_non_serve_modules_are_exempt(self):
+        source = (
+            "async def handler():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert "BCL011" not in codes(source, ENGINE_PATH)
+        assert "BCL011" not in codes(source, COLD_PATH)
+
+    def test_noqa_suppresses(self):
+        source = (
+            "async def handler():\n"
+            "    time.sleep(0.1)  # noqa: BCL011\n"
+        )
+        assert codes(source, SERVE_PATH) == set()
+
+
 class TestMechanics:
     def test_noqa_with_code_suppresses(self):
         source = "rng = random.Random()  # noqa: BCL005\n"

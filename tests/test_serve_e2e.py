@@ -1,0 +1,174 @@
+"""``bcache-serve`` as a real process: ready line, SIGTERM drain
+(in-flight work completes, new connections are refused, exit 0),
+SIGINT → 130, bind failure → 4, and a small ``bcache-loadgen`` run."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.runner import SweepJob, execute_job
+from repro.serve.client import ServeClient
+from repro.serve.server import main as serve_main
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _env(tmp_path: Path) -> dict[str, str]:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC)
+    env["REPRO_TRACE_STORE"] = str(tmp_path / "traces")
+    return env
+
+
+def _start_server(tmp_path: Path, *extra: str):
+    """Start ``python -m repro.serve`` on a Unix socket; wait for ready."""
+    sock_path = tmp_path / "serve.sock"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--unix", str(sock_path),
+         "--shards", "1", *extra],
+        env=_env(tmp_path),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        start_new_session=True,
+    )
+    ready = proc.stdout.readline()
+    if "ready" not in ready:
+        proc.kill()
+        pytest.fail(f"server did not come up: {ready!r}")
+    return proc, sock_path
+
+
+def _wait_refused(sock_path: Path, deadline: float = 15.0) -> None:
+    """Poll until connecting to ``sock_path`` fails (listener closed)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(str(sock_path))
+        except OSError:
+            return
+        finally:
+            sock.close()
+        time.sleep(0.05)
+    pytest.fail("server kept accepting connections after SIGTERM")
+
+
+class TestSigtermDrain:
+    def test_inflight_completes_new_connections_refused_exit_zero(self, tmp_path):
+        proc, sock_path = _start_server(tmp_path)
+        job = SweepJob(spec="mf8_bas8", benchmark="gcc", n=250_000,
+                       with_kinds=True)
+        client = ServeClient.connect(f"unix:{sock_path}", timeout=180)
+        outcome: dict = {}
+
+        def issue():
+            try:
+                outcome["stats"] = client.simulate(job)
+            except Exception as exc:  # surfaced via the assert below
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=issue)
+        worker.start()
+        try:
+            time.sleep(0.3)  # the simulate is now in flight
+            proc.send_signal(signal.SIGTERM)
+            _wait_refused(sock_path)
+            worker.join(timeout=180)
+            assert not worker.is_alive(), "in-flight request never answered"
+            assert "error" not in outcome, outcome.get("error")
+            assert outcome["stats"].accesses == job.n
+            assert proc.wait(timeout=60) == 0
+            assert not sock_path.exists()  # socket file cleaned up
+        finally:
+            client.close()
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_sigterm_when_idle_exits_zero(self, tmp_path):
+        proc, sock_path = _start_server(tmp_path)
+        try:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+            assert "drained, exiting" in proc.stdout.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+class TestExitCodes:
+    def test_sigint_exits_130(self, tmp_path):
+        proc, _ = _start_server(tmp_path)
+        try:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=60) == 130
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_bind_failure_exits_4(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "s.sock"
+        assert serve_main(["--unix", str(missing), "--shards", "1"]) == 4
+
+    def test_port_conflict_exits_4(self, tmp_path):
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        _, port = blocker.getsockname()
+        try:
+            assert serve_main(["--port", str(port), "--shards", "1"]) == 4
+        finally:
+            blocker.close()
+
+    def test_bad_shards_exits_2(self):
+        assert serve_main(["--shards", "0"]) == 2
+
+
+class TestLoadgen:
+    def test_small_run_zero_errors_and_verified(self, tmp_path):
+        proc, sock_path = _start_server(tmp_path)
+        out_path = tmp_path / "bench.json"
+        try:
+            result = subprocess.run(
+                [sys.executable, "-m", "repro.serve.loadgen",
+                 "--unix", str(sock_path),
+                 "--requests", "48", "--clients", "6", "--n", "2000",
+                 "--specs", "dm,mf8_bas8", "--benchmarks", "gzip,gcc",
+                 "--verify", "--out", str(out_path)],
+                env=_env(tmp_path),
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert result.returncode == 0, result.stdout + result.stderr
+            report = json.loads(out_path.read_text())
+            assert report["completed"] == 48
+            assert report["errors"] == 0
+            assert report["verified_identical"] is True
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_served_equals_local_execute_job(self, tmp_path):
+        proc, sock_path = _start_server(tmp_path)
+        job = SweepJob(spec="dm", benchmark="gzip", n=4000)
+        try:
+            with ServeClient.connect(f"unix:{sock_path}", timeout=120) as client:
+                assert client.simulate(job) == execute_job(job)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()

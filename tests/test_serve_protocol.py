@@ -1,0 +1,157 @@
+"""The serve wire protocol: framing survives arbitrary chunk boundaries,
+rejects oversized frames from the header alone, and distinguishes a
+clean hang-up from a torn one."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameTooLarge,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        payload = {"op": "simulate", "spec": "mf8_bas8", "n": 20000}
+        frame = encode_frame(payload)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size:]) == payload
+
+    def test_encoding_is_canonical(self):
+        # sort_keys + tight separators: identical payloads give identical
+        # bytes regardless of insertion order.
+        assert encode_frame({"a": 1, "b": 2}) == encode_frame({"b": 2, "a": 1})
+
+    def test_oversized_body_rejected_on_encode(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"blob": "x" * 64}, max_frame=16)
+
+    def test_non_json_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_payload(b"[1, 2, 3]")
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame({"op": "status"})) == [{"op": "status"}]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        # The hardest torn-read case: every header and body byte arrives
+        # in its own chunk.
+        payload = {"op": "simulate", "benchmark": "gcc", "seed": 2006}
+        decoder = FrameDecoder()
+        collected = []
+        for byte in encode_frame(payload):
+            collected.extend(decoder.feed(bytes([byte])))
+        assert collected == [payload]
+
+    def test_multiple_frames_in_one_chunk(self):
+        frames = [{"id": i} for i in range(3)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(blob) == frames
+
+    def test_split_across_frame_boundary(self):
+        first, second = {"id": 1}, {"id": 2}
+        blob = encode_frame(first) + encode_frame(second)
+        decoder = FrameDecoder()
+        # Cut inside the second frame's header.
+        cut = len(encode_frame(first)) + 2
+        assert decoder.feed(blob[:cut]) == [first]
+        assert decoder.pending_bytes == 2
+        assert decoder.feed(blob[cut:]) == [second]
+
+    def test_oversized_header_rejected_before_body(self):
+        decoder = FrameDecoder(max_frame=1024)
+        with pytest.raises(FrameTooLarge):
+            # Only the header arrives; the body never needs to.
+            decoder.feed(HEADER.pack(1 << 30))
+
+    def test_default_cap_is_one_mib(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(HEADER.pack(MAX_FRAME_BYTES + 1))
+
+
+class _SinkWriter:
+    """Minimal asyncio-writer stand-in collecting written bytes."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.data.extend(data)
+
+    async def drain(self) -> None:
+        pass
+
+
+class TestAsyncStreams:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_write_then_read_round_trip(self):
+        async def scenario():
+            payload = {"op": "sweep", "jobs": [{"spec": "dm"}]}
+            writer = _SinkWriter()
+            await write_frame(writer, payload)
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes(writer.data))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert self.run(scenario()) == {"op": "sweep", "jobs": [{"spec": "dm"}]}
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert self.run(scenario()) is None
+
+    def test_eof_mid_header_is_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")
+            reader.feed_eof()
+            await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="mid-header"):
+            self.run(scenario())
+
+    def test_eof_mid_body_is_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(HEADER.pack(10) + b"abc")
+            reader.feed_eof()
+            await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            self.run(scenario())
+
+    def test_oversized_frame_rejected_from_header(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(HEADER.pack(1 << 24))
+            await read_frame(reader, max_frame=1 << 20)
+
+        with pytest.raises(FrameTooLarge):
+            self.run(scenario())

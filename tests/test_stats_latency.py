@@ -1,0 +1,62 @@
+"""Latency percentiles backing the serve benchmark report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.latency import LatencyRecorder, percentile
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([4.2], 99.0) == 4.2
+
+    def test_exact_ranks(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 50.0) == 3.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_linear_interpolation(self):
+        # Matches numpy's default estimator on the same sample.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestLatencyRecorder:
+    def test_summary_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        for seconds in (0.001, 0.002, 0.003, 0.010):
+            recorder.record(seconds)
+        summary = recorder.summary()
+        assert len(recorder) == 4
+        assert summary.count == 4
+        assert summary.mean_ms == pytest.approx(4.0)
+        assert summary.p50_ms == pytest.approx(2.5)
+        assert summary.max_ms == pytest.approx(10.0)
+        assert summary.p99_ms <= summary.max_ms
+
+    def test_as_dict_round_figures(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0012345)
+        as_dict = recorder.summary().as_dict()
+        assert as_dict["count"] == 1
+        assert as_dict["mean_ms"] == pytest.approx(1.234, abs=1e-3)
+
+    def test_render_mentions_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.005)
+        text = recorder.summary().render()
+        assert "p50" in text and "p99" in text
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().summary()
