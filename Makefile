@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test lint bench bench-engine chaos serve loadgen experiments experiments-full examples clean
+.PHONY: install dev test lint bench bench-engine chaos serve loadgen top experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -33,6 +33,9 @@ serve:
 loadgen:
 	PYTHONPATH=src $(PYTHON) -m repro.serve.loadgen \
 		--connect 127.0.0.1:4006 --requests 200 --clients 8 --verify
+
+top:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.top
 
 experiments:
 	$(PYTHON) -m repro.cli all --scale default

@@ -38,6 +38,11 @@ BCL011    serve code (``repro.serve``) must not block the event loop:
           ``read_text``/``write_text``/…) or ``Future.result()``
           inside a coroutine — await, or offload via
           ``run_in_executor``
+BCL012    telemetry contract: ``span(...)`` must be used as a context
+          manager (``with span(...):`` — never a bare call or manual
+          ``__enter__``, which loses the crash-safe exit event), and
+          metric names passed to ``counter``/``gauge``/``histogram``
+          must match ``^repro_[a-z0-9_]+$``
 ========  =============================================================
 
 A violation on a line containing ``# noqa: BCLxxx`` (or a bare
@@ -71,6 +76,8 @@ RULES: dict[str, str] = {
     "BCL010": "engine code swallows exceptions or retries without backoff",
     "BCL011": "blocking call (time.sleep / sync file I/O / Future.result) "
     "inside a serve coroutine",
+    "BCL012": "span() not used as a context manager, or metric name not "
+    "matching ^repro_[a-z0-9_]+$",
 }
 
 #: Sub-packages of ``repro`` whose code runs once per simulated access.
@@ -95,6 +102,15 @@ SERVE_PACKAGES = frozenset({"serve"})
 BLOCKING_IO_METHODS = frozenset(
     {"read_text", "write_text", "read_bytes", "write_bytes"}
 )
+
+#: Registry factory methods whose first argument is a metric name that
+#: must satisfy the exposition contract (BCL012).
+METRIC_FACTORY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Prometheus-safe, repo-prefixed metric names (mirrors
+#: ``repro.obs.metrics.METRIC_NAME_RE``; duplicated so the linter stays
+#: importable without the obs package).
+METRIC_NAME_PATTERN = re.compile(r"^repro_[a-z0-9_]+$")
 
 #: Modules where ``math.log2`` itself is banned (geometry must go
 #: through ``log2_exact``); the energy models legitimately need floats.
@@ -222,6 +238,7 @@ class _Linter(ast.NodeVisitor):
         self._async_stack: list[bool] = []  # "is coroutine" per frame
         self._class_stack: list[bool] = []  # "is cache-like" per frame
         self._awaited_calls: set[ast.Call] = set()
+        self._cm_calls: set[ast.Call] = set()  # calls used as with-items
         self._loop_depth = 0  # loops inside the current function body
 
     # -- helpers -------------------------------------------------------
@@ -383,6 +400,19 @@ class _Linter(ast.NodeVisitor):
             self._awaited_calls.add(node.value)
         self.generic_visit(node)
 
+    # -- with-statements (BCL012 bookkeeping) --------------------------
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                self._cm_calls.add(item.context_expr)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
     def visit_While(self, node: ast.While) -> None:
         self._check_retry_loop(node)
         self._visit_loop(node)
@@ -542,6 +572,43 @@ class _Linter(ast.NodeVisitor):
         ):
             self._add(
                 node, "BCL005", f"{func.id}() without a seed is irreproducible"
+            )
+
+        # BCL012: a span's duration/ok fields are written by __exit__;
+        # a bare span(...) call — or a manual __enter__() on one —
+        # leaks an unpaired span whenever the caller raises.
+        # ExitStack.enter_context(span(...)) still routes through
+        # __exit__ and is allowed.
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name == "enter_context":
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    self._cm_calls.add(arg)
+        elif name == "span" and node not in self._cm_calls:
+            self._add(
+                node,
+                "BCL012",
+                "span(...) must be entered via a with-statement "
+                "(with span(...):) so the exit event is always emitted",
+            )
+
+        # BCL012: metric names feed the Prometheus exposition; reject a
+        # name that would fail the registry's contract at lint time
+        # rather than at first scrape.
+        if (
+            name in METRIC_FACTORY_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and not METRIC_NAME_PATTERN.match(node.args[0].value)
+        ):
+            self._add(
+                node,
+                "BCL012",
+                f"metric name {node.args[0].value!r} does not match "
+                "^repro_[a-z0-9_]+$",
             )
 
         # BCL011: serve coroutines share one event loop; a single

@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs import instrument as _obs
 from repro.stats.counters import CacheStats
 from repro.trace.access import Access
 
@@ -123,7 +124,10 @@ class Cache(abc.ABC):
                     f"kinds length {len(kinds)} does not match "
                     f"addresses length {len(addresses)}"
                 )
-        return self._batch_trace(addresses, kinds)
+        start = _obs.kernel_clock()
+        stats = self._batch_trace(addresses, kinds)
+        _obs.observe_kernel(self.name, len(addresses), start)
+        return stats
 
     def contains(self, address: int) -> bool:
         """Non-mutating residency probe (no statistics side effects)."""

@@ -34,6 +34,8 @@ from pathlib import Path
 from repro.caches import make_cache
 from repro.engine.runner import SweepJob, run_sweep
 from repro.engine.trace_store import default_store
+from repro.obs import events as obs_events
+from repro.obs import instrument as _obs
 
 SCHEMA = "bcache-bench/1"
 
@@ -71,12 +73,12 @@ def bench_hot_loop(
     for spec in HOT_SPECS:
         scalar_cache = make_cache(spec)
         scalar_time = min(
-            _timed_fresh(_replay_scalar, spec, addresses, kinds)
-            for _ in range(repeats)
+            _timed_iteration(_replay_scalar, spec, "scalar", i, addresses, kinds)
+            for i in range(repeats)
         )
         batch_time = min(
-            _timed_fresh(_replay_batch, spec, addresses, kinds)
-            for _ in range(repeats)
+            _timed_iteration(_replay_batch, spec, "batch", i, addresses, kinds)
+            for i in range(repeats)
         )
         # Correctness gate: one final replay of each flavour, compared
         # field-for-field (including the per-set counters).
@@ -96,6 +98,21 @@ def bench_hot_loop(
 def _timed_fresh(replay, spec: str, addresses, kinds) -> float:
     """One timed replay on a freshly built cache (state-independent)."""
     return replay(make_cache(spec), addresses, kinds)
+
+
+def _timed_iteration(
+    replay, spec: str, flavor: str, iteration: int, addresses, kinds
+) -> float:
+    """One timed replay, reporting the raw sample to the obs event log.
+
+    ``BENCH_engine.json`` only keeps the minimum of the repeats; with
+    ``--obs-log`` every individual sample survives, so a suspicious
+    delta between two reports can be root-caused (noisy neighbour vs
+    genuine regression) after the fact.
+    """
+    seconds = _timed_fresh(replay, spec, addresses, kinds)
+    _obs.bench_iteration(spec, flavor, iteration, seconds, len(addresses))
+    return seconds
 
 
 def bench_sweep(n: int, job_counts: tuple[int, ...], seed: int = 2006) -> dict:
@@ -195,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated worker counts for the sweep "
                         "scaling measurement (default 2,4)")
     parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--obs-log", metavar="PATH",
+                        help="write raw per-iteration timings as obs events "
+                        "to PATH (enables the events tier if REPRO_OBS is "
+                        "off)")
     args = parser.parse_args(argv)
 
     try:
@@ -202,6 +223,12 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError:
         print(f"bad --jobs list: {args.jobs!r}", file=sys.stderr)
         return 2
+
+    if args.obs_log:
+        obs_events.configure(
+            mode="full" if obs_events.metrics_enabled() else "events",
+            log_path=args.obs_log,
+        )
 
     report = run_benchmarks(args.quick, job_counts, seed=args.seed)
 

@@ -56,8 +56,10 @@ from repro.engine.faultinject import (
     apply_inprocess_faults,
     corrupt_job_blobs,
 )
-from repro.engine.runner import SweepJob, _prewarm, execute_job
+from repro.engine.runner import SweepJob, _prewarm, execute_job, job_label
 from repro.engine.trace_store import TraceStore, set_default_store
+from repro.obs import events as obs_events
+from repro.obs import instrument as _obs
 from repro.stats.counters import CacheStats
 
 log = logging.getLogger("repro.engine.resilience")
@@ -355,11 +357,15 @@ def _worker_entry(
     store_root: str,
     sanitize: bool,
     fault_kinds: tuple[str, ...],
+    obs_mode: str = "off",
+    obs_log: str = "",
 ) -> None:
     """Child process: run one job, send ('ok', snapshot) or ('error', msg)."""
     try:
         apply_child_faults(fault_kinds)  # may _exit, hang, or raise
         set_default_store(TraceStore(store_root, fsync=False))
+        if obs_mode != "off" and obs_log:
+            obs_events.configure(mode=obs_mode, log_path=obs_log)
         stats = execute_job(job, sanitize=sanitize)
     except Exception as exc:
         _safe_send(conn, ("error", f"{type(exc).__name__}: {exc}"))
@@ -428,8 +434,19 @@ def _spawn(
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_worker_entry,
-        args=(child_conn, job, str(store.root), sanitize, child_kinds),
+        args=(
+            child_conn,
+            job,
+            str(store.root),
+            sanitize,
+            child_kinds,
+            obs_events.mode(),
+            str(obs_events.active_log_path()),
+        ),
         daemon=True,
+    )
+    _obs.job_event(
+        "running", job_label(job), benchmark=job.benchmark, attempt=entry.attempt
     )
     proc.start()
     child_conn.close()
@@ -469,11 +486,19 @@ def _schedule_retry(
     """Queue the next attempt with backoff, or give up with SweepFailure."""
     job = jobs[index]
     if attempt + 1 >= config.retry.max_attempts:
+        _obs.job_event(
+            "failed", job_label(job), benchmark=job.benchmark,
+            attempt=attempt, reason=reason,
+        )
         raise SweepFailure(
             f"job {index} ({job.spec}/{job.benchmark}) failed after "
             f"{config.retry.max_attempts} attempt(s): {reason}"
         )
     delay = config.retry.delay(attempt, rng)
+    _obs.job_event(
+        "retried", job_label(job), benchmark=job.benchmark,
+        attempt=attempt, reason=reason, delay_s=round(delay, 3),
+    )
     log.warning(
         "job %d (%s/%s) attempt %d failed (%s); retrying in %.3fs",
         index,
@@ -628,11 +653,19 @@ def _run_serial_entries(
                 stats = execute_job(job, store=store, sanitize=sanitize)
             except Exception as exc:
                 if attempt + 1 >= config.retry.max_attempts:
+                    _obs.job_event(
+                        "failed", job_label(job), benchmark=job.benchmark,
+                        attempt=attempt, reason=str(exc),
+                    )
                     raise SweepFailure(
                         f"job {index} ({job.spec}/{job.benchmark}) failed "
                         f"after {config.retry.max_attempts} attempt(s): {exc}"
                     ) from exc
                 delay = config.retry.delay(attempt, rng)
+                _obs.job_event(
+                    "retried", job_label(job), benchmark=job.benchmark,
+                    attempt=attempt, reason=str(exc), delay_s=round(delay, 3),
+                )
                 log.warning(
                     "job %d (%s/%s) attempt %d failed (%s); retrying in %.3fs",
                     index,
@@ -676,43 +709,78 @@ def run_resilient(
         run_dir = Path(run_root) / run_id if run_root else default_run_root() / run_id
         journal = ResultJournal(run_dir, fsync=config.fsync)
         journal.open_run(run_id, jobs)
+    # Journaled runs route telemetry beside journal.jsonl so bcache-top
+    # (and post-mortems) find one self-contained run directory.
+    route_log = (
+        obs_events.log_to(journal.run_dir / "events.jsonl")
+        if journal is not None
+        else contextlib.nullcontext()
+    )
     try:
-        results: list[CacheStats] = [None] * len(jobs)  # type: ignore[list-item]
-        todo: list[int] = []
-        for index, job in enumerate(jobs):
-            done = journal.completed.get(job_key(job)) if journal else None
-            if done is not None:
-                results[index] = done
-            else:
-                todo.append(index)
-        if todo:
-            if sanitize or workers <= 1 or len(todo) == 1:
-                _run_serial_entries(
-                    jobs,
-                    [(index, 0) for index in todo],
-                    results,
-                    store,
-                    config,
-                    journal,
-                    fault_plan,
-                    sanitize,
-                    rng,
-                )
-            else:
-                _prewarm([jobs[index] for index in todo], store)
-                _run_supervised(
-                    jobs,
-                    todo,
-                    results,
-                    store,
-                    config,
-                    journal,
-                    fault_plan,
-                    min(workers, len(todo)),
-                    sanitize,
-                    rng,
-                )
+        with route_log, obs_events.span(
+            "engine.resilient_sweep",
+            run_id=run_id or "",
+            jobs=len(jobs),
+            workers=workers,
+        ):
+            results = _resilient_body(
+                jobs, workers, store, config, sanitize, journal, fault_plan, rng
+            )
         return results
     finally:
         if journal is not None:
             journal.close()
+
+
+def _resilient_body(
+    jobs: Sequence[SweepJob],
+    workers: int,
+    store: TraceStore,
+    config: ResilienceConfig,
+    sanitize: bool,
+    journal: ResultJournal | None,
+    fault_plan: FaultPlan | None,
+    rng: Random,
+) -> list[CacheStats]:
+    """Resume bookkeeping + dispatch (parent events already routed)."""
+    results: list[CacheStats] = [None] * len(jobs)  # type: ignore[list-item]
+    todo: list[int] = []
+    for index, job in enumerate(jobs):
+        done = journal.completed.get(job_key(job)) if journal else None
+        if done is not None:
+            results[index] = done
+        else:
+            todo.append(index)
+    if obs_events.enabled():
+        for index in todo:
+            _obs.job_event(
+                "queued", job_label(jobs[index]), benchmark=jobs[index].benchmark
+            )
+    if todo:
+        if sanitize or workers <= 1 or len(todo) == 1:
+            _run_serial_entries(
+                jobs,
+                [(index, 0) for index in todo],
+                results,
+                store,
+                config,
+                journal,
+                fault_plan,
+                sanitize,
+                rng,
+            )
+        else:
+            _prewarm([jobs[index] for index in todo], store)
+            _run_supervised(
+                jobs,
+                todo,
+                results,
+                store,
+                config,
+                journal,
+                fault_plan,
+                min(workers, len(todo)),
+                sanitize,
+                rng,
+            )
+    return results

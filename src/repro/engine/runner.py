@@ -33,6 +33,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.caches import make_cache
+from repro.obs import events as obs_events
+from repro.obs import instrument as _obs
 from repro.stats.counters import CacheStats
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
 
@@ -102,6 +104,14 @@ def default_jobs() -> int:
     return max(1, min(requested, available_cpus()))
 
 
+def job_label(job: SweepJob) -> str:
+    """Human-readable job key used in telemetry events and bcache-top."""
+    return (
+        f"{job.spec}:{job.benchmark}:{job.side}"
+        f":n{job.n}:s{job.seed}:{job.size}b{job.line_size}"
+    )
+
+
 def execute_job(
     job: SweepJob,
     store: TraceStore | None = None,
@@ -114,30 +124,49 @@ def execute_job(
     what makes parallel results bit-identical to serial ones.
     """
     store = store if store is not None else default_store()
-    cache = make_cache(
-        job.spec, size=job.size, line_size=job.line_size, policy=job.policy
-    )
-    if job.with_kinds:
-        addresses, kinds = store.accesses(job.benchmark, job.side, job.n, job.seed)
-    else:
-        addresses = store.addresses(job.benchmark, job.side, job.n, job.seed)
-        kinds = None
-    if sanitize:
-        from repro.analysis.sanitizer import SanitizedCache, strict_capable
-
-        checked = SanitizedCache(
-            cache, strict=strict_capable(cache), check_interval=1024
+    label = job_label(job)
+    with obs_events.span(
+        "job.run", key=label, benchmark=job.benchmark, spec=job.spec
+    ):
+        cache = make_cache(
+            job.spec, size=job.size, line_size=job.line_size, policy=job.policy
         )
-        checked.access_trace(addresses, kinds)
-        checked.finalize()
-        return cache.stats
-    cache.access_trace(addresses, kinds)
+        if job.with_kinds:
+            addresses, kinds = store.accesses(job.benchmark, job.side, job.n, job.seed)
+        else:
+            addresses = store.addresses(job.benchmark, job.side, job.n, job.seed)
+            kinds = None
+        if sanitize:
+            from repro.analysis.sanitizer import SanitizedCache, strict_capable
+
+            checked = SanitizedCache(
+                cache, strict=strict_capable(cache), check_interval=1024
+            )
+            checked.access_trace(addresses, kinds)
+            checked.finalize()
+        else:
+            cache.access_trace(addresses, kinds)
+    _obs.job_event(
+        "done",
+        label,
+        benchmark=job.benchmark,
+        miss_rate=round(cache.stats.miss_rate, 6),
+        accesses=cache.stats.accesses,
+        misses=cache.stats.misses,
+    )
     return cache.stats
 
 
-def _init_worker(root: str) -> None:
-    """Pool initializer: share the parent's trace-store root."""
+def _init_worker(root: str, obs_mode: str, obs_log: str) -> None:
+    """Pool initializer: share the parent's trace-store root and obs state.
+
+    The obs tier/log path are forwarded explicitly (not just inherited
+    via the environment) so a parent that called ``obs.configure`` —
+    e.g. ``bcache-sim --obs-log`` — gets worker events in the same log.
+    """
     set_default_store(TraceStore(root))
+    if obs_mode != "off":
+        obs_events.configure(mode=obs_mode, log_path=obs_log)
 
 
 def _run_job(job: SweepJob) -> CacheStats:
@@ -212,28 +241,35 @@ def run_sweep(
             run_root=run_root,
             fault_plan=fault_plan,
         )
-    if sanitize or workers <= 1 or len(jobs) <= 1:
-        return [execute_job(job, store=store, sanitize=sanitize) for job in jobs]
+    with obs_events.span(
+        "engine.sweep", jobs=len(jobs), workers=workers, sanitize=sanitize
+    ):
+        if sanitize or workers <= 1 or len(jobs) <= 1:
+            return [execute_job(job, store=store, sanitize=sanitize) for job in jobs]
 
-    _prewarm(jobs, store)
-    workers = min(workers, len(jobs))
-    chunksize = max(1, len(jobs) // (workers * 4))
-    pool = multiprocessing.get_context().Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(str(store.root),),
-    )
-    try:
-        results = pool.map(_run_job, jobs, chunksize=chunksize)
-        pool.close()
-    except BaseException:
-        # Ctrl-C (or any failure) must not orphan workers: terminate
-        # reaps the whole pool before the exception propagates.
-        pool.terminate()
-        raise
-    finally:
-        pool.join()
-    return results
+        _prewarm(jobs, store)
+        workers = min(workers, len(jobs))
+        chunksize = max(1, len(jobs) // (workers * 4))
+        pool = multiprocessing.get_context().Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(
+                str(store.root),
+                obs_events.mode(),
+                str(obs_events.active_log_path()),
+            ),
+        )
+        try:
+            results = pool.map(_run_job, jobs, chunksize=chunksize)
+            pool.close()
+        except BaseException:
+            # Ctrl-C (or any failure) must not orphan workers: terminate
+            # reaps the whole pool before the exception propagates.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+        return results
 
 
 def _prewarm(jobs: Sequence[SweepJob], store: TraceStore) -> None:

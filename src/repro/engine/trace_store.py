@@ -36,11 +36,13 @@ from __future__ import annotations
 
 import logging
 import os
+import time
 import zlib
 from array import array
 from collections import OrderedDict
 from pathlib import Path
 
+from repro.obs import instrument as _obs
 from repro.workloads.spec2k import get_profile
 
 log = logging.getLogger("repro.engine.trace_store")
@@ -183,6 +185,7 @@ class TraceStore:
             # is still correct, so just drop the stale handle.
             path.unlink(missing_ok=True)
         self.quarantined += 1
+        _obs.trace_store_quarantined(path.name, reason)
         log.warning("quarantined corrupt trace blob %s (%s)", path.name, reason)
 
     def _load_payload(self, path: Path, expected_size: int | None = None) -> bytes | None:
@@ -250,16 +253,20 @@ class TraceStore:
         key = (benchmark, side, n, seed, "adr")
         cached = self._recall(key)
         if cached is not None:
+            _obs.trace_store_hit("memory", benchmark)
             return cached  # type: ignore[return-value]
         path = self.address_path(benchmark, side, n, seed)
         payload = self._load_payload(path, expected_size=_payload_size(8 * n))
         if payload is not None:
             self.disk_hits += 1
+            _obs.trace_store_hit("disk", benchmark)
             blob = array("Q")
             blob.frombytes(payload)
         else:
             self.disk_misses += 1
+            started = time.monotonic()
             blob = self._generate_addresses(benchmark, side, n, seed)
+            _obs.trace_store_miss(benchmark, time.monotonic() - started)
         self._remember(key, blob)
         return blob
 
@@ -292,15 +299,19 @@ class TraceStore:
         key = (benchmark, side, n, seed, "acc")
         cached = self._recall(key)
         if cached is not None:
+            _obs.trace_store_hit("memory", benchmark)
             return cached  # type: ignore[return-value]
         addr_path = self.address_path(benchmark, side, n, seed, kinds=True)
         kind_path = self.kind_path(benchmark, side, n, seed)
         pair = self._read_access_pair(addr_path, kind_path, side, n)
         if pair is None:
             self.disk_misses += 1
+            started = time.monotonic()
             pair = self._generate_accesses(benchmark, side, n, seed)
+            _obs.trace_store_miss(benchmark, time.monotonic() - started)
         else:
             self.disk_hits += 1
+            _obs.trace_store_hit("disk", benchmark)
         self._remember(key, pair)
         return pair
 

@@ -1,0 +1,63 @@
+"""repro.obs — unified telemetry: metrics, spans, exposition, bcache-top.
+
+A dependency-free observability layer shared by every subsystem:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram in a
+  :class:`MetricsRegistry`, with cross-process delta forwarding;
+* :mod:`repro.obs.exposition` — Prometheus text format writer/parser;
+* :mod:`repro.obs.events` — ``span``/``emit`` tracing onto a crash-safe
+  JSONL event log, tiered by ``REPRO_OBS=off|events|full``;
+* :mod:`repro.obs.instrument` — the pre-named hooks hot paths call;
+* :mod:`repro.obs.top` — the live ``bcache-top`` sweep monitor.
+
+This package is a leaf: it must not import ``repro.caches``,
+``repro.engine`` or ``repro.serve`` (they all import it).
+"""
+
+from repro.obs.events import (
+    EventLog,
+    configure,
+    emit,
+    enabled,
+    log_to,
+    metrics_enabled,
+    mode,
+    read_events,
+    reset,
+    span,
+    tail_events,
+)
+from repro.obs.exposition import CONTENT_TYPE, parse_text, render
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "configure",
+    "default_registry",
+    "emit",
+    "enabled",
+    "log_to",
+    "metrics_enabled",
+    "mode",
+    "parse_text",
+    "read_events",
+    "render",
+    "reset",
+    "set_default_registry",
+    "span",
+    "tail_events",
+]

@@ -1,0 +1,255 @@
+"""Prometheus text exposition (version 0.0.4): writer and parser.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` into
+the classic text format (``# HELP`` / ``# TYPE`` comments, one sample
+per line, histogram ``_bucket``/``_sum``/``_count`` expansion with
+cumulative ``le`` buckets).  :func:`parse_text` is the inverse, used by
+the exposition round-trip tests and the CI obs-smoke job to *validate*
+what the server scrapes out — a reproduction that exports telemetry
+should also be able to check its own wire format.
+
+Only the subset this repo emits is supported (no exemplars, no
+timestamps, no escaped metric names), which keeps both directions
+dependency-free and obviously correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+)
+
+#: Content-Type an HTTP scrape endpoint should answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ExpositionError(ValueError):
+    """The text being parsed is not valid Prometheus exposition format."""
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry:
+        lines.append(f"# HELP {metric.name} {metric.help or metric.name}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels in sorted(metric.labelsets()):
+                value = metric._values[labels]
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels in sorted(metric.labelsets()):
+                series = metric._series[labels]
+                cumulative = 0
+                for bound, count in zip(metric.buckets, series.bucket_counts):
+                    cumulative += count
+                    le = (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{metric.name}_bucket{_format_labels(labels, le)} "
+                        f"{cumulative}"
+                    )
+                cumulative += series.bucket_counts[-1]
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_format_labels(labels, (('le', '+Inf'),))} {cumulative}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} "
+                    f"{series.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Parsing (round-trip validation and the CI scrape check)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Sample:
+    """One exposition line: sample name, labels, numeric value."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass(slots=True)
+class Family:
+    """One metric family: its type/help plus every parsed sample."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def sample_value(self, name: str | None = None, **labels: str) -> float:
+        """The value of the sample matching ``name`` and ``labels`` exactly."""
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        target = name or self.name
+        for sample in self.samples:
+            if sample.name == target and sample.labels == wanted:
+                return sample.value
+        raise KeyError(f"{target}{wanted!r} not found in family {self.name}")
+
+
+def _parse_labels(text: str, line: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.find("=", i)
+        if eq < 0 or i + 1 > len(text):
+            raise ExpositionError(f"bad label pair in line: {line!r}")
+        key = text[i:eq].strip().lstrip(",").strip()
+        if not key.replace("_", "a").isalnum():
+            raise ExpositionError(f"bad label name {key!r} in line: {line!r}")
+        if eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise ExpositionError(f"unquoted label value in line: {line!r}")
+        j = eq + 2
+        raw = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                raw.append(text[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ExpositionError(f"unterminated label value in line: {line!r}")
+        labels[key] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_value(text: str, line: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ExpositionError(f"bad sample value in line: {line!r}") from exc
+
+
+def _family_of(sample_name: str, families: dict[str, Family]) -> Family:
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and base in families and families[base].kind == "histogram":
+            return families[base]
+    if sample_name not in families:
+        families[sample_name] = Family(sample_name)
+    return families[sample_name]
+
+
+def parse_text(text: str) -> dict[str, Family]:
+    """Parse exposition text into ``{family name: Family}``.
+
+    Raises :class:`ExpositionError` on malformed lines — the CI smoke
+    job uses that as the format gate.
+    """
+    families: dict[str, Family] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, Family(name)).help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ExpositionError(f"unknown metric type in line: {line!r}")
+            families.setdefault(name, Family(name)).kind = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ExpositionError(f"unbalanced braces in line: {line!r}")
+            sample_name = line[:brace].strip()
+            labels = _parse_labels(line[brace + 1 : close], line)
+            value = _parse_value(line[close + 1 :], line)
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ExpositionError(f"bad sample line: {line!r}")
+            sample_name, labels = parts[0], {}
+            value = _parse_value(parts[1], line)
+        if not sample_name or not sample_name[0].isalpha() and sample_name[0] != "_":
+            raise ExpositionError(f"bad sample name in line: {line!r}")
+        family = _family_of(sample_name, families)
+        family.samples.append(Sample(sample_name, labels, value))
+    return families
+
+
+def family_names(families: Iterable[Family] | dict[str, Family]) -> set[str]:
+    """Convenience: the set of family names in a parse result."""
+    if isinstance(families, dict):
+        return set(families)
+    return {family.name for family in families}

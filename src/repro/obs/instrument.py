@@ -1,0 +1,181 @@
+"""Pre-named instrumentation hooks for the repo's hot paths.
+
+The engine and cache layers call these tiny helpers instead of talking
+to the registry directly, which keeps three properties in one place:
+
+* **zero cost when off** — every helper begins with the tier check and
+  returns immediately under ``REPRO_OBS=off`` (the tier-1 default);
+* **a stable metric catalogue** — series names live here, not scattered
+  across call sites, so ``docs/observability.md`` and the CI smoke
+  assertions have a single source of truth;
+* **no CacheStats coupling** — helpers only read values handed to them;
+  simulation statistics stay bit-identical whatever the tier.
+
+Timing helpers return the monotonic clock (or ``0.0`` when off) so hot
+loops can skip the second clock read entirely when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import events
+from repro.obs.metrics import SIZE_BUCKETS, default_registry
+
+
+def kernel_clock() -> float:
+    """Monotonic timestamp for a kernel batch, or ``0.0`` while off.
+
+    ``Cache.access_trace`` brackets each batch with ``kernel_clock()``
+    … ``observe_kernel(...)``; a zero start tells ``observe_kernel`` to
+    do nothing, so the off tier costs one function call and one
+    comparison per *batch* (never per reference).
+    """
+    if not events.enabled():
+        return 0.0
+    return time.monotonic()
+
+
+def observe_kernel(cache_name: str, refs: int, start: float) -> None:
+    """Record one ``Cache.access_trace`` batch (paired with kernel_clock)."""
+    if start == 0.0 or not events.enabled():
+        return
+    seconds = time.monotonic() - start
+    events.emit("kernel.batch", cache=cache_name, refs=refs,
+                dur_s=round(seconds, 6))
+    if events.metrics_enabled():
+        registry = default_registry()
+        registry.histogram(
+            "repro_kernel_batch_seconds",
+            "Wall time of one Cache.access_trace batch",
+        ).observe(seconds, cache=cache_name)
+        registry.counter(
+            "repro_kernel_batch_refs_total",
+            "Memory references simulated by access_trace batches",
+        ).inc(refs, cache=cache_name)
+
+
+def trace_store_hit(tier: str, spec: str) -> None:
+    """A trace was served from the store (``tier`` = memory|disk)."""
+    if not events.enabled():
+        return
+    events.emit("trace_store.hit", tier=tier, spec=spec)
+    if events.metrics_enabled():
+        default_registry().counter(
+            "repro_trace_store_hits_total",
+            "Traces served from the store, by tier",
+        ).inc(tier=tier)
+
+
+def trace_store_miss(spec: str, seconds: float) -> None:
+    """A trace had to be regenerated (cold store or quarantined blob)."""
+    if not events.enabled():
+        return
+    events.emit("trace_store.miss", spec=spec, dur_s=round(seconds, 6))
+    if events.metrics_enabled():
+        registry = default_registry()
+        registry.counter(
+            "repro_trace_store_misses_total",
+            "Traces regenerated because the store could not serve them",
+        ).inc()
+        registry.histogram(
+            "repro_trace_store_regen_seconds",
+            "Wall time spent regenerating a trace on a store miss",
+        ).observe(seconds)
+
+
+def trace_store_quarantined(spec: str, reason: str) -> None:
+    """A corrupt blob was moved aside by the store's integrity check."""
+    if not events.enabled():
+        return
+    events.emit("trace_store.quarantined", spec=spec, reason=reason)
+    if events.metrics_enabled():
+        default_registry().counter(
+            "repro_trace_store_quarantined_total",
+            "Corrupt trace blobs quarantined by the integrity check",
+        ).inc()
+
+
+def job_event(state: str, key: str, *, benchmark: str = "",
+              attempt: int = 0, **extra: object) -> None:
+    """One engine job lifecycle transition (queued/running/retried/done/failed)."""
+    if not events.enabled():
+        return
+    events.emit(f"job.{state}", key=key, benchmark=benchmark,
+                attempt=attempt, **extra)
+    if not events.metrics_enabled():
+        return
+    registry = default_registry()
+    if state in ("done", "failed"):
+        registry.counter(
+            "repro_engine_jobs_total",
+            "Sweep jobs finished, by final status",
+        ).inc(status=state)
+    elif state == "retried":
+        registry.counter(
+            "repro_engine_job_retries_total",
+            "Sweep job attempts that were retried after a failure",
+        ).inc()
+
+
+def bench_iteration(spec: str, flavor: str, iteration: int,
+                    seconds: float, refs: int) -> None:
+    """One raw bcache-bench timing sample (satellite: root-causing deltas)."""
+    if not events.enabled():
+        return
+    events.emit("bench.iteration", spec=spec, flavor=flavor,
+                iteration=iteration, dur_s=round(seconds, 6), refs=refs)
+    if events.metrics_enabled():
+        default_registry().histogram(
+            "repro_bench_iteration_seconds",
+            "Raw per-iteration wall time of bcache-bench hot loops",
+        ).observe(seconds, spec=spec, flavor=flavor)
+
+
+# ----------------------------------------------------------------------
+# Serve-layer series (always on: a server is an instrumented process)
+# ----------------------------------------------------------------------
+def serve_batch_observed(size: int, max_batch: int, shard: int) -> None:
+    """One micro-batch dispatched: size plus gather-window occupancy."""
+    registry = default_registry()
+    registry.histogram(
+        "repro_serve_batch_size",
+        "Jobs per dispatched micro-batch",
+        buckets=SIZE_BUCKETS,
+    ).observe(float(size))
+    registry.histogram(
+        "repro_serve_window_occupancy",
+        "Fraction of max_batch filled when the gather window closed",
+    ).observe(size / max_batch if max_batch > 0 else 0.0)
+    registry.counter(
+        "repro_serve_batches_total",
+        "Micro-batches dispatched, by shard",
+    ).inc(shard=str(shard))
+
+
+def serve_shard_restarted(shard: int) -> None:
+    """A shard worker process was restarted by the pool's retry policy."""
+    registry = default_registry()
+    registry.counter(
+        "repro_serve_shard_restarts_total",
+        "Shard worker processes restarted after a crash or timeout",
+    ).inc(shard=str(shard))
+    events.emit("serve.shard_restart", shard=shard)
+
+
+def serve_fallback_batch(shard: int) -> None:
+    """A batch ran in-process because its shard kept dying on it."""
+    registry = default_registry()
+    registry.counter(
+        "repro_serve_fallback_batches_total",
+        "Batches degraded to in-process execution after shard restarts",
+    ).inc(shard=str(shard))
+    events.emit("serve.fallback_batch", shard=shard)
+
+
+def serve_queue_depth(shard: int, depth: int) -> None:
+    """Current number of batches waiting on or running in a shard."""
+    default_registry().gauge(
+        "repro_serve_queue_depth",
+        "Batches in flight per shard worker",
+    ).set(float(depth), shard=str(shard))

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.engine.resilience import job_key
 from repro.engine.runner import SweepJob
+from repro.obs import instrument as _obs
 from repro.serve.workers import ShardPool
 
 
@@ -148,6 +149,8 @@ class MicroBatcher:
     async def _run_batch(self, shard: int, entries: list[_Entry]) -> None:
         self.metrics.batches += 1
         self.metrics.batched_jobs += len(entries)
+        # Registry-only telemetry: no file I/O on the event loop (BCL011).
+        _obs.serve_batch_observed(len(entries), self.max_batch, shard)
         try:
             results = await self.pool.run_batch(
                 shard, [entry.job for entry in entries]

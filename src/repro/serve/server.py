@@ -8,7 +8,11 @@ protocol of :mod:`repro.serve.protocol`.  Four request ops:
   the response carries the full ``CacheStats.snapshot()``, bit-identical
   to a local ``access_trace`` replay of the same job.
 * ``sweep`` — a list of jobs, answered order-aligned in one response.
-* ``status`` — server/batcher/shard metrics.
+* ``status`` — server/batcher/shard metrics (per-shard restarts and
+  uptime included).
+* ``metrics`` — the process metrics registry rendered in Prometheus
+  text exposition format (also served over plain HTTP with
+  ``--metrics-port``; see ``docs/observability.md``).
 * ``drain`` — start a graceful drain (same path as SIGTERM).
 
 Scale-out shape (the part that transfers to any serving stack):
@@ -47,6 +51,8 @@ from typing import Any
 
 from repro.engine.runner import SweepJob, available_cpus
 from repro.engine.trace_store import TraceStore, default_store
+from repro.obs.exposition import CONTENT_TYPE, render
+from repro.obs.metrics import default_registry
 from repro.serve.batcher import MicroBatcher, SimulationError
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -88,6 +94,9 @@ class ServeConfig:
         max_pending: in-flight job budget; admissions beyond it are
             shed with an ``overloaded`` response.
         max_frame: frame-size cap for both directions.
+        metrics_port: optional plain-HTTP listener answering ``GET
+            /metrics`` with the Prometheus text exposition (``None``
+            disables; ``0`` binds an ephemeral port).
     """
 
     host: str | None = "127.0.0.1"
@@ -98,6 +107,7 @@ class ServeConfig:
     max_batch: int = 64
     max_pending: int = 256
     max_frame: int = MAX_FRAME_BYTES
+    metrics_port: int | None = None
 
 
 @dataclass(slots=True)
@@ -147,6 +157,7 @@ class SimServer:
         self.pool: ShardPool | None = None
         self.batcher: MicroBatcher | None = None
         self._servers: list[asyncio.AbstractServer] = []
+        self._metrics_servers: list[asyncio.AbstractServer] = []
         self._writers: set[asyncio.StreamWriter] = set()
         self._inflight_jobs = 0
         self._active_requests = 0
@@ -185,6 +196,14 @@ class SimServer:
                         self._handle_connection, path=config.unix_path
                     )
                 )
+            if config.metrics_port is not None:
+                self._metrics_servers.append(
+                    await asyncio.start_server(
+                        self._handle_metrics_http,
+                        config.host or "127.0.0.1",
+                        config.metrics_port,
+                    )
+                )
         except OSError:
             self.abort()
             raise
@@ -193,6 +212,16 @@ class SimServer:
     def tcp_address(self) -> tuple[str, int] | None:
         """The bound TCP ``(host, port)`` (resolves ``port=0``)."""
         for server in self._servers:
+            for sock in server.sockets or ():
+                if sock.family.name in ("AF_INET", "AF_INET6"):
+                    addr = sock.getsockname()
+                    return (addr[0], addr[1])
+        return None
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The bound ``/metrics`` HTTP ``(host, port)`` (resolves ``0``)."""
+        for server in self._metrics_servers:
             for sock in server.sockets or ():
                 if sock.family.name in ("AF_INET", "AF_INET6"):
                     addr = sock.getsockname()
@@ -214,9 +243,9 @@ class SimServer:
             await self.wait_stopped()
             return
         self._draining = True
-        for server in self._servers:
+        for server in self._servers + self._metrics_servers:
             server.close()
-        for server in self._servers:
+        for server in self._servers + self._metrics_servers:
             await server.wait_closed()
         if self.config.unix_path:
             with contextlib.suppress(OSError):
@@ -237,9 +266,10 @@ class SimServer:
 
     def abort(self) -> None:
         """Non-graceful teardown (bind failure, Ctrl-C): drop everything."""
-        for server in self._servers:
+        for server in self._servers + self._metrics_servers:
             server.close()
         self._servers.clear()
+        self._metrics_servers.clear()
         if self.config.unix_path:
             with contextlib.suppress(OSError):
                 os.unlink(self.config.unix_path)
@@ -286,6 +316,42 @@ class SimServer:
             with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
 
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0 responder for Prometheus scrapes.
+
+        One request per connection, ``Connection: close`` — exactly the
+        shape a scraper (or ``curl``) sends.  Rendering the registry is
+        pure string work, so this coroutine never blocks (BCL011).
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain request headers
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("latin-1") if len(parts) >= 2 else "/"
+            if path.split("?", 1)[0] in ("/metrics", "/"):
+                status, ctype = "200 OK", CONTENT_TYPE
+                body = render(default_registry()).encode("utf-8")
+            else:
+                status, ctype = "404 Not Found", "text/plain; charset=utf-8"
+                body = b"try /metrics\n"
+            head = (
+                f"HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, OSError, UnicodeDecodeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
     # -- request handling ----------------------------------------------
     def _admit(self, jobs: int) -> bool:
         """Bounded-queue admission: can ``jobs`` more enter the batcher?"""
@@ -315,6 +381,12 @@ class SimServer:
                 return await self._op_sweep(payload)
             if op == "status":
                 return {"ok": True, **self.status()}
+            if op == "metrics":
+                return {
+                    "ok": True,
+                    "content_type": CONTENT_TYPE,
+                    "metrics": render(default_registry()),
+                }
             if op == "drain":
                 self.request_drain()
                 return {"ok": True, "draining": True}
@@ -390,9 +462,23 @@ class SimServer:
 
     # -- introspection -------------------------------------------------
     def status(self) -> dict[str, Any]:
-        """The ``status`` response body (also handy in-process)."""
+        """The ``status`` response body (also handy in-process).
+
+        Per-shard entries carry ``restarts`` and ``uptime_s`` so a
+        single crash-looping shard is visible instead of hiding inside
+        an aggregate; restart counts come from the obs registry (the
+        same series ``/metrics`` exports as
+        ``repro_serve_shard_restarts_total``).
+        """
         metrics = self.metrics
         assert self.batcher is not None and self.pool is not None
+        shards = self.pool.snapshot()
+        restart_counter = default_registry().counter(
+            "repro_serve_shard_restarts_total",
+            "Shard worker processes restarted after a crash or timeout",
+        )
+        for shard_id, entry in enumerate(shards):
+            entry["restarts"] = int(restart_counter.value(shard=str(shard_id)))
         return {
             "server": {
                 "draining": self._draining,
@@ -408,9 +494,10 @@ class SimServer:
                 "inflight_jobs": self._inflight_jobs,
                 "max_pending": self.config.max_pending,
                 "fallback_batches": self.pool.fallback_batches,
+                "shard_restarts_total": int(restart_counter.total()),
             },
             "batcher": self.batcher.metrics.snapshot(),
-            "shards": self.pool.snapshot(),
+            "shards": shards,
         }
 
 
@@ -444,6 +531,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="trace-store root (default $REPRO_TRACE_STORE "
                         "or ~/.cache/bcache-repro/traces)")
+    parser.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                        help="serve GET /metrics (Prometheus text format) "
+                        "over plain HTTP on this port (0 = ephemeral; "
+                        "default: disabled)")
     return parser
 
 
@@ -457,6 +548,7 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         window=max(0.0, args.window_ms) / 1000.0,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        metrics_port=args.metrics_port,
     )
 
 
@@ -471,9 +563,12 @@ async def _amain(config: ServeConfig, store: TraceStore | None) -> int:
     loop.add_signal_handler(signal.SIGTERM, server.request_drain)
     tcp = server.tcp_address
     tcp_text = f"{tcp[0]}:{tcp[1]}" if tcp else "-"
+    http = server.metrics_address
+    metrics_text = f"{http[0]}:{http[1]}" if http else "-"
     print(
         f"bcache-serve: ready tcp={tcp_text} unix={config.unix_path or '-'} "
-        f"shards={config.shards} window_ms={config.window * 1000:g} "
+        f"metrics={metrics_text} shards={config.shards} "
+        f"window_ms={config.window * 1000:g} "
         f"max_pending={config.max_pending} pid={os.getpid()}",
         flush=True,
     )

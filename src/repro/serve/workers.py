@@ -40,19 +40,32 @@ from typing import Any, Sequence
 from repro.engine.resilience import RetryPolicy
 from repro.engine.runner import SweepJob, execute_job
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
+from repro.obs import events as obs_events
+from repro.obs import instrument as _obs
+from repro.obs.metrics import default_registry
 
 #: One batch result entry: ``("ok", snapshot)`` or ``("error", message)``.
 ShardResult = tuple[str, Any]
 
 
-def _shard_entry(conn, store_root: str) -> None:
+def _shard_entry(
+    conn, store_root: str, obs_mode: str = "off", obs_log: str = ""
+) -> None:
     """Worker process: serve ``("batch", [job dicts])`` until ``("stop",)``.
 
     Every job runs through :func:`execute_job` — the single execution
     path shared with the sweep runner and the serial harness — so a
     served simulation is bit-identical to a local replay.
+
+    Each response is ``(results, metric deltas)``: under
+    ``REPRO_OBS=full`` the worker drains its process-local registry
+    (engine job counts, trace-store hits, kernel timings) after every
+    batch and the parent merges the deltas into the server registry,
+    so ``/metrics`` covers the workers, not just the parent process.
     """
     set_default_store(TraceStore(store_root, fsync=False))
+    if obs_mode != "off" and obs_log:
+        obs_events.configure(mode=obs_mode, log_path=obs_log)
     while True:
         try:
             message = conn.recv()
@@ -68,8 +81,13 @@ def _shard_entry(conn, store_root: str) -> None:
                 results.append(("error", f"{type(exc).__name__}: {exc}"))
             else:
                 results.append(("ok", stats.snapshot()))
+        deltas = (
+            default_registry().drain_deltas()
+            if obs_events.metrics_enabled()
+            else []
+        )
         try:
-            conn.send(results)
+            conn.send((results, deltas))
         except (OSError, BrokenPipeError):
             break
     with contextlib.suppress(OSError):
@@ -82,6 +100,7 @@ class _Shard:
 
     proc: multiprocessing.process.BaseProcess
     conn: Any
+    started_mono: float = 0.0
     batches: int = 0
     jobs: int = 0
     restarts: int = 0
@@ -90,6 +109,7 @@ class _Shard:
         return {
             "pid": self.proc.pid,
             "alive": self.proc.is_alive(),
+            "uptime_s": round(max(0.0, time.monotonic() - self.started_mono), 3),
             "batches": self.batches,
             "jobs": self.jobs,
             "restarts": self.restarts,
@@ -129,6 +149,7 @@ class ShardPool:
         self._ctx = multiprocessing.get_context()
         self._shards = [self._spawn() for _ in range(shards)]
         self._locks = [threading.Lock() for _ in range(shards)]
+        self._inflight = [0] * shards
         self._executor = ThreadPoolExecutor(
             max_workers=shards, thread_name_prefix="shard-io"
         )
@@ -140,12 +161,17 @@ class ShardPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_shard_entry,
-            args=(child_conn, str(self.store.root)),
+            args=(
+                child_conn,
+                str(self.store.root),
+                obs_events.mode(),
+                str(obs_events.active_log_path()),
+            ),
             daemon=True,
         )
         proc.start()
         child_conn.close()
-        return _Shard(proc=proc, conn=parent_conn)
+        return _Shard(proc=proc, conn=parent_conn, started_mono=time.monotonic())
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop every worker (idempotent); kills stragglers."""
@@ -198,27 +224,53 @@ class ShardPool:
         request/response pairs on the pipe strictly alternating.
         """
         payloads = [asdict(job) for job in jobs]
-        with self._locks[shard_id]:
-            for attempt in range(self.retry.max_attempts):
-                if self._closed:
-                    break
-                shard = self._shards[shard_id]
-                try:
-                    shard.conn.send(("batch", payloads))
-                    results = shard.conn.recv()
-                except (EOFError, OSError, BrokenPipeError):
+        self._inflight[shard_id] += 1
+        _obs.serve_queue_depth(shard_id, self._inflight[shard_id])
+        try:
+            with self._locks[shard_id]:
+                for attempt in range(self.retry.max_attempts):
+                    if self._closed:
+                        break
+                    shard = self._shards[shard_id]
+                    try:
+                        shard.conn.send(("batch", payloads))
+                        response = shard.conn.recv()
+                    except (EOFError, OSError, BrokenPipeError):
+                        self._restart(shard_id, attempt)
+                        continue
+                    results, deltas = self._split_response(response)
+                    if isinstance(results, list) and len(results) == len(jobs):
+                        if deltas:
+                            default_registry().merge_deltas(deltas)
+                        shard.batches += 1
+                        shard.jobs += len(jobs)
+                        return results
                     self._restart(shard_id, attempt)
-                    continue
-                if isinstance(results, list) and len(results) == len(jobs):
-                    shard.batches += 1
-                    shard.jobs += len(jobs)
-                    return results
-                self._restart(shard_id, attempt)
-            # Degraded mode: the shard keeps dying on this batch — run it
-            # here rather than failing the callers (mirrors the resilient
-            # sweep supervisor's serial fallback).
-            self.fallback_batches += 1
-            return [self._run_local(job) for job in jobs]
+                # Degraded mode: the shard keeps dying on this batch —
+                # run it here rather than failing the callers (mirrors
+                # the resilient sweep supervisor's serial fallback).
+                self.fallback_batches += 1
+                _obs.serve_fallback_batch(shard_id)
+                return [self._run_local(job) for job in jobs]
+        finally:
+            self._inflight[shard_id] -= 1
+            _obs.serve_queue_depth(shard_id, self._inflight[shard_id])
+
+    @staticmethod
+    def _split_response(response: Any) -> tuple[Any, list]:
+        """``(results, deltas)`` from a shard response.
+
+        Current workers answer ``(results, metric deltas)``; a plain
+        ``list`` (the pre-telemetry protocol) is still accepted so a
+        parent can drain a worker started by an older build.
+        """
+        if (
+            isinstance(response, tuple)
+            and len(response) == 2
+            and isinstance(response[1], list)
+        ):
+            return response[0], response[1]
+        return response, []
 
     def _restart(self, shard_id: int, attempt: int) -> None:
         """Replace a dead shard process after a deterministic backoff."""
@@ -236,6 +288,7 @@ class ShardPool:
         replacement.jobs = shard.jobs
         replacement.restarts = shard.restarts + 1
         self._shards[shard_id] = replacement
+        _obs.serve_shard_restarted(shard_id)
 
     def _run_local(self, job: SweepJob) -> ShardResult:
         try:

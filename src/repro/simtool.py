@@ -29,6 +29,7 @@ from array import array
 from repro.caches import make_cache
 from repro.engine.runner import SweepJob, default_jobs, run_sweep
 from repro.engine.trace_store import default_store
+from repro.obs import events as obs_events
 from repro.stats.balance import analyze_balance
 from repro.stats.counters import CacheStats
 from repro.trace.trace_file import stream_trace
@@ -291,9 +292,19 @@ def _main(argv: list[str] | None = None) -> int:
                         help="deterministic fault-plan DSL for chaos "
                         "testing, e.g. 'crash@0,hang@1,corrupt_blob@2' "
                         "(kind@job[:attempt]; see docs/engine.md)")
+    parser.add_argument("--obs-log", default=None, metavar="PATH",
+                        help="write telemetry events (spans, job lifecycle, "
+                        "kernel timings) to PATH; enables the events tier "
+                        "if REPRO_OBS is off (see docs/observability.md)")
     parser.add_argument("specs", nargs="+",
                         help="cache specs, e.g. dm 4way victim16 mf8_bas8")
     args = parser.parse_args(argv)
+
+    if args.obs_log:
+        obs_events.configure(
+            mode="full" if obs_events.metrics_enabled() else "events",
+            log_path=args.obs_log,
+        )
 
     if args.connect:
         if args.trace:

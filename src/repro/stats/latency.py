@@ -13,22 +13,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def rank_position(count: int, q: float) -> tuple[int, int, float]:
+    """Interpolation rank of the ``q``-th percentile in a ``count`` sample.
+
+    Returns ``(lower, upper, weight)`` such that the percentile is
+    ``sample[lower] * (1 - weight) + sample[upper] * weight`` — the
+    standard linear-interpolation estimator (numpy's default).  Shared
+    by :func:`percentile` (exact, over retained samples) and the obs
+    histogram's bucket-based estimate
+    (:meth:`repro.obs.metrics.Histogram.approx_percentile`).
+    """
+    if count < 1:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    rank = (q / 100.0) * (count - 1)
+    lower = int(rank)
+    upper = min(lower + 1, count - 1)
+    return lower, upper, rank - lower
+
+
 def percentile(sorted_values: list[float], q: float) -> float:
     """The ``q``-th percentile (0..100) of an ascending-sorted sample.
 
     Linear interpolation between closest ranks; raises ``ValueError``
     on an empty sample or a ``q`` outside [0, 100].
     """
-    if not sorted_values:
-        raise ValueError("percentile of an empty sample")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    lower, upper, weight = rank_position(len(sorted_values), q)
     if len(sorted_values) == 1:
         return sorted_values[0]
-    rank = (q / 100.0) * (len(sorted_values) - 1)
-    lower = int(rank)
-    upper = min(lower + 1, len(sorted_values) - 1)
-    weight = rank - lower
     return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
 
 

@@ -65,6 +65,26 @@ def _isolated_run_root(tmp_path_factory: pytest.TempPathFactory):
         os.environ["REPRO_RUN_ROOT"] = previous
 
 
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Reset telemetry state around every test.
+
+    The obs tier is derived from ``$REPRO_OBS`` lazily and the metrics
+    registry is process-global (the serve ``status`` op reads restart
+    counters from it), so a test that calls ``obs.configure`` or runs a
+    server must not leak spans, counters or an open event log into the
+    next test.
+    """
+    from repro.obs import events as obs_events
+    from repro.obs.metrics import MetricsRegistry, set_default_registry
+
+    obs_events.reset()
+    previous = set_default_registry(MetricsRegistry())
+    yield
+    obs_events.reset()
+    set_default_registry(previous)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)

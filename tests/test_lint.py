@@ -489,6 +489,79 @@ class TestServeBlockingCalls:
         assert codes(source, SERVE_PATH) == set()
 
 
+# ----------------------------------------------------------------------
+# BCL012 — telemetry: spans are context managers, metric names match
+# the exposition contract
+# ----------------------------------------------------------------------
+class TestObsTelemetryContract:
+    def test_bare_span_call_fires(self):
+        source = (
+            "def run():\n"
+            "    span('job.run', key='k')\n"
+            "    do_work()\n"
+        )
+        assert "BCL012" in codes(source, COLD_PATH)
+
+    def test_manual_enter_fires(self):
+        source = (
+            "def run():\n"
+            "    cm = obs_events.span('job.run').__enter__()\n"
+        )
+        assert "BCL012" in codes(source, COLD_PATH)
+
+    def test_with_span_is_clean(self):
+        source = (
+            "def run():\n"
+            "    with obs_events.span('job.run', key='k'):\n"
+            "        do_work()\n"
+        )
+        assert codes(source, COLD_PATH) == set()
+
+    def test_with_span_as_target_is_clean(self):
+        source = (
+            "def run():\n"
+            "    with span('job.run') as s, open_log() as log:\n"
+            "        do_work()\n"
+        )
+        assert codes(source, COLD_PATH) == set()
+
+    def test_exit_stack_enter_context_is_clean(self):
+        # enter_context still routes through __exit__ on unwind.
+        source = (
+            "def run(stack):\n"
+            "    stack.enter_context(span('job.run'))\n"
+        )
+        assert codes(source, COLD_PATH) == set()
+
+    def test_bad_metric_name_fires(self):
+        for call in (
+            "registry.counter('jobs_total')",          # missing prefix
+            "registry.gauge('repro_Queue_depth')",     # uppercase
+            "registry.histogram('repro_batch-size')",  # hyphen
+        ):
+            assert "BCL012" in codes(call + "\n", COLD_PATH), call
+
+    def test_good_metric_name_is_clean(self):
+        source = (
+            "registry.counter('repro_engine_jobs_total', help='x')\n"
+            "registry.gauge('repro_serve_queue_depth')\n"
+            "registry.histogram('repro_serve_batch_size')\n"
+        )
+        assert codes(source, COLD_PATH) == set()
+
+    def test_non_metric_calls_are_exempt(self):
+        # collections.Counter / np.histogram are not registry factories.
+        source = (
+            "c = Counter('abcabc')\n"
+            "h = np.histogram(values, bins=10)\n"
+        )
+        assert codes(source, COLD_PATH) == set()
+
+    def test_noqa_suppresses(self):
+        source = "span('job.run')  # noqa: BCL012\n"
+        assert codes(source, COLD_PATH) == set()
+
+
 class TestMechanics:
     def test_noqa_with_code_suppresses(self):
         source = "rng = random.Random()  # noqa: BCL005\n"

@@ -1,0 +1,212 @@
+"""Metrics registry and Prometheus exposition (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    ExpositionError,
+    parse_text,
+    render,
+)
+from repro.obs.metrics import (
+    MetricError,
+    MetricsRegistry,
+    log_buckets,
+)
+
+
+# ----------------------------------------------------------------------
+# Registry basics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_inc_value_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", help="a counter")
+        counter.inc(shard="0")
+        counter.inc(2.0, shard="0")
+        counter.inc(shard="1")
+        assert counter.value(shard="0") == 3.0
+        assert counter.value(shard="1") == 1.0
+        assert counter.value(shard="9") == 0.0
+        assert counter.total() == 4.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("repro_test_total").inc(-1.0)
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_test_depth")
+        gauge.set(5.0, shard="0")
+        gauge.add(-2.0, shard="0")
+        assert gauge.value(shard="0") == 3.0
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_a_total")
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        for bad in ("jobs_total", "repro_Jobs", "repro_batch-size", ""):
+            with pytest.raises(MetricError):
+                registry.counter(bad)
+
+    def test_log_buckets_geometric(self):
+        assert log_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(MetricError):
+            log_buckets(0.0, 2.0, 4)
+        with pytest.raises(MetricError):
+            log_buckets(1.0, 1.0, 4)
+
+
+# ----------------------------------------------------------------------
+# Histogram bucket boundaries (satellite d)
+# ----------------------------------------------------------------------
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus `le` semantics: a value equal to an upper bound
+        # belongs to that bucket, not the next one.
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_test_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 99.0):
+            hist.observe(value)
+        series = hist.series()
+        assert series.bucket_counts == [2, 2, 1, 1]  # le=1, le=2, le=4, +Inf
+        assert hist.count() == 6
+        assert hist.sum() == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 99.0)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.histogram("repro_test_seconds", buckets=(2.0, 1.0))
+
+    def test_approx_percentile_interpolates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_test_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.2, 0.4, 0.6, 0.8):
+            hist.observe(value)
+        # All mass in the first bucket: estimates stay within (0, 1].
+        p50 = hist.approx_percentile(50.0)
+        assert 0.0 < p50 <= 1.0
+        assert hist.approx_percentile(5.0) <= hist.approx_percentile(95.0)
+
+    def test_percentile_of_empty_series_raises(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_test_seconds")
+        with pytest.raises(ValueError):
+            hist.approx_percentile(50.0)
+
+
+# ----------------------------------------------------------------------
+# Exposition round-trip (satellite d)
+# ----------------------------------------------------------------------
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    jobs = registry.counter("repro_engine_jobs_total", help="completed jobs")
+    jobs.inc(3, status="done")
+    jobs.inc(1, status="failed")
+    depth = registry.gauge("repro_serve_queue_depth", help="in-flight batches")
+    depth.set(2, shard="0")
+    sizes = registry.histogram(
+        "repro_serve_batch_size", help="jobs per batch", buckets=(1.0, 2.0, 4.0)
+    )
+    for value in (1, 1, 3, 9):
+        sizes.observe(value)
+    weird = registry.counter("repro_escape_total", help='tricky "help" \\ text')
+    weird.inc(1, path='a"b\\c\nd')
+    return registry
+
+
+class TestExpositionRoundTrip:
+    def test_content_type_is_prometheus_004(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_render_parse_round_trip(self):
+        families = parse_text(render(_populated_registry()))
+        jobs = families["repro_engine_jobs_total"]
+        assert jobs.kind == "counter"
+        assert jobs.help == "completed jobs"
+        assert jobs.sample_value(status="done") == 3.0
+        assert jobs.sample_value(status="failed") == 1.0
+        depth = families["repro_serve_queue_depth"]
+        assert depth.kind == "gauge"
+        assert depth.sample_value(shard="0") == 2.0
+
+    def test_histogram_expansion_is_cumulative(self):
+        families = parse_text(render(_populated_registry()))
+        sizes = families["repro_serve_batch_size"]
+        assert sizes.kind == "histogram"
+        bucket = "repro_serve_batch_size_bucket"
+        assert sizes.sample_value(bucket, le="1") == 2.0
+        assert sizes.sample_value(bucket, le="2") == 2.0
+        assert sizes.sample_value(bucket, le="4") == 3.0
+        assert sizes.sample_value(bucket, le="+Inf") == 4.0
+        assert sizes.sample_value("repro_serve_batch_size_count") == 4.0
+        assert sizes.sample_value("repro_serve_batch_size_sum") == 14.0
+
+    def test_label_escaping_survives_round_trip(self):
+        families = parse_text(render(_populated_registry()))
+        weird = families["repro_escape_total"]
+        assert weird.sample_value(path='a"b\\c\nd') == 1.0
+
+    def test_missing_sample_raises_key_error(self):
+        families = parse_text(render(_populated_registry()))
+        with pytest.raises(KeyError):
+            families["repro_engine_jobs_total"].sample_value(status="nope")
+
+    def test_parse_rejects_garbage(self):
+        for text in (
+            "repro_x_total{ 1.0\n",
+            "repro_x_total not_a_number\n",
+            "just some words\n",
+        ):
+            with pytest.raises(ExpositionError):
+                parse_text(text)
+
+    def test_empty_registry_renders_empty(self):
+        assert parse_text(render(MetricsRegistry())) == {}
+
+
+# ----------------------------------------------------------------------
+# Cross-process delta forwarding (shard workers -> server registry)
+# ----------------------------------------------------------------------
+class TestDeltaForwarding:
+    def test_drain_then_merge_reproduces_values(self):
+        worker = _populated_registry()
+        parent = MetricsRegistry()
+        parent.counter("repro_engine_jobs_total").inc(10, status="done")
+        parent.merge_deltas(worker.drain_deltas())
+        merged = parse_text(render(parent))
+        assert merged["repro_engine_jobs_total"].sample_value(status="done") == 13.0
+        sizes = merged["repro_serve_batch_size"]
+        assert sizes.sample_value("repro_serve_batch_size_count") == 4.0
+
+    def test_drain_resets_counters_and_histograms(self):
+        worker = _populated_registry()
+        worker.drain_deltas()
+        assert worker.counter("repro_engine_jobs_total").total() == 0.0
+        assert worker.histogram("repro_serve_batch_size").count() == 0
+        # Gauges report their level and keep it (last-write-wins).
+        assert worker.gauge("repro_serve_queue_depth").value(shard="0") == 2.0
+
+    def test_second_drain_reports_only_new_activity(self):
+        worker = _populated_registry()
+        worker.drain_deltas()
+        worker.counter("repro_engine_jobs_total").inc(status="done")
+        parent = MetricsRegistry()
+        parent.merge_deltas(worker.drain_deltas())
+        assert parent.counter("repro_engine_jobs_total").value(status="done") == 1.0
+
+    def test_merge_rejects_malformed_delta(self):
+        parent = MetricsRegistry()
+        with pytest.raises(MetricError):
+            parent.merge_deltas([{"nonsense": True}])

@@ -353,6 +353,86 @@ class TestSimServer:
         assert serve(quick_config(), scenario) is True
 
 
+class TestServeTelemetry:
+    def test_metrics_op_renders_parseable_exposition(self):
+        from repro.obs.exposition import CONTENT_TYPE, parse_text
+
+        async def scenario(server, address):
+            client = await AsyncServeClient.connect(address)
+            try:
+                await client.simulate(JOB)
+                return await client.request({"op": "metrics"})
+            finally:
+                await client.close()
+
+        response = serve(quick_config(), scenario)
+        assert response["ok"] is True
+        assert response["content_type"] == CONTENT_TYPE
+        families = parse_text(response["metrics"])
+        sizes = families["repro_serve_batch_size"]
+        assert sizes.sample_value("repro_serve_batch_size_count") >= 1.0
+        assert families["repro_serve_batches_total"].sample_value(shard="0") >= 1.0
+
+    def test_status_sources_restarts_from_registry(self):
+        async def scenario(server, address):
+            client = await AsyncServeClient.connect(address)
+            try:
+                server.pool._shards[0].proc.kill()
+                server.pool._shards[0].proc.join(timeout=10)
+                await client.simulate(JOB)
+                return await client.status()
+            finally:
+                await client.close()
+
+        status = serve(quick_config(), scenario)
+        assert status["shards"][0]["restarts"] >= 1
+        assert status["server"]["shard_restarts_total"] >= 1
+        assert status["shards"][0]["uptime_s"] >= 0.0
+
+    def test_http_metrics_listener(self):
+        from repro.obs.exposition import parse_text
+
+        async def scenario(server, address):
+            client = await AsyncServeClient.connect(address)
+            try:
+                await client.simulate(JOB)
+            finally:
+                await client.close()
+            host, port = server.metrics_address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw.decode("utf-8")
+
+        raw = serve(quick_config(metrics_port=0), scenario)
+        head, _, body = raw.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200 OK")
+        assert "text/plain; version=0.0.4" in head
+        families = parse_text(body)
+        assert "repro_serve_batch_size" in families
+
+    def test_http_metrics_unknown_path_is_404(self):
+        async def scenario(server, address):
+            host, port = server.metrics_address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /nope HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw.decode("utf-8")
+
+        raw = serve(quick_config(metrics_port=0), scenario)
+        assert raw.startswith("HTTP/1.0 404")
+
+    def test_no_metrics_port_means_no_listener(self):
+        async def scenario(server, address):
+            return server.metrics_address
+
+        assert serve(quick_config(), scenario) is None
+
+
 class TestJobValidation:
     def test_unknown_field_rejected(self):
         with pytest.raises(BadRequest, match="unknown job field"):
