@@ -1,8 +1,10 @@
 # Convenience targets for the B-Cache reproduction.
 
 PYTHON ?= python
+LINT_FORMAT ?= text
+LINT_JOBS ?= 0
 
-.PHONY: install dev test lint bench bench-engine chaos serve loadgen top experiments experiments-full examples clean
+.PHONY: install dev test lint typecheck bench bench-engine chaos serve loadgen top experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -14,7 +16,13 @@ test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/ \
+		--format $(LINT_FORMAT) --jobs $(LINT_JOBS)
+
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& mypy --strict src/repro \
+		|| echo "mypy not installed; skipping (pip install mypy)"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

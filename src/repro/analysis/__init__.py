@@ -21,6 +21,8 @@ See ``docs/analysis.md`` for the rule-by-rule reference.
 
 # Lazy re-exports (PEP 562): keeps ``python -m repro.analysis.lint``
 # from importing the sanitizer (and tripping the double-import warning).
+from typing import Any
+
 _EXPORTS = {
     "Violation": "repro.analysis.lint",
     "lint_paths": "repro.analysis.lint",
@@ -34,7 +36,7 @@ _EXPORTS = {
 __all__ = list(_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> "Any":
     if name in _EXPORTS:
         import importlib
 

@@ -1,0 +1,652 @@
+"""Abstract domains for the flow engine (:mod:`repro.analysis.flow`).
+
+Three lattices, shared by the BCL013/BCL014/BCL015 rule families:
+
+* :class:`Interval` — integer ranges ``[lo, hi]`` with open ends, the
+  numeric half of the (interval, known-mask-width) domain the bit-width
+  proof runs on.  Bit operations (``&``, ``|``, ``^``, shifts) carry
+  mask-width information through ``bit_length`` bounds, which is what
+  makes ``block & (num_sets - 1)`` provably land in ``[0, num_sets-1]``.
+* taint — a finite powerset of source labels (``wallclock``, ``pid``,
+  ``random``, ``unordered``, ``unpicklable``, ``addr``) joined by union.
+* :class:`Val` — the product value: optional integer, ``None``-ness,
+  sequence/mapping/tuple/object components, and the taint set.  ``Val``
+  is immutable; transfer functions build new values.
+
+Sequences and mappings carry a *provenance* path (``self._tags[]``…)
+so subscript stores reached through local aliases still feed the
+per-attribute content summaries the interprocedural fixpoint uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+#: Taint labels understood by the rule families.
+TAINT_WALLCLOCK = "wallclock"
+TAINT_PID = "pid"
+TAINT_RANDOM = "random"
+TAINT_UNORDERED = "unordered"
+TAINT_UNPICKLABLE = "unpicklable"
+TAINT_ADDR = "addr"
+
+NO_TAINT: frozenset[str] = frozenset()
+
+#: Beyond this nesting depth value structure collapses to opaque TOP.
+MAX_DEPTH = 5
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _max_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """Integer interval ``[lo, hi]``; ``None`` means unbounded."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    @classmethod
+    def exact(cls, value: int) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(None, None)
+
+    @classmethod
+    def nonneg(cls) -> "Interval":
+        return cls(0, None)
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def value(self) -> int:
+        assert self.lo is not None and self.lo == self.hi
+        return self.lo
+
+    def ge(self, bound: int) -> bool:
+        """Provably ``>= bound`` for every concrete value."""
+        return self.lo is not None and self.lo >= bound
+
+    def le(self, bound: int) -> bool:
+        """Provably ``<= bound`` for every concrete value."""
+        return self.hi is not None and self.hi <= bound
+
+    def contains(self, value: int) -> bool:
+        return (self.lo is None or self.lo <= value) and (
+            self.hi is None or value <= self.hi
+        )
+
+    # -- lattice -------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(_min_opt(self.lo, other.lo), _max_opt(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Classic interval widening: discard unstable bounds."""
+        lo = self.lo
+        if newer.lo is None or (lo is not None and newer.lo < lo):
+            lo = None
+        hi = self.hi
+        if newer.hi is None or (hi is not None and newer.hi > hi):
+            hi = None
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection; ``None`` when empty (unreachable)."""
+        lo = _max_meet(self.lo, other.lo)
+        hi = _min_meet(self.hi, other.hi)
+        if lo is not None and hi is not None and lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    # -- arithmetic ----------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(
+            None if self.lo is None or other.lo is None else self.lo + other.lo,
+            None if self.hi is None or other.hi is None else self.hi + other.hi,
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(
+            None if self.lo is None or other.hi is None else self.lo - other.hi,
+            None if self.hi is None or other.lo is None else self.hi + -other.lo,
+        )
+
+    def neg(self) -> "Interval":
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def mul(self, other: "Interval") -> "Interval":
+        bounds = (self.lo, self.hi, other.lo, other.hi)
+        if None not in bounds:
+            products = [
+                self.lo * other.lo,  # type: ignore[operator]
+                self.lo * other.hi,  # type: ignore[operator]
+                self.hi * other.lo,  # type: ignore[operator]
+                self.hi * other.hi,  # type: ignore[operator]
+            ]
+            return Interval(min(products), max(products))
+        if self.ge(0) and other.ge(0):
+            lo = self.lo * other.lo  # type: ignore[operator]
+            hi = None if self.hi is None or other.hi is None else self.hi * other.hi
+            return Interval(lo, hi)
+        return Interval.top()
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        if other.ge(1):
+            if self.ge(0):
+                lo = 0 if other.hi is None else self.lo // other.hi  # type: ignore[operator]
+                hi = None if self.hi is None else self.hi // other.lo  # type: ignore[operator]
+                return Interval(lo, hi)
+            if self.lo is not None and self.hi is not None:
+                return Interval(self.lo // other.lo, self.hi // other.lo)  # type: ignore[operator]
+        return Interval.top()
+
+    def mod(self, other: "Interval") -> "Interval":
+        """Python ``%``: result has the divisor's sign."""
+        if other.ge(1) and other.hi is not None:
+            out = Interval(0, other.hi - 1)
+            if self.ge(0):
+                met = out.meet(Interval(0, self.hi))
+                if met is not None:
+                    return met
+            return out
+        return Interval.top()
+
+    def lshift(self, other: "Interval") -> "Interval":
+        if self.ge(0) and other.ge(0):
+            lo = self.lo << other.lo  # type: ignore[operator]
+            hi = (
+                None
+                if self.hi is None or other.hi is None
+                else self.hi << other.hi
+            )
+            return Interval(lo, hi)
+        return Interval.top()
+
+    def rshift(self, other: "Interval") -> "Interval":
+        if self.ge(0) and other.ge(0):
+            if self.hi is None:
+                return Interval(0, None)
+            lo = 0 if other.hi is None else self.lo >> min(other.hi, 512)  # type: ignore[operator]
+            return Interval(lo, self.hi >> other.lo)  # type: ignore[operator]
+        return Interval.top()
+
+    def _bit_hi(self, other: "Interval") -> Optional[int]:
+        """Upper bound of ``|``/``^`` via known mask widths."""
+        if self.hi is None or other.hi is None:
+            return None
+        width = max(self.hi.bit_length(), other.hi.bit_length())
+        return (1 << width) - 1
+
+    def and_(self, other: "Interval") -> "Interval":
+        if self.ge(0) and other.ge(0):
+            return Interval(0, _min_opt(self.hi, other.hi))
+        # One side a known non-negative mask bounds the result even if
+        # the other side's sign is unknown (x & mask strips the sign).
+        if other.ge(0):
+            return Interval(0, other.hi)
+        if self.ge(0):
+            return Interval(0, self.hi)
+        return Interval.top()
+
+    def or_(self, other: "Interval") -> "Interval":
+        if self.ge(0) and other.ge(0):
+            return Interval(_max_opt(self.lo, other.lo), self._bit_hi(other))
+        return Interval.top()
+
+    def xor(self, other: "Interval") -> "Interval":
+        if self.ge(0) and other.ge(0):
+            return Interval(0, self._bit_hi(other))
+        return Interval.top()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+def _max_meet(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _min_meet(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+# ----------------------------------------------------------------------
+# Structured components
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class SeqInfo:
+    """List/tuple/range component: element summary + length bounds."""
+
+    elem: "Val"
+    length: Interval
+    prov: Optional[str] = None
+    unordered: bool = False  # iteration order is nondeterministic
+
+
+@dataclass(frozen=True, slots=True)
+class MapInfo:
+    """Dict component: key/value summaries + length bounds."""
+
+    key: "Val"
+    val: "Val"
+    length: Interval
+    prov: Optional[str] = None
+    unordered: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ObjInfo:
+    """Instance component.
+
+    ``concrete`` is the live Python object in proof mode (attribute
+    reads are seeded from it); ``attrs`` holds symbolic attributes for
+    synthetic objects (contract results, constructor calls, lint-mode
+    ``self``).  ``path`` is the provenance root for attribute stores.
+    """
+
+    cls_name: str
+    concrete: Any = None
+    attrs: tuple[tuple[str, "Val"], ...] = ()
+    path: Optional[str] = None
+
+    def attr(self, name: str) -> Optional["Val"]:
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class FuncInfo:
+    """A callable value: a lambda/def AST node plus its closure env."""
+
+    node: Any
+    env: Any = None
+    ctx: Any = None
+
+
+# ----------------------------------------------------------------------
+# The product value
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Val:
+    """One abstract value: the product of all component lattices.
+
+    A component set to ``None``/``False`` means "this value is provably
+    never of that kind"; a value with *no* components is bottom
+    (unreachable).  ``other`` marks presence of any unmodeled kind
+    (strings, floats, opaque objects).
+    """
+
+    num: Optional[Interval] = None
+    maybe_none: bool = False
+    seq: Optional[SeqInfo] = None
+    map: Optional[MapInfo] = None
+    tup: Optional[tuple["Val", ...]] = None
+    obj: Optional[ObjInfo] = None
+    func: Optional[FuncInfo] = None
+    other: bool = False
+    taint: frozenset[str] = NO_TAINT
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def bottom(cls) -> "Val":
+        return _BOTTOM
+
+    @classmethod
+    def top(cls, taint: frozenset[str] = NO_TAINT) -> "Val":
+        return cls(
+            num=Interval.top(),
+            maybe_none=True,
+            other=True,
+            taint=taint,
+        )
+
+    @classmethod
+    def of_int(cls, lo: Optional[int], hi: Optional[int], taint: frozenset[str] = NO_TAINT) -> "Val":
+        return cls(num=Interval(lo, hi), taint=taint)
+
+    @classmethod
+    def exact(cls, value: int, taint: frozenset[str] = NO_TAINT) -> "Val":
+        return cls(num=Interval.exact(value), taint=taint)
+
+    @classmethod
+    def of_bool(cls, taint: frozenset[str] = NO_TAINT) -> "Val":
+        return cls(num=Interval(0, 1), taint=taint)
+
+    @classmethod
+    def none(cls) -> "Val":
+        return cls(maybe_none=True)
+
+    @classmethod
+    def of_seq(
+        cls,
+        elem: "Val",
+        length: Interval,
+        prov: Optional[str] = None,
+        unordered: bool = False,
+        taint: frozenset[str] = NO_TAINT,
+    ) -> "Val":
+        return cls(seq=SeqInfo(elem, length, prov, unordered), taint=taint)
+
+    @classmethod
+    def of_map(
+        cls,
+        key: "Val",
+        val: "Val",
+        length: Interval = Interval.nonneg(),
+        prov: Optional[str] = None,
+        taint: frozenset[str] = NO_TAINT,
+    ) -> "Val":
+        return cls(map=MapInfo(key, val, length, prov), taint=taint)
+
+    @classmethod
+    def of_obj(
+        cls,
+        cls_name: str,
+        concrete: Any = None,
+        attrs: tuple[tuple[str, "Val"], ...] = (),
+        path: Optional[str] = None,
+        taint: frozenset[str] = NO_TAINT,
+    ) -> "Val":
+        return cls(obj=ObjInfo(cls_name, concrete, attrs, path), taint=taint)
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_bottom(self) -> bool:
+        return (
+            self.num is None
+            and not self.maybe_none
+            and self.seq is None
+            and self.map is None
+            and self.tup is None
+            and self.obj is None
+            and self.func is None
+            and not self.other
+        )
+
+    @property
+    def definitely_none(self) -> bool:
+        return self.maybe_none and self.num is None and self.seq is None and (
+            self.map is None and self.tup is None and self.obj is None
+        ) and self.func is None and not self.other
+
+    def with_taint(self, labels: frozenset[str]) -> "Val":
+        if labels <= self.taint:
+            return self
+        return replace(self, taint=self.taint | labels)
+
+    def without_none(self) -> "Val":
+        """Narrow away the ``None`` component (``x is not None``)."""
+        if not self.maybe_none:
+            return self
+        return replace(self, maybe_none=False)
+
+    def with_num(self, num: Optional[Interval]) -> "Val":
+        return replace(self, num=num)
+
+    # -- lattice -------------------------------------------------------
+    def join(self, other: "Val", depth: int = 0) -> "Val":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        if self is other or self == other:
+            return self.with_taint(other.taint)
+        if depth > MAX_DEPTH:
+            return Val.top(self.taint | other.taint)
+        num = (
+            self.num.join(other.num)
+            if self.num is not None and other.num is not None
+            else (self.num or other.num)
+        )
+        seq = _join_seq(self.seq, other.seq, depth)
+        mapc = _join_map(self.map, other.map, depth)
+        tup: Optional[tuple[Val, ...]]
+        if self.tup is not None and other.tup is not None:
+            if len(self.tup) == len(other.tup):
+                tup = tuple(
+                    a.join(b, depth + 1) for a, b in zip(self.tup, other.tup)
+                )
+            else:
+                # Mixed arities collapse into a sequence summary.
+                elem = _BOTTOM
+                for item in self.tup + other.tup:
+                    elem = elem.join(item, depth + 1)
+                lengths = Interval(
+                    min(len(self.tup), len(other.tup)),
+                    max(len(self.tup), len(other.tup)),
+                )
+                seq = _join_seq(seq, SeqInfo(elem, lengths), depth)
+                tup = None
+        else:
+            tup = self.tup or other.tup
+        obj = _join_obj(self.obj, other.obj, depth)
+        func = self.func if self.func is not None else other.func
+        return Val(
+            num=num,
+            maybe_none=self.maybe_none or other.maybe_none,
+            seq=seq,
+            map=mapc,
+            tup=tup,
+            obj=obj,
+            func=func,
+            other=self.other or other.other,
+            taint=self.taint | other.taint,
+        )
+
+    def widen(self, newer: "Val", depth: int = 0) -> "Val":
+        """Widen ``self`` (older) against ``newer``; must bound chains."""
+        if self.is_bottom:
+            return newer
+        if self == newer:
+            return self
+        if depth > MAX_DEPTH:
+            return Val.top(self.taint | newer.taint)
+        joined = self.join(newer, depth)
+        num = joined.num
+        if self.num is not None and num is not None:
+            num = self.num.widen(num)
+        seq = joined.seq
+        if self.seq is not None and seq is not None:
+            seq = SeqInfo(
+                self.seq.elem.widen(seq.elem, depth + 1),
+                self.seq.length.widen(seq.length),
+                seq.prov,
+                seq.unordered,
+            )
+        mapc = joined.map
+        if self.map is not None and mapc is not None:
+            mapc = MapInfo(
+                self.map.key.widen(mapc.key, depth + 1),
+                self.map.val.widen(mapc.val, depth + 1),
+                self.map.length.widen(mapc.length),
+                mapc.prov,
+                mapc.unordered,
+            )
+        tup = joined.tup
+        if self.tup is not None and tup is not None and len(self.tup) == len(tup):
+            tup = tuple(a.widen(b, depth + 1) for a, b in zip(self.tup, tup))
+        return replace(joined, num=num, seq=seq, map=mapc, tup=tup)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.num is not None:
+            parts.append(str(self.num))
+        if self.maybe_none:
+            parts.append("None?")
+        if self.seq is not None:
+            parts.append(f"seq(len={self.seq.length})")
+        if self.map is not None:
+            parts.append("map")
+        if self.tup is not None:
+            parts.append(f"tuple[{len(self.tup)}]")
+        if self.obj is not None:
+            parts.append(f"obj:{self.obj.cls_name}")
+        if self.func is not None:
+            parts.append("func")
+        if self.other:
+            parts.append("other")
+        if self.taint:
+            parts.append("taint{" + ",".join(sorted(self.taint)) + "}")
+        return "Val(" + (" | ".join(parts) or "bottom") + ")"
+
+
+_BOTTOM = Val()
+
+BOTTOM = _BOTTOM
+TOP = Val.top()
+
+
+def _join_seq(a: Optional[SeqInfo], b: Optional[SeqInfo], depth: int) -> Optional[SeqInfo]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return SeqInfo(
+        a.elem.join(b.elem, depth + 1),
+        a.length.join(b.length),
+        a.prov if a.prov == b.prov else None,
+        a.unordered or b.unordered,
+    )
+
+
+def _join_map(a: Optional[MapInfo], b: Optional[MapInfo], depth: int) -> Optional[MapInfo]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return MapInfo(
+        a.key.join(b.key, depth + 1),
+        a.val.join(b.val, depth + 1),
+        a.length.join(b.length),
+        a.prov if a.prov == b.prov else None,
+        a.unordered or b.unordered,
+    )
+
+
+def _join_obj(a: Optional[ObjInfo], b: Optional[ObjInfo], depth: int) -> Optional[ObjInfo]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.cls_name != b.cls_name:
+        return ObjInfo("object")
+    if a.concrete is not None and a.concrete is b.concrete and a.attrs == b.attrs:
+        return a
+    names = {k for k, _ in a.attrs} | {k for k, _ in b.attrs}
+    attrs = []
+    for name in sorted(names):
+        av = a.attr(name)
+        bv = b.attr(name)
+        if av is None or bv is None:
+            # Attribute known on only one side: fall back to TOP unless
+            # the other side can seed it from a concrete object.
+            attrs.append((name, (av or bv or TOP) if a.concrete is None and b.concrete is None else TOP))
+        else:
+            attrs.append((name, av.join(bv, depth + 1)))
+    concrete = a.concrete if a.concrete is b.concrete else None
+    return ObjInfo(a.cls_name, concrete, tuple(attrs), a.path if a.path == b.path else None)
+
+
+def seed_value(obj: Any, path: Optional[str] = None, depth: int = 0) -> Val:
+    """Abstract a concrete Python object into a :class:`Val`.
+
+    Containers are summarised by scanning (element join for ints, the
+    first element as a homogeneous representative for objects); nested
+    structure deeper than :data:`MAX_DEPTH` collapses to TOP.
+    """
+    if depth > MAX_DEPTH:
+        return TOP
+    if obj is None:
+        return Val.none()
+    if isinstance(obj, bool):
+        return Val.exact(int(obj))
+    if isinstance(obj, int):
+        return Val.exact(obj)
+    if isinstance(obj, (list, tuple)):
+        elem = _seed_elems(obj, path, depth)
+        val = Val.of_seq(elem, Interval.exact(len(obj)), prov=_elem_path(path))
+        return val
+    if isinstance(obj, (set, frozenset)):
+        elem = _seed_elems(list(obj), path, depth)
+        return Val.of_seq(
+            elem, Interval.exact(len(obj)), prov=_elem_path(path), unordered=True
+        )
+    if isinstance(obj, dict):
+        key = _seed_elems(list(obj.keys()), None, depth)
+        val = _seed_elems(list(obj.values()), path, depth)
+        return Val.of_map(key, val, Interval.exact(len(obj)), prov=_elem_path(path))
+    if isinstance(obj, (str, float, bytes, bytearray)):
+        return Val(other=True)
+    # Any other object: keep the live reference for attribute seeding
+    # and method resolution.
+    return Val.of_obj(type(obj).__name__, concrete=obj, path=path)
+
+
+def _elem_path(path: Optional[str]) -> Optional[str]:
+    return None if path is None else path + "[]"
+
+
+def _seed_elems(items: Any, path: Optional[str], depth: int) -> Val:
+    """Element summary for a concrete container.
+
+    Integer (and bool) elements are scanned exhaustively for tight
+    bounds; heterogeneous/object elements use the first element as a
+    homogeneous representative (true for every container this repo
+    builds: policy lists, nested tag arrays, lookup-dict rows).
+    """
+    if not items:
+        return BOTTOM
+    first = items[0]
+    if all(isinstance(item, (int, bool)) for item in items):
+        los = min(int(i) for i in items)
+        his = max(int(i) for i in items)
+        return Val.of_int(los, his)
+    if isinstance(first, (list, tuple)):
+        lo = min(len(i) for i in items)
+        hi = max(len(i) for i in items)
+        inner = _seed_elems(
+            [e for item in items[:8] for e in item], _elem_path(path), depth + 1
+        )
+        return Val.of_seq(inner, Interval(lo, hi), prov=_elem_path(_elem_path(path)))
+    if isinstance(first, dict):
+        keys = [k for item in items[:8] for k in item.keys()]
+        vals = [v for item in items[:8] for v in item.values()]
+        lo = min(len(i) for i in items)
+        hi = max(len(i) for i in items)
+        return Val.of_map(
+            _seed_elems(keys, None, depth + 1),
+            _seed_elems(vals, _elem_path(path), depth + 1),
+            Interval(lo, hi),
+            prov=_elem_path(_elem_path(path)),
+        )
+    return seed_value(first, _elem_path(path), depth + 1)

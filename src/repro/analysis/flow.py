@@ -1,0 +1,2542 @@
+"""Intraprocedural dataflow / abstract-interpretation engine.
+
+This is the semantic layer under :mod:`repro.analysis.lint`: a forward
+worklist solver over per-function control-flow graphs, interpreting
+statements over the product lattice of :mod:`repro.analysis.domains`
+(intervals with bit-width bounds, container summaries, taint sets).
+
+The same engine serves three masters (see :mod:`rules_flow`):
+
+* **BCL015 / proof mode** — :class:`LiveResolver` resolves methods
+  through a live cache instance's MRO and seeds ``self`` from the
+  concrete object, so ``block & (self.num_sets - 1)`` evaluates over
+  exact geometry and every sequence subscript becomes a discharged
+  (or failed) bounds :class:`Obligation`.
+* **lint mode** — :class:`AstResolver` works from a single module's
+  AST with no imports executed; rule hooks inject taint at source
+  calls and observe stores at sinks.
+* **BCL009 retrofit** — the CFG alone: allocation sites are flagged by
+  membership in a CFG cycle (real reaching control flow) instead of
+  lexical loop depth.
+
+Design notes: attribute and container-element stores are *weak* — they
+join into a global ``summaries`` table keyed by provenance path
+(``self._tags[]`` …) and the driver re-runs the target function until
+that table reaches a fixpoint.  Locals get strong updates.  Everything
+unknown evaluates to TOP; the interpreter must never raise on valid
+Python.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .domains import (
+    BOTTOM,
+    NO_TAINT,
+    TAINT_ADDR,
+    TAINT_PID,
+    TAINT_RANDOM,
+    TAINT_UNORDERED,
+    TOP,
+    FuncInfo,
+    Interval,
+    MapInfo,
+    ObjInfo,
+    SeqInfo,
+    Val,
+    seed_value,
+)
+
+__all__ = [
+    "Block",
+    "build_cfg",
+    "cycle_blocks",
+    "Obligation",
+    "FnCtx",
+    "LiveResolver",
+    "AstResolver",
+    "Interp",
+]
+
+
+# ----------------------------------------------------------------------
+# CFG
+# ----------------------------------------------------------------------
+class _IterInit:
+    """Pseudo-statement: evaluate a ``for`` iterable into a temp slot."""
+
+    __slots__ = ("tmp", "iter_expr", "lineno")
+
+    def __init__(self, tmp: str, iter_expr: ast.expr, lineno: int) -> None:
+        self.tmp = tmp
+        self.iter_expr = iter_expr
+        self.lineno = lineno
+
+
+class _IterBind:
+    """Pseudo-statement: bind the loop target from the iterable's elem."""
+
+    __slots__ = ("tmp", "target", "lineno")
+
+    def __init__(self, tmp: str, target: ast.expr, lineno: int) -> None:
+        self.tmp = tmp
+        self.target = target
+        self.lineno = lineno
+
+
+class _BindTop:
+    """Pseudo-statement: bind a name to TOP (exception targets etc.)."""
+
+    __slots__ = ("name", "lineno")
+
+    def __init__(self, name: str, lineno: int) -> None:
+        self.name = name
+        self.lineno = lineno
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus a terminator.
+
+    Terminators are tuples::
+
+        ("goto", [targets])
+        ("cond", test_expr, true_target, false_target)
+        ("for", tmp_name, body_target, exit_target)
+        ("ret", expr_or_None)
+        ("raise",)
+    """
+
+    idx: int
+    stmts: list = field(default_factory=list)
+    term: Optional[tuple] = None
+    line: int = 0
+
+
+class _CfgBuilder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self._tmp = 0
+
+    def new(self, line: int = 0) -> Block:
+        block = Block(len(self.blocks), [], None, line)
+        self.blocks.append(block)
+        return block
+
+    def build(self, fn_node: ast.AST) -> list[Block]:
+        entry = self.new(getattr(fn_node, "lineno", 0))
+        end = self._seq(fn_node.body, entry, None)
+        if end is not None and end.term is None:
+            end.term = ("ret", None)
+        for block in self.blocks:
+            if block.term is None:
+                block.term = ("ret", None)
+        return self.blocks
+
+    def _seq(
+        self, stmts: list, cur: Optional[Block], loop: Optional[tuple[int, int]]
+    ) -> Optional[Block]:
+        for stmt in stmts:
+            if cur is None:
+                # Dead code after return/break; keep it analyzable but
+                # disconnected so it never contributes to the fixpoint.
+                cur = self.new(getattr(stmt, "lineno", 0))
+            cur = self._stmt(stmt, cur, loop)
+        return cur
+
+    def _stmt(
+        self, stmt: ast.stmt, cur: Block, loop: Optional[tuple[int, int]]
+    ) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            true_entry = self.new(stmt.lineno)
+            false_entry = self.new(stmt.lineno)
+            cur.term = ("cond", stmt.test, true_entry.idx, false_entry.idx)
+            true_end = self._seq(stmt.body, true_entry, loop)
+            false_end = self._seq(stmt.orelse, false_entry, loop)
+            after = self.new(stmt.lineno)
+            for end in (true_end, false_end):
+                if end is not None and end.term is None:
+                    end.term = ("goto", [after.idx])
+            return after
+        if isinstance(stmt, ast.While):
+            head = self.new(stmt.lineno)
+            cur.term = ("goto", [head.idx])
+            body = self.new(stmt.lineno)
+            exit_ = self.new(stmt.lineno)
+            head.term = ("cond", stmt.test, body.idx, exit_.idx)
+            body_end = self._seq(stmt.body, body, (head.idx, exit_.idx))
+            if body_end is not None and body_end.term is None:
+                body_end.term = ("goto", [head.idx])
+            if stmt.orelse:
+                return self._seq(stmt.orelse, exit_, loop)
+            return exit_
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            tmp = f"$iter{self._tmp}"
+            self._tmp += 1
+            cur.stmts.append(_IterInit(tmp, stmt.iter, stmt.lineno))
+            head = self.new(stmt.lineno)
+            cur.term = ("goto", [head.idx])
+            body = self.new(stmt.lineno)
+            exit_ = self.new(stmt.lineno)
+            head.term = ("for", tmp, body.idx, exit_.idx)
+            body.stmts.append(_IterBind(tmp, stmt.target, stmt.lineno))
+            body_end = self._seq(stmt.body, body, (head.idx, exit_.idx))
+            if body_end is not None and body_end.term is None:
+                body_end.term = ("goto", [head.idx])
+            if stmt.orelse:
+                return self._seq(stmt.orelse, exit_, loop)
+            return exit_
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    assign = ast.Assign(
+                        targets=[item.optional_vars], value=item.context_expr
+                    )
+                    ast.copy_location(assign, stmt)
+                    cur.stmts.append(assign)
+                else:
+                    expr = ast.Expr(value=item.context_expr)
+                    ast.copy_location(expr, stmt)
+                    cur.stmts.append(expr)
+            return self._seq(stmt.body, cur, loop)
+        if isinstance(stmt, ast.Try):
+            body_entry = self.new(stmt.lineno)
+            handler_entries = []
+            for handler in stmt.handlers:
+                entry = self.new(handler.lineno)
+                if handler.name:
+                    entry.stmts.append(_BindTop(handler.name, handler.lineno))
+                handler_entries.append(entry)
+            cur.term = ("goto", [body_entry.idx] + [h.idx for h in handler_entries])
+            ends = [self._seq(stmt.body + stmt.orelse, body_entry, loop)]
+            for handler, entry in zip(stmt.handlers, handler_entries):
+                ends.append(self._seq(handler.body, entry, loop))
+            after = self.new(stmt.lineno)
+            for end in ends:
+                if end is not None and end.term is None:
+                    end.term = ("goto", [after.idx])
+            if stmt.finalbody:
+                return self._seq(stmt.finalbody, after, loop)
+            return after
+        if isinstance(stmt, ast.Return):
+            cur.term = ("ret", stmt.value)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cur.term = ("raise",)
+            return None
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                cur.term = ("goto", [loop[1]])
+            else:  # pragma: no cover - malformed input
+                cur.term = ("raise",)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                cur.term = ("goto", [loop[0]])
+            else:  # pragma: no cover - malformed input
+                cur.term = ("raise",)
+            return None
+        if isinstance(stmt, ast.Match):
+            entries = []
+            for case in stmt.cases:
+                entry = self.new(case.pattern.lineno)
+                for name in _pattern_names(case.pattern):
+                    entry.stmts.append(_BindTop(name, case.pattern.lineno))
+                entries.append(entry)
+            after = self.new(stmt.lineno)
+            cur.term = ("goto", [e.idx for e in entries] + [after.idx])
+            for case, entry in zip(stmt.cases, entries):
+                end = self._seq(case.body, entry, loop)
+                if end is not None and end.term is None:
+                    end.term = ("goto", [after.idx])
+            return after
+        cur.stmts.append(stmt)
+        return cur
+
+
+def _pattern_names(pattern: ast.AST) -> list[str]:
+    names = []
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name:
+            names.append(node.name)
+        elif isinstance(node, ast.MatchStar) and node.name:
+            names.append(node.name)
+    return names
+
+
+def build_cfg(fn_node: ast.AST) -> list[Block]:
+    """Build (and cache on the node) the CFG of one function body."""
+    cached = getattr(fn_node, "_bcache_cfg", None)
+    if cached is not None:
+        return cached
+    blocks = _CfgBuilder().build(fn_node)
+    try:
+        fn_node._bcache_cfg = blocks  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return blocks
+
+
+def _block_successors(block: Block) -> list[int]:
+    term = block.term
+    if term is None:
+        return []
+    kind = term[0]
+    if kind == "goto":
+        return list(term[1])
+    if kind == "cond":
+        return [term[2], term[3]]
+    if kind == "for":
+        return [term[2], term[3]]
+    return []
+
+
+def cycle_blocks(blocks: list[Block]) -> set[int]:
+    """Indices of blocks that lie on a control-flow cycle.
+
+    Tarjan SCC: a block is cyclic iff its SCC has size > 1 or it has a
+    self edge.  This is what "allocates inside the hot loop" means
+    semantically — reachable from itself — replacing BCL009's old
+    lexical loop-depth scan.
+    """
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = [0]
+    cyclic: set[int] = set()
+
+    def strongconnect(v: int) -> None:
+        work = [(v, iter(_block_successors(blocks[v])))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if w >= len(blocks):
+                    continue
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(_block_successors(blocks[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or node in _block_successors(blocks[node]):
+                    cyclic.update(scc)
+
+    for v in range(len(blocks)):
+        if v not in index:
+            strongconnect(v)
+    return cyclic
+
+
+# ----------------------------------------------------------------------
+# Proof obligations
+# ----------------------------------------------------------------------
+@dataclass
+class Obligation:
+    """One sequence-subscript bounds check the interpreter discharged
+    (or failed to)."""
+
+    func: str
+    line: int
+    target: str
+    index: Interval
+    length: Interval
+    proved: bool
+    taint: frozenset = NO_TAINT
+
+    def render(self) -> str:
+        verdict = "proved" if self.proved else "UNPROVED"
+        return (
+            f"{self.func}:{self.line}: {verdict} "
+            f"{self.target}[{self.index}] within len {self.length}"
+        )
+
+
+def _obligation_proved(index: Interval, length: Interval) -> bool:
+    if length.lo is None:
+        return False
+    if index.is_exact and index.value < 0:
+        return length.lo >= -index.value
+    return index.ge(0) and index.le(length.lo - 1)
+
+
+# ----------------------------------------------------------------------
+# Resolution contexts
+# ----------------------------------------------------------------------
+@dataclass
+class FnCtx:
+    """Where a function body lives, for name/super()/method resolution.
+
+    ``instance_cls`` is the *dynamic* class of ``self`` (drives super()
+    MRO walking); ``defining_cls`` is the class whose body the current
+    function was found in.  Either may be a live ``type`` (proof mode)
+    or an ``ast.ClassDef`` (lint mode) or ``None`` for free functions.
+    ``line_offset`` maps node linenos back to real file lines.
+    """
+
+    module: Any = None
+    instance_cls: Any = None
+    defining_cls: Any = None
+    line_offset: int = 0
+    name: str = "<fn>"
+
+
+# ----------------------------------------------------------------------
+# Resolvers
+# ----------------------------------------------------------------------
+def _parse_function(func: Any) -> Optional[tuple[ast.AST, int]]:
+    """Parse one live function into its AST def node + line offset."""
+    try:
+        lines, start = inspect.getsourcelines(func)
+        source = textwrap.dedent("".join(lines))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node, start - node.lineno
+    return None
+
+
+class LiveResolver:
+    """Resolve names through live objects (proof mode).
+
+    Methods are found by walking ``type(obj).__mro__`` and parsing
+    their source; resolution is restricted to classes defined inside
+    this package so the interpreter never wanders into the stdlib.
+    """
+
+    def __init__(self, package: str = "repro") -> None:
+        self.package = package
+        self._fn_cache: dict[Any, Optional[tuple[ast.AST, int]]] = {}
+
+    def _in_package(self, cls: type) -> bool:
+        module = getattr(cls, "__module__", "") or ""
+        return module == self.package or module.startswith(self.package + ".")
+
+    def _parsed(self, func: Any) -> Optional[tuple[ast.AST, int]]:
+        key = getattr(func, "__qualname__", None) or id(func)
+        if key not in self._fn_cache:
+            self._fn_cache[key] = _parse_function(func)
+        return self._fn_cache[key]
+
+    def _method_from(
+        self, instance_cls: type, mro: tuple, name: str
+    ) -> Optional[tuple[ast.AST, FnCtx]]:
+        for cls in mro:
+            if name in getattr(cls, "__dict__", {}):
+                func = cls.__dict__[name]
+                if isinstance(func, (staticmethod, classmethod)):
+                    func = func.__func__
+                if not callable(func) or not self._in_package(cls):
+                    return None
+                parsed = self._parsed(func)
+                if parsed is None:
+                    return None
+                node, offset = parsed
+                module = sys.modules.get(cls.__module__)
+                return node, FnCtx(
+                    module=module,
+                    instance_cls=instance_cls,
+                    defining_cls=cls,
+                    line_offset=offset,
+                    name=f"{cls.__name__}.{name}",
+                )
+        return None
+
+    def resolve_method(self, obj: ObjInfo, name: str) -> Optional[tuple[ast.AST, FnCtx]]:
+        if obj.concrete is None:
+            return None
+        cls = type(obj.concrete)
+        return self._method_from(cls, cls.__mro__, name)
+
+    def resolve_super(self, ctx: FnCtx, name: str) -> Optional[tuple[ast.AST, FnCtx]]:
+        instance_cls = ctx.instance_cls
+        defining = ctx.defining_cls
+        if not isinstance(instance_cls, type) or not isinstance(defining, type):
+            return None
+        mro = instance_cls.__mro__
+        try:
+            start = mro.index(defining) + 1
+        except ValueError:  # pragma: no cover - defensive
+            return None
+        return self._method_from(instance_cls, mro[start:], name)
+
+    def mro_names(self, obj: ObjInfo) -> list[str]:
+        if obj.concrete is not None:
+            return [cls.__name__ for cls in type(obj.concrete).__mro__]
+        return [obj.cls_name]
+
+    def resolve_global(self, ctx: FnCtx, name: str) -> Optional[tuple[str, Any]]:
+        """Resolve a module-global name.
+
+        Returns ``("val", Val)`` for constants, ``("fn", (node, ctx))``
+        for package functions, ``("cls", type)`` for classes, ``None``
+        when unknown.
+        """
+        module = ctx.module
+        if module is None or not hasattr(module, name):
+            return None
+        value = getattr(module, name)
+        if isinstance(value, bool) or isinstance(value, int):
+            return "val", Val.exact(int(value))
+        if value is None:
+            return "val", Val.none()
+        if isinstance(value, type):
+            return "cls", value
+        if inspect.isfunction(value):
+            mod = getattr(value, "__module__", "") or ""
+            if mod == self.package or mod.startswith(self.package + "."):
+                parsed = self._parsed(value)
+                if parsed is not None:
+                    node, offset = parsed
+                    return "fn", (
+                        node,
+                        FnCtx(
+                            module=sys.modules.get(mod),
+                            line_offset=offset,
+                            name=f"{mod}.{name}",
+                        ),
+                    )
+            return None
+        return None
+
+    def constructor_fields(self, cls: Any) -> Optional[list[tuple[str, Optional[Val]]]]:
+        """Parameter names (after self) + seeded defaults of ``cls``."""
+        if not isinstance(cls, type):
+            return None
+        try:
+            sig = inspect.signature(cls)
+        except (ValueError, TypeError):
+            return None
+        fields = []
+        for param in sig.parameters.values():
+            if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                return None
+            default = None
+            if param.default is not inspect.Parameter.empty:
+                try:
+                    default = seed_value(param.default)
+                except Exception:  # pragma: no cover - defensive
+                    default = TOP
+            fields.append((param.name, default))
+        return fields
+
+
+class AstResolver:
+    """Resolve names inside a single module AST (lint mode).
+
+    No imports are executed; classes referenced across modules are
+    opaque.  A synthetic model of ``Cache.__init__`` lets geometry
+    lint rules interpret constructors of cache subclasses whose base
+    lives in another module.
+    """
+
+    def __init__(self, module_ast: ast.Module, inline: bool = True) -> None:
+        self.tree = module_ast
+        self.inline = inline
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.constants: dict[str, Val] = {}
+        for node in module_ast.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.Constant
+                ):
+                    const = node.value.value
+                    if isinstance(const, bool) or isinstance(const, int):
+                        self.constants[target.id] = Val.exact(int(const))
+
+    # -- class-hierarchy helpers ---------------------------------------
+    def _bases_of(self, cls: ast.ClassDef) -> list[str]:
+        names = []
+        for base in cls.bases:
+            if isinstance(base, ast.Name):
+                names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.append(base.attr)
+        return names
+
+    def class_mro(self, cls_name: str) -> list[str]:
+        """Linearised *name* MRO, local classes first, depth-first."""
+        out: list[str] = []
+        queue = [cls_name]
+        while queue:
+            name = queue.pop(0)
+            if name in out:
+                continue
+            out.append(name)
+            cls = self.classes.get(name)
+            if cls is not None:
+                queue.extend(self._bases_of(cls))
+        return out
+
+    def _find_in_class(
+        self, cls: ast.ClassDef, name: str
+    ) -> Optional[ast.FunctionDef]:
+        for node in cls.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return node
+        return None
+
+    def resolve_method(self, obj: ObjInfo, name: str) -> Optional[tuple[ast.AST, FnCtx]]:
+        if not self.inline:
+            return None
+        for cls_name in self.class_mro(obj.cls_name):
+            cls = self.classes.get(cls_name)
+            if cls is None:
+                continue
+            node = self._find_in_class(cls, name)
+            if node is not None:
+                return node, FnCtx(
+                    module=self,
+                    instance_cls=self.classes.get(obj.cls_name),
+                    defining_cls=cls,
+                    name=f"{cls_name}.{name}",
+                )
+        return None
+
+    def resolve_super(self, ctx: FnCtx, name: str) -> Optional[tuple[ast.AST, FnCtx]]:
+        if not self.inline or not isinstance(ctx.defining_cls, ast.ClassDef):
+            return None
+        for base_name in self._bases_of(ctx.defining_cls):
+            cls = self.classes.get(base_name)
+            if cls is None:
+                continue
+            node = self._find_in_class(cls, name)
+            if node is not None:
+                return node, FnCtx(
+                    module=self,
+                    instance_cls=ctx.instance_cls,
+                    defining_cls=cls,
+                    name=f"{base_name}.{name}",
+                )
+        return None
+
+    def mro_names(self, obj: ObjInfo) -> list[str]:
+        return self.class_mro(obj.cls_name)
+
+    def resolve_global(self, ctx: FnCtx, name: str) -> Optional[tuple[str, Any]]:
+        if name in self.constants:
+            return "val", self.constants[name]
+        if name in self.classes:
+            return "cls", self.classes[name]
+        if self.inline and name in self.functions:
+            node = self.functions[name]
+            return "fn", (node, FnCtx(module=self, name=name))
+        return None
+
+    def synthetic_super(
+        self,
+        interp: "Interp",
+        self_val: Optional[Val],
+        name: str,
+        args: list[Val],
+        kwargs: dict[str, Val],
+    ) -> Optional[Val]:
+        """Model ``Cache.__init__`` when the base class lives in another
+        module: derive the geometry attributes the real base derives."""
+        if name != "__init__" or self_val is None or self_val.obj is None:
+            return None
+        path = self_val.obj.path
+        if path is None:
+            return Val.none()
+        order = ("size", "line_size", "num_sets", "name")
+        params: dict[str, Val] = {}
+        for position, pname in enumerate(order):
+            if position < len(args):
+                params[pname] = args[position]
+            elif pname in kwargs:
+                params[pname] = kwargs[pname]
+            else:
+                params[pname] = TOP
+        size = params["size"]
+        line_size = params["line_size"]
+        num_sets = params["num_sets"]
+        interp.summary_store(path + ".size", size)
+        interp.summary_store(path + ".line_size", line_size)
+        interp.summary_store(path + ".num_sets", num_sets)
+        offset_bits = Val(num=Interval.nonneg())
+        if line_size.num is not None and line_size.num.is_exact:
+            width = line_size.num.value
+            if width > 0 and width & (width - 1) == 0:
+                offset_bits = Val.exact(width.bit_length() - 1)
+        interp.summary_store(path + ".offset_bits", offset_bits)
+        num_blocks = Val(num=Interval.nonneg())
+        if (
+            size.num is not None
+            and size.num.is_exact
+            and line_size.num is not None
+            and line_size.num.is_exact
+            and line_size.num.value > 0
+        ):
+            num_blocks = Val.exact(size.num.value // line_size.num.value)
+        interp.summary_store(path + ".num_blocks", num_blocks)
+        interp.summary_store(path + ".name", Val(other=True, maybe_none=True))
+        stats_len = num_sets.num if num_sets.num is not None else Interval.nonneg()
+        stats = Val.of_obj(
+            "CacheStats",
+            attrs=(
+                ("num_sets", num_sets),
+                ("set_accesses", Val.of_seq(Val(num=Interval.nonneg()), stats_len)),
+                ("set_hits", Val.of_seq(Val(num=Interval.nonneg()), stats_len)),
+                ("set_misses", Val.of_seq(Val(num=Interval.nonneg()), stats_len)),
+            ),
+            path=path + ".stats",
+        )
+        interp.summary_store(path + ".stats", stats)
+        return Val.none()
+
+    def constructor_fields(self, cls: Any) -> Optional[list[tuple[str, Optional[Val]]]]:
+        if not isinstance(cls, ast.ClassDef):
+            return None
+        init = self._find_in_class(cls, "__init__")
+        if init is None:
+            # Bare dataclass-style body: AnnAssign field declarations.
+            fields: list[tuple[str, Optional[Val]]] = []
+            for node in cls.body:
+                if isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    default: Optional[Val] = None
+                    if isinstance(node.value, ast.Constant):
+                        const = node.value.value
+                        if const is None:
+                            default = Val.none()
+                        elif isinstance(const, (bool, int)):
+                            default = Val.exact(int(const))
+                        else:
+                            default = Val(other=True)
+                    fields.append((node.target.id, default))
+            return fields or None
+        fields = []
+        args = init.args
+        names = [a.arg for a in args.posonlyargs + args.args][1:]  # drop self
+        defaults = list(args.defaults)
+        pad = [None] * (len(names) - len(defaults))
+        for name, default_node in zip(names, pad + defaults):
+            default = None
+            if isinstance(default_node, ast.Constant):
+                const = default_node.value
+                if const is None:
+                    default = Val.none()
+                elif isinstance(const, (bool, int)):
+                    default = Val.exact(int(const))
+                else:
+                    default = Val(other=True)
+            elif default_node is not None:
+                default = TOP
+            fields.append((name, default))
+        for name in [a.arg for a in args.kwonlyargs]:
+            fields.append((name, TOP))
+        return fields
+
+
+# ----------------------------------------------------------------------
+# Interpreter
+# ----------------------------------------------------------------------
+_MAX_INLINE_DEPTH = 8
+_MAX_BLOCK_VISITS = 60
+_WIDEN_AFTER = 3
+_MAX_OUTER_PASSES = 6
+
+Env = dict  # str -> Val
+
+
+def _join_env_into(dst: Env, src: Env) -> bool:
+    """Join ``src`` into ``dst`` in place; True when anything changed."""
+    changed = False
+    for name, value in src.items():
+        old = dst.get(name)
+        if old is None:
+            dst[name] = value
+            changed = True
+        else:
+            joined = old.join(value)
+            if joined != old:
+                dst[name] = joined
+                changed = True
+    return changed
+
+
+class Interp:
+    """The abstract interpreter.
+
+    ``hooks`` (lint mode) is an object with optional methods:
+
+    * ``call_result(interp, node, dotted, args) -> Val | None`` —
+      intercept a call by its dotted source text (taint sources).
+    * ``on_store(interp, ctx, target_text, value, node)`` — observe an
+      attribute/subscript store (taint sinks).
+    * ``on_call(interp, ctx, dotted, base_val, args, node)`` — observe
+      any call post-evaluation (sink calls like ``journal.record``).
+    * ``on_dict_item(interp, ctx, key, value, node)`` — observe dict
+      display items (serve payload sinks).
+
+    ``contracts`` maps ``(class_name, method_name)`` to a callable
+    ``(interp, obj: ObjInfo, args: list[Val]) -> Val`` consulted over
+    the receiver's MRO names before any inlining.
+    """
+
+    def __init__(
+        self,
+        resolver: Any,
+        hooks: Any = None,
+        contracts: Optional[dict[tuple[str, str], Callable]] = None,
+        max_inline_depth: int = _MAX_INLINE_DEPTH,
+    ) -> None:
+        self.resolver = resolver
+        self.hooks = hooks
+        self.contracts = contracts or {}
+        self.max_inline_depth = max_inline_depth
+        self.summaries: dict[str, Val] = {}
+        self.obligations: list[Obligation] = []
+        self.assumptions: set[str] = set()
+        self.final = False
+        self._stack: list[Any] = []
+        self._widening_summaries = False
+        self._quiet = 0
+
+    # -- drivers -------------------------------------------------------
+    def analyze(self, fn_node: ast.AST, ctx: FnCtx, bound: Env) -> Val:
+        """Run ``fn_node`` to a summary fixpoint, then one final pass
+        during which obligations and hook events are recorded."""
+        for pass_no in range(_MAX_OUTER_PASSES):
+            before = dict(self.summaries)
+            self.final = False
+            self._widening_summaries = pass_no >= _WIDEN_AFTER
+            self.run_function(fn_node, ctx, dict(bound))
+            if self.summaries == before:
+                break
+        self.final = True
+        self.obligations = []
+        result = self.run_function(fn_node, ctx, dict(bound))
+        seen: set[tuple] = set()
+        unique = []
+        for obligation in self.obligations:
+            key = (
+                obligation.func,
+                obligation.line,
+                obligation.target,
+                obligation.index,
+                obligation.length,
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(obligation)
+        self.obligations = unique
+        return result
+
+    # -- summary table -------------------------------------------------
+    def summary_store(self, key: str, value: Val) -> None:
+        old = self.summaries.get(key, BOTTOM)
+        if self._widening_summaries:
+            new = old.widen(old.join(value))
+        else:
+            new = old.join(value)
+        if new != old:
+            self.summaries[key] = new
+
+    def summary_load(self, key: str) -> Val:
+        return self.summaries.get(key, BOTTOM)
+
+    # -- the solver ----------------------------------------------------
+    def run_function(self, fn_node: ast.AST, ctx: FnCtx, bound: Env) -> Val:
+        key = id(fn_node)
+        if key in self._stack or len(self._stack) >= self.max_inline_depth:
+            return TOP
+        self._stack.append(key)
+        try:
+            return self._solve(fn_node, ctx, bound)
+        finally:
+            self._stack.pop()
+
+    def _solve(self, fn_node: ast.AST, ctx: FnCtx, bound: Env) -> Val:
+        blocks = build_cfg(fn_node)
+        in_envs: dict[int, Env] = {0: bound}
+        visits: dict[int, int] = {}
+        worklist = [0]
+        ret = BOTTOM
+        while worklist:
+            idx = worklist.pop()
+            count = visits.get(idx, 0) + 1
+            visits[idx] = count
+            if count > _MAX_BLOCK_VISITS:
+                continue
+            env: Optional[Env] = dict(in_envs[idx])
+            for stmt in blocks[idx].stmts:
+                env = self.exec_stmt(stmt, env, ctx)
+                if env is None:
+                    break
+            if env is None:
+                continue
+            term = blocks[idx].term or ("ret", None)
+            kind = term[0]
+            succs: list[tuple[int, Env]] = []
+            if kind == "goto":
+                for target in term[1]:
+                    succs.append((target, dict(env)))
+            elif kind == "cond":
+                _, test, true_t, false_t = term
+                self.eval_expr(test, env, ctx)
+                true_env = self.narrow(dict(env), test, True, ctx)
+                false_env = self.narrow(dict(env), test, False, ctx)
+                if true_env is not None:
+                    succs.append((true_t, true_env))
+                if false_env is not None:
+                    succs.append((false_t, false_env))
+            elif kind == "for":
+                _, tmp, body_t, exit_t = term
+                body_env = dict(env)
+                container = body_env.get(tmp, TOP)
+                nonempty = self._narrow_nonempty(container)
+                if nonempty is not None:
+                    body_env[tmp] = nonempty
+                    succs.append((body_t, body_env))
+                succs.append((exit_t, dict(env)))
+            elif kind == "ret":
+                value = Val.none() if term[1] is None else self.eval_expr(
+                    term[1], env, ctx
+                )
+                ret = ret.join(value)
+            # "raise": no successors
+            for target, out_env in succs:
+                old = in_envs.get(target)
+                if old is None:
+                    in_envs[target] = out_env
+                    worklist.append(target)
+                elif _join_env_into(old, out_env):
+                    if visits.get(target, 0) >= _WIDEN_AFTER:
+                        # Widen the stored in-env against itself joined
+                        # with the new flow to force termination.
+                        for name in list(old.keys()):
+                            prev = in_envs[target][name]
+                            in_envs[target][name] = prev.widen(prev)
+                    worklist.append(target)
+        return ret if not ret.is_bottom else Val.none()
+
+    def _narrow_nonempty(self, container: Val) -> Optional[Val]:
+        """Loop body entered => the iterable has at least one element."""
+        if container.seq is not None:
+            length = container.seq.length.meet(Interval(1, None))
+            if length is None:
+                if container.map is None and not container.other:
+                    return None
+            else:
+                container = Val(
+                    num=container.num,
+                    maybe_none=container.maybe_none,
+                    seq=SeqInfo(
+                        container.seq.elem,
+                        length,
+                        container.seq.prov,
+                        container.seq.unordered,
+                    ),
+                    map=container.map,
+                    tup=container.tup,
+                    obj=container.obj,
+                    func=container.func,
+                    other=container.other,
+                    taint=container.taint,
+                )
+        return container
+
+    # -- statement transfer --------------------------------------------
+    def exec_stmt(self, stmt: Any, env: Env, ctx: FnCtx) -> Optional[Env]:
+        """Execute one straight-line statement; ``None`` = unreachable."""
+        if isinstance(stmt, _IterInit):
+            env[stmt.tmp] = self.eval_expr(stmt.iter_expr, env, ctx)
+            return env
+        if isinstance(stmt, _IterBind):
+            container = env.get(stmt.tmp, TOP)
+            elem = self.iter_element(container)
+            self.bind_target(stmt.target, elem, env, ctx)
+            return env
+        if isinstance(stmt, _BindTop):
+            env[stmt.name] = TOP
+            return env
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value, env, ctx)
+            for target in stmt.targets:
+                self.assign_target(target, value, env, ctx, stmt)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval_expr(stmt.value, env, ctx)
+                self.assign_target(stmt.target, value, env, ctx, stmt)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            load = ast.copy_location(
+                _as_load(stmt.target), stmt
+            )
+            binop = ast.BinOp(left=load, op=stmt.op, right=stmt.value)
+            ast.copy_location(binop, stmt)
+            value = self.eval_expr(binop, env, ctx)
+            self.assign_target(stmt.target, value, env, ctx, stmt)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value, env, ctx)
+            return env
+        if isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test, env, ctx)
+            return self.narrow(env, stmt.test, True, ctx)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            env[stmt.name] = Val(func=FuncInfo(stmt, dict(env), ctx))
+            return env
+        if isinstance(stmt, ast.ClassDef):
+            env[stmt.name] = TOP
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+                elif isinstance(target, ast.Subscript):
+                    # del d[k]: weak — shrink nothing, contents keep.
+                    self.eval_expr(target.value, env, ctx)
+            return env
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                env[(alias.asname or alias.name).split(".")[0]] = TOP
+            return env
+        # Pass, Global, Nonlocal, anything else: no effect.
+        return env
+
+    # -- assignment targets --------------------------------------------
+    def assign_target(
+        self, target: ast.expr, value: Val, env: Env, ctx: FnCtx, stmt: Any
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, ast.Starred):
+            self.assign_target(
+                target.value,
+                Val.of_seq(value, Interval.nonneg()),
+                env,
+                ctx,
+                stmt,
+            )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            self.bind_target(target, value, env, ctx)
+            return
+        if isinstance(target, ast.Attribute):
+            base = self.eval_expr(target.value, env, ctx)
+            self.store_attr(base, target.attr, value, target, ctx)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self.eval_expr(target.value, env, ctx)
+            index = self.eval_expr(target.slice, env, ctx)
+            self.store_subscript(base, index, value, target, env, ctx)
+            return
+
+    def bind_target(self, target: ast.expr, value: Val, env: Env, ctx: FnCtx) -> None:
+        """Destructure ``value`` into a (possibly nested) loop target."""
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elems = None
+            if value.tup is not None and len(value.tup) == len(target.elts):
+                elems = list(value.tup)
+            for position, sub in enumerate(target.elts):
+                if isinstance(sub, ast.Starred):
+                    part = Val.of_seq(
+                        self.iter_element(value), Interval.nonneg()
+                    )
+                    self.bind_target(sub.value, part, env, ctx)
+                    continue
+                if elems is not None:
+                    part = elems[position]
+                else:
+                    part = self.iter_element(value)
+                self.bind_target(sub, part, env, ctx)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self.assign_target(target, value, env, ctx, target)
+
+    def iter_element(self, container: Val) -> Val:
+        """The element summary produced by iterating ``container``.
+
+        This is where the container-level ``unordered`` flag becomes
+        element taint: iterating a set yields order-dependent values.
+        """
+        out = BOTTOM
+        unordered = False
+        if container.seq is not None:
+            elem = container.seq.elem
+            if container.seq.prov is not None:
+                elem = elem.join(self.summary_load(container.seq.prov))
+            out = out.join(elem)
+            unordered = unordered or container.seq.unordered
+        if container.map is not None:
+            out = out.join(container.map.key)
+            unordered = unordered or container.map.unordered
+        if container.tup is not None:
+            for item in container.tup:
+                out = out.join(item)
+        if container.other:
+            out = out.join(TOP)
+        if out.is_bottom:
+            out = BOTTOM
+        out = out.with_taint(container.taint)
+        if unordered:
+            out = out.with_taint(frozenset((TAINT_UNORDERED,)))
+        return out
+
+    # -- attribute / subscript stores ----------------------------------
+    def store_attr(
+        self, base: Val, attr: str, value: Val, node: ast.AST, ctx: FnCtx
+    ) -> None:
+        if self.hooks is not None and self.final and not self._quiet:
+            handler = getattr(self.hooks, "on_store", None)
+            if handler is not None:
+                handler(self, ctx, _expr_text(node), value, node)
+        if base.obj is not None and base.obj.path is not None:
+            self.summary_store(base.obj.path + "." + attr, value)
+
+    def store_subscript(
+        self,
+        base: Val,
+        index: Val,
+        value: Val,
+        node: ast.AST,
+        env: Env,
+        ctx: FnCtx,
+    ) -> None:
+        if self.hooks is not None and self.final and not self._quiet:
+            handler = getattr(self.hooks, "on_store", None)
+            if handler is not None:
+                handler(self, ctx, _expr_text(node), value, node)
+        self._seq_obligation(base, index, node, ctx)
+        prov = None
+        if base.seq is not None:
+            prov = base.seq.prov
+        if prov is None and base.map is not None:
+            prov = base.map.prov
+        if prov is not None:
+            self.summary_store(prov, value)
+        # Weak strong-ish update when the container sits in a local.
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            name = node.value.id
+            current = env.get(name)
+            if current is not None:
+                env[name] = _container_with_elem(current, value, index)
+
+    def _seq_obligation(
+        self, base: Val, index: Val, node: ast.AST, ctx: FnCtx
+    ) -> None:
+        """Record a bounds obligation for a sequence subscript."""
+        if not self.final or self._quiet or base.seq is None:
+            return
+        if base.is_bottom or index.is_bottom:
+            return
+        if isinstance(node, ast.Subscript) and isinstance(node.slice, ast.Slice):
+            return
+        if index.num is None:
+            return
+        length = base.seq.length
+        self.obligations.append(
+            Obligation(
+                func=ctx.name,
+                line=getattr(node, "lineno", 0) + ctx.line_offset,
+                target=_expr_text(
+                    node.value if isinstance(node, ast.Subscript) else node
+                ),
+                index=index.num,
+                length=length,
+                proved=_obligation_proved(index.num, length),
+                taint=index.taint,
+            )
+        )
+
+    # -- condition narrowing -------------------------------------------
+    def narrow(
+        self, env: Env, test: ast.expr, branch: bool, ctx: FnCtx
+    ) -> Optional[Env]:
+        """Refine ``env`` assuming ``test`` evaluated to ``branch``.
+
+        Returns ``None`` when the branch is provably unreachable.
+        Quiet mode suppresses duplicate obligations/hook events from
+        re-evaluating subexpressions.
+        """
+        with _quietly(self):
+            return self._narrow(env, test, branch, ctx)
+
+    def _narrow(
+        self, env: Env, test: ast.expr, branch: bool, ctx: FnCtx
+    ) -> Optional[Env]:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._narrow(env, test.operand, not branch, ctx)
+        if isinstance(test, ast.Constant):
+            return env if bool(test.value) == branch else None
+        if isinstance(test, ast.BoolOp):
+            conjunctive = (isinstance(test.op, ast.And) and branch) or (
+                isinstance(test.op, ast.Or) and not branch
+            )
+            if conjunctive:
+                for operand in test.values:
+                    narrowed = self._narrow(env, operand, branch, ctx)
+                    if narrowed is None:
+                        return None
+                    env = narrowed
+                return env
+            return env
+        if isinstance(test, ast.Compare):
+            return self._narrow_compare(env, test, branch, ctx)
+        if isinstance(test, ast.Name):
+            value = env.get(test.id)
+            if value is None:
+                return env
+            refined = _truthy(value) if branch else _falsy(value)
+            if refined is None:
+                return None
+            env[test.id] = refined
+            return env
+        if isinstance(test, ast.NamedExpr):
+            value = self.eval_expr(test, env, ctx)
+            if isinstance(test.target, ast.Name):
+                refined = _truthy(value) if branch else _falsy(value)
+                if refined is None:
+                    return None
+                env[test.target.id] = refined
+            return env
+        return env
+
+    def _narrow_compare(
+        self, env: Env, test: ast.Compare, branch: bool, ctx: FnCtx
+    ) -> Optional[Env]:
+        items = [test.left] + list(test.comparators)
+        if len(test.ops) > 1 and not branch:
+            return env  # a negated chain is a disjunction; no refinement
+        for (left, op, right) in zip(items, test.ops, items[1:]):
+            effective = op if branch else _NEGATED_OPS.get(type(op))
+            if effective is None:
+                continue
+            env2 = self._narrow_pair(env, left, effective, right, ctx)
+            if env2 is None:
+                return None
+            env = env2
+        return env
+
+    def _narrow_pair(
+        self, env: Env, left: ast.expr, op: Any, right: ast.expr, ctx: FnCtx
+    ) -> Optional[Env]:
+        op_type = op if isinstance(op, type) else type(op)
+        # x is None / x is not None
+        left_is_none = isinstance(left, ast.Constant) and left.value is None
+        right_is_none = isinstance(right, ast.Constant) and right.value is None
+        if op_type in (ast.Is, ast.Eq) and (left_is_none or right_is_none):
+            target = right if left_is_none else left
+            if isinstance(target, ast.Name) and target.id in env:
+                value = env[target.id]
+                if not value.maybe_none:
+                    return None
+                env[target.id] = Val(maybe_none=True, taint=value.taint)
+            return env
+        if op_type in (ast.IsNot, ast.NotEq) and (left_is_none or right_is_none):
+            target = right if left_is_none else left
+            if isinstance(target, ast.Name) and target.id in env:
+                value = env[target.id].without_none()
+                if value.is_bottom:
+                    return None
+                env[target.id] = value
+            return env
+        if op_type in (ast.Is, ast.IsNot, ast.In, ast.NotIn):
+            return env
+        # Numeric comparisons; refine whichever side is a plain name or
+        # a len(name) call.
+        left_val = self.eval_expr(left, env, ctx)
+        right_val = self.eval_expr(right, env, ctx)
+        env2 = self._refine_side(env, left, left_val, op_type, right_val, False)
+        if env2 is None:
+            return None
+        env3 = self._refine_side(
+            env2, right, right_val, op_type, left_val, True
+        )
+        return env3
+
+    def _refine_side(
+        self,
+        env: Env,
+        expr: ast.expr,
+        current: Val,
+        op_type: type,
+        other: Val,
+        flipped: bool,
+    ) -> Optional[Env]:
+        if other.num is None:
+            return env
+        bound = _comparison_bound(op_type, other.num, flipped)
+        if bound is None:
+            return env
+        if isinstance(expr, ast.Name) and expr.id in env:
+            value = env[expr.id]
+            if value.num is None:
+                return env
+            refined = value.num.meet(bound)
+            if op_type is ast.NotEq and other.num.is_exact and refined is not None:
+                refined = _exclude_endpoint(refined, other.num.value)
+            if refined is None:
+                if value.maybe_none or value.seq or value.map or value.obj or value.other:
+                    return env  # numeric arm dead, other kinds remain
+                return None
+            env[expr.id] = value.with_num(refined)
+            return env
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "len"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], ast.Name)
+            and expr.args[0].id in env
+        ):
+            name = expr.args[0].id
+            value = env[name]
+            if value.seq is not None:
+                nonneg = bound.meet(Interval.nonneg())
+                if nonneg is None:
+                    return None
+                length = value.seq.length.meet(nonneg)
+                if length is None:
+                    return None
+                env[name] = Val(
+                    num=value.num,
+                    maybe_none=value.maybe_none,
+                    seq=SeqInfo(
+                        value.seq.elem,
+                        length,
+                        value.seq.prov,
+                        value.seq.unordered,
+                    ),
+                    map=value.map,
+                    tup=value.tup,
+                    obj=value.obj,
+                    func=value.func,
+                    other=value.other,
+                    taint=value.taint,
+                )
+            return env
+        return env
+
+    # -- expression evaluation -----------------------------------------
+    def eval_expr(self, node: ast.expr, env: Env, ctx: FnCtx) -> Val:
+        try:
+            return self._eval(node, env, ctx)
+        except RecursionError:  # pragma: no cover - runaway nesting
+            raise
+        except Exception:  # noqa: BLE001 - the engine must never crash
+            return TOP
+
+    def _eval(self, node: ast.expr, env: Env, ctx: FnCtx) -> Val:
+        if isinstance(node, ast.Constant):
+            const = node.value
+            if const is None:
+                return Val.none()
+            if isinstance(const, bool):
+                return Val.exact(int(const))
+            if isinstance(const, int):
+                return Val.exact(const)
+            return Val(other=True)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            resolved = self.resolver.resolve_global(ctx, node.id)
+            if resolved is not None:
+                kind, payload = resolved
+                if kind == "val":
+                    return payload
+                if kind == "fn":
+                    fn_node, fn_ctx = payload
+                    return Val(func=FuncInfo(fn_node, None, fn_ctx))
+            return TOP
+        if isinstance(node, ast.Attribute):
+            base = self.eval_expr(node.value, env, ctx)
+            return self.load_attr(base, node.attr, ctx)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env, ctx)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env, ctx)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env, ctx)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval_expr(node.operand, env, ctx)
+            if isinstance(node.op, ast.Not):
+                return Val.of_bool(operand.taint)
+            if isinstance(node.op, ast.USub) and operand.num is not None:
+                return Val(num=operand.num.neg(), taint=operand.taint)
+            if isinstance(node.op, ast.UAdd) and operand.num is not None:
+                return Val(num=operand.num, taint=operand.taint)
+            return Val(num=Interval.top(), taint=operand.taint)
+        if isinstance(node, ast.BoolOp):
+            # Short-circuit narrowing: each later operand only runs on
+            # the path where the earlier ones were truthy (and) / falsy
+            # (or), so evaluate it under that refinement.
+            out = BOTTOM
+            env2 = dict(env)
+            is_and = isinstance(node.op, ast.And)
+            for value in node.values:
+                out = out.join(self.eval_expr(value, env2, ctx))
+                narrowed = self.narrow(env2, value, is_and, ctx)
+                if narrowed is None:
+                    break
+                env2 = narrowed
+            return out
+        if isinstance(node, ast.Compare):
+            taint = self.eval_expr(node.left, env, ctx).taint
+            for comp in node.comparators:
+                taint = taint | self.eval_expr(comp, env, ctx).taint
+            return Val.of_bool(taint)
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test, env, ctx)
+            out = BOTTOM
+            for branch, expr in ((True, node.body), (False, node.orelse)):
+                sub = self.narrow(dict(env), node.test, branch, ctx)
+                if sub is not None:
+                    out = out.join(self.eval_expr(expr, sub, ctx))
+            return out if not out.is_bottom else TOP
+        if isinstance(node, ast.Tuple):
+            if any(isinstance(e, ast.Starred) for e in node.elts):
+                elem = BOTTOM
+                for item in node.elts:
+                    if isinstance(item, ast.Starred):
+                        elem = elem.join(
+                            self.iter_element(
+                                self.eval_expr(item.value, env, ctx)
+                            )
+                        )
+                    else:
+                        elem = elem.join(self.eval_expr(item, env, ctx))
+                return Val.of_seq(elem, Interval.nonneg())
+            return Val(tup=tuple(self.eval_expr(e, env, ctx) for e in node.elts))
+        if isinstance(node, ast.List):
+            elem = BOTTOM
+            exact = True
+            for item in node.elts:
+                if isinstance(item, ast.Starred):
+                    exact = False
+                    elem = elem.join(
+                        self.iter_element(self.eval_expr(item.value, env, ctx))
+                    )
+                else:
+                    elem = elem.join(self.eval_expr(item, env, ctx))
+            length = (
+                Interval.exact(len(node.elts)) if exact else Interval.nonneg()
+            )
+            return Val.of_seq(elem, length)
+        if isinstance(node, ast.Set):
+            elem = BOTTOM
+            for item in node.elts:
+                elem = elem.join(self.eval_expr(item, env, ctx))
+            return Val.of_seq(
+                elem, Interval(0, len(node.elts)), unordered=True
+            )
+        if isinstance(node, ast.Dict):
+            key = BOTTOM
+            val = BOTTOM
+            for key_node, val_node in zip(node.keys, node.values):
+                item = self.eval_expr(val_node, env, ctx)
+                if key_node is None:  # ** expansion
+                    if item.map is not None:
+                        key = key.join(item.map.key)
+                        val = val.join(item.map.val)
+                    continue
+                key = key.join(self.eval_expr(key_node, env, ctx))
+                val = val.join(item)
+                if self.hooks is not None and self.final and not self._quiet:
+                    handler = getattr(self.hooks, "on_dict_item", None)
+                    if handler is not None and isinstance(key_node, ast.Constant):
+                        handler(self, ctx, key_node.value, item, val_node)
+            return Val.of_map(key, val, Interval(0, len(node.keys)))
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp(node, env, ctx)
+        if isinstance(node, ast.DictComp):
+            return self._eval_comp(node, env, ctx)
+        if isinstance(node, ast.Lambda):
+            return Val(func=FuncInfo(node, dict(env), ctx))
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval_expr(node.value, env, ctx)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = value
+            return value
+        if isinstance(node, ast.Await):
+            return self.eval_expr(node.value, env, ctx)
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value, env, ctx)
+        if isinstance(node, ast.JoinedStr):
+            taint = NO_TAINT
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    taint = taint | self.eval_expr(part.value, env, ctx).taint
+            return Val(other=True, taint=taint)
+        if isinstance(node, ast.FormattedValue):
+            return Val(other=True, taint=self.eval_expr(node.value, env, ctx).taint)
+        return TOP
+
+    def load_attr(self, base: Val, attr: str, ctx: FnCtx) -> Val:
+        if base.is_bottom:
+            return BOTTOM
+        out = BOTTOM
+        obj = base.obj
+        if obj is not None:
+            sym = obj.attr(attr)
+            if sym is not None:
+                out = out.join(sym)
+            if obj.path is not None:
+                out = out.join(self.summary_load(obj.path + "." + attr))
+            if obj.concrete is not None:
+                try:
+                    concrete = getattr(obj.concrete, attr)
+                except Exception:  # noqa: BLE001 - property may raise
+                    concrete = _MISSING
+                if concrete is not _MISSING:
+                    if inspect.isroutine(concrete):
+                        out = out.join(Val(other=True))
+                    else:
+                        path = (
+                            obj.path + "." + attr
+                            if obj.path is not None
+                            else None
+                        )
+                        out = out.join(seed_value(concrete, path=path))
+            if out.is_bottom:
+                out = TOP
+        elif base.seq is not None or base.map is not None or base.num is not None:
+            out = TOP  # method reference or unknown attribute
+        else:
+            out = TOP
+        return out.with_taint(base.taint)
+
+    def _eval_subscript(self, node: ast.Subscript, env: Env, ctx: FnCtx) -> Val:
+        base = self.eval_expr(node.value, env, ctx)
+        if isinstance(node.slice, ast.Slice):
+            for bound in (node.slice.lower, node.slice.upper, node.slice.step):
+                if bound is not None:
+                    self.eval_expr(bound, env, ctx)
+            if base.seq is not None:
+                elem = base.seq.elem
+                if base.seq.prov is not None:
+                    elem = elem.join(self.summary_load(base.seq.prov))
+                return Val.of_seq(
+                    elem,
+                    Interval(0, base.seq.length.hi),
+                    unordered=base.seq.unordered,
+                    taint=base.taint,
+                )
+            return TOP
+        index = self.eval_expr(node.slice, env, ctx)
+        self._seq_obligation(base, index, node, ctx)
+        return self.load_subscript(base, index)
+
+    def load_subscript(self, base: Val, index: Val) -> Val:
+        if base.is_bottom or index.is_bottom:
+            return BOTTOM
+        out = BOTTOM
+        if base.seq is not None:
+            elem = base.seq.elem
+            if base.seq.prov is not None:
+                elem = elem.join(self.summary_load(base.seq.prov))
+            out = out.join(elem)
+        if base.map is not None:
+            val = base.map.val
+            if base.map.prov is not None:
+                val = val.join(self.summary_load(base.map.prov))
+            out = out.join(val)
+        if base.tup is not None:
+            if index.num is not None and index.num.is_exact:
+                position = index.num.value
+                if -len(base.tup) <= position < len(base.tup):
+                    out = out.join(base.tup[position])
+                # definite out-of-range: contributes nothing (raises)
+            else:
+                for item in base.tup:
+                    out = out.join(item)
+        if base.other:
+            out = out.join(TOP)
+        if out.is_bottom:
+            out = TOP
+        return out.with_taint(base.taint | index.taint)
+
+    def _eval_binop(self, node: ast.BinOp, env: Env, ctx: FnCtx) -> Val:
+        left = self.eval_expr(node.left, env, ctx)
+        right = self.eval_expr(node.right, env, ctx)
+        taint = left.taint | right.taint
+        op = node.op
+        if left.num is not None and right.num is not None:
+            table = {
+                ast.Add: left.num.add,
+                ast.Sub: left.num.sub,
+                ast.Mult: left.num.mul,
+                ast.FloorDiv: left.num.floordiv,
+                ast.Mod: left.num.mod,
+                ast.LShift: left.num.lshift,
+                ast.RShift: left.num.rshift,
+                ast.BitAnd: left.num.and_,
+                ast.BitOr: left.num.or_,
+                ast.BitXor: left.num.xor,
+            }
+            fn = table.get(type(op))
+            if fn is not None:
+                return Val(num=fn(right.num), taint=taint)
+            if isinstance(op, ast.Div):
+                return Val(other=True, taint=taint)
+            if isinstance(op, ast.Pow):
+                if (
+                    left.num.is_exact
+                    and right.num.is_exact
+                    and 0 <= right.num.value <= 64
+                ):
+                    return Val.exact(left.num.value ** right.num.value, taint)
+                return Val(num=Interval.top(), taint=taint)
+        if isinstance(op, ast.Add) and left.seq is not None and right.seq is not None:
+            return Val.of_seq(
+                left.seq.elem.join(right.seq.elem),
+                left.seq.length.add(right.seq.length),
+                unordered=left.seq.unordered or right.seq.unordered,
+                taint=taint,
+            )
+        if isinstance(op, ast.Mult):
+            seq, count = (
+                (left.seq, right.num)
+                if left.seq is not None
+                else (right.seq, left.num)
+            )
+            if seq is not None and count is not None:
+                length = seq.length.mul(count).meet(Interval.nonneg())
+                return Val.of_seq(
+                    seq.elem,
+                    length if length is not None else Interval.nonneg(),
+                    unordered=seq.unordered,
+                    taint=taint,
+                )
+        return Val.top(taint)
+
+    def _eval_comp(self, node: Any, env: Env, ctx: FnCtx) -> Val:
+        env2 = dict(env)
+        length: Optional[Interval] = None
+        capped = False
+        unordered = False
+        for position, gen in enumerate(node.generators):
+            container = self.eval_expr(gen.iter, env2, ctx)
+            elem = self.iter_element(container)
+            self.bind_target(gen.target, elem, env2, ctx)
+            if container.seq is not None:
+                unordered = unordered or container.seq.unordered
+            if container.map is not None:
+                unordered = unordered or container.map.unordered
+            if position == 0:
+                length = _container_length(container)
+            else:
+                capped = True
+            for if_node in gen.ifs:
+                capped = True
+                self.eval_expr(if_node, env2, ctx)
+                narrowed = self.narrow(env2, if_node, True, ctx)
+                if narrowed is not None:
+                    env2 = narrowed
+        if length is None:
+            length = Interval.nonneg()
+        if capped:
+            length = Interval(0, length.hi)
+        if isinstance(node, ast.DictComp):
+            key = self.eval_expr(node.key, env2, ctx)
+            val = self.eval_expr(node.value, env2, ctx)
+            return Val.of_map(key, val, length)
+        elem_out = self.eval_expr(node.elt, env2, ctx)
+        return Val.of_seq(
+            elem_out,
+            length,
+            unordered=unordered or isinstance(node, ast.SetComp),
+        )
+
+    # -- calls ---------------------------------------------------------
+    def eval_call(self, node: ast.Call, env: Env, ctx: FnCtx) -> Val:
+        func = node.func
+        args: list[Val] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                args.append(
+                    self.iter_element(self.eval_expr(arg.value, env, ctx))
+                )
+            else:
+                args.append(self.eval_expr(arg, env, ctx))
+        kwargs: dict[str, Val] = {}
+        kw_taint = NO_TAINT
+        for keyword in node.keywords:
+            value = self.eval_expr(keyword.value, env, ctx)
+            if keyword.arg is not None:
+                kwargs[keyword.arg] = value
+            kw_taint = kw_taint | value.taint
+        arg_taint = kw_taint
+        for value in args:
+            arg_taint = arg_taint | value.taint
+        dotted = _expr_text(func)
+
+        if self.hooks is not None:
+            source = getattr(self.hooks, "call_result", None)
+            if source is not None:
+                hooked = source(self, node, dotted, args)
+                if hooked is not None:
+                    return hooked
+
+        result = self._dispatch_call(
+            node, func, dotted, args, kwargs, arg_taint, env, ctx
+        )
+        if self.hooks is not None and self.final and not self._quiet:
+            observer = getattr(self.hooks, "on_call", None)
+            if observer is not None:
+                base_val = None
+                if isinstance(func, ast.Attribute):
+                    with _quietly(self):
+                        base_val = self.eval_expr(func.value, env, ctx)
+                observer(self, ctx, dotted, base_val, args, kwargs, node)
+        return result
+
+    def _dispatch_call(
+        self,
+        node: ast.Call,
+        func: ast.expr,
+        dotted: str,
+        args: list[Val],
+        kwargs: dict[str, Val],
+        arg_taint: frozenset,
+        env: Env,
+        ctx: FnCtx,
+    ) -> Val:
+        # super().method(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+        ):
+            resolved = None
+            try:
+                resolved = self.resolver.resolve_super(ctx, func.attr)
+            except Exception:  # noqa: BLE001 - defensive
+                resolved = None
+            self_val = env.get("self")
+            if resolved is not None:
+                fn_node, fn_ctx = resolved
+                return self._inline(fn_node, fn_ctx, args, kwargs, self_val)
+            synthetic = getattr(self.resolver, "synthetic_super", None)
+            if synthetic is not None:
+                result = synthetic(self, self_val, func.attr, args, kwargs)
+                if result is not None:
+                    return result
+            return Val.top(arg_taint)
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = env.get(name)
+            if local is not None:
+                if local.func is not None:
+                    return self._call_funcinfo(local.func, args, kwargs, ctx)
+                return Val.top(arg_taint | local.taint)
+            builtin = self._call_builtin(
+                name, node, args, kwargs, arg_taint, env, ctx
+            )
+            if builtin is not None:
+                return builtin
+            resolved = None
+            try:
+                resolved = self.resolver.resolve_global(ctx, name)
+            except Exception:  # noqa: BLE001 - defensive
+                resolved = None
+            if resolved is not None:
+                kind, payload = resolved
+                if kind == "fn":
+                    fn_node, fn_ctx = payload
+                    return self._inline(fn_node, fn_ctx, args, kwargs, None)
+                if kind == "cls":
+                    return self._construct(payload, args, kwargs, arg_taint)
+            return Val.top(arg_taint)
+
+        if isinstance(func, ast.Attribute):
+            base = self.eval_expr(func.value, env, ctx)
+            method = func.attr
+            handled = self._call_container_method(
+                base, method, node, args, kwargs, env, ctx
+            )
+            if handled is not None:
+                return handled
+            if base.obj is not None:
+                try:
+                    mro = self.resolver.mro_names(base.obj)
+                except Exception:  # noqa: BLE001 - defensive
+                    mro = [base.obj.cls_name]
+                for cls_name in mro:
+                    contract = self.contracts.get((cls_name, method))
+                    if contract is not None:
+                        return contract(self, base.obj, args)
+                resolved = None
+                try:
+                    resolved = self.resolver.resolve_method(base.obj, method)
+                except Exception:  # noqa: BLE001 - defensive
+                    resolved = None
+                if resolved is not None:
+                    fn_node, fn_ctx = resolved
+                    return self._inline(fn_node, fn_ctx, args, kwargs, base)
+            if base.func is not None:
+                return self._call_funcinfo(base.func, args, kwargs, ctx)
+            return Val.top(arg_taint | base.taint)
+
+        return Val.top(arg_taint)
+
+    def _call_funcinfo(
+        self, info: FuncInfo, args: list[Val], kwargs: dict[str, Val], ctx: FnCtx
+    ) -> Val:
+        node = info.node
+        call_ctx = info.ctx or ctx
+        if isinstance(node, ast.Lambda):
+            closure = dict(info.env or {})
+            self._bind_params(node.args, args, kwargs, closure, call_ctx)
+            return self.eval_expr(node.body, closure, call_ctx)
+        bound = dict(info.env or {}) if info.env else {}
+        self._bind_params(node.args, args, kwargs, bound, call_ctx)
+        return self.run_function(node, call_ctx, bound)
+
+    def _inline(
+        self,
+        fn_node: ast.AST,
+        fn_ctx: FnCtx,
+        args: list[Val],
+        kwargs: dict[str, Val],
+        self_val: Optional[Val],
+    ) -> Val:
+        values = list(args)
+        if self_val is not None:
+            values = [self_val] + values
+        bound: Env = {}
+        self._bind_params(fn_node.args, values, kwargs, bound, fn_ctx)
+        return self.run_function(fn_node, fn_ctx, bound)
+
+    def _bind_params(
+        self,
+        arguments: ast.arguments,
+        args: list[Val],
+        kwargs: dict[str, Val],
+        bound: Env,
+        ctx: FnCtx,
+    ) -> None:
+        kwargs = dict(kwargs)
+        params = [p.arg for p in arguments.posonlyargs + arguments.args]
+        defaults = list(arguments.defaults)
+        pad: list[Optional[ast.expr]] = [None] * (len(params) - len(defaults))
+        default_map = dict(zip(params, pad + defaults))
+        for position, name in enumerate(params):
+            if position < len(args):
+                bound[name] = args[position]
+            elif name in kwargs:
+                bound[name] = kwargs.pop(name)
+            elif default_map.get(name) is not None:
+                bound[name] = self.eval_expr(default_map[name], {}, ctx)
+            else:
+                bound[name] = TOP
+        for param, default in zip(arguments.kwonlyargs, arguments.kw_defaults):
+            if param.arg in kwargs:
+                bound[param.arg] = kwargs.pop(param.arg)
+            elif default is not None:
+                bound[param.arg] = self.eval_expr(default, {}, ctx)
+            else:
+                bound[param.arg] = TOP
+        if arguments.vararg is not None:
+            extra = BOTTOM
+            for value in args[len(params):]:
+                extra = extra.join(value)
+            bound[arguments.vararg.arg] = Val.of_seq(extra, Interval.nonneg())
+        if arguments.kwarg is not None:
+            bound[arguments.kwarg.arg] = TOP
+
+    def _construct(
+        self, cls: Any, args: list[Val], kwargs: dict[str, Val], arg_taint: frozenset
+    ) -> Val:
+        fields = None
+        try:
+            fields = self.resolver.constructor_fields(cls)
+        except Exception:  # noqa: BLE001 - defensive
+            fields = None
+        cls_name = (
+            cls.__name__ if isinstance(cls, type) else getattr(cls, "name", "object")
+        )
+        if fields is None:
+            return Val.of_obj(cls_name, taint=arg_taint)
+        attrs = []
+        for position, (name, default) in enumerate(fields):
+            if position < len(args):
+                value = args[position]
+            elif name in kwargs:
+                value = kwargs[name]
+            elif default is not None:
+                value = default
+            else:
+                value = TOP
+            attrs.append((name, value))
+        return Val.of_obj(cls_name, attrs=tuple(attrs), taint=arg_taint)
+
+    # -- builtin models ------------------------------------------------
+    def _call_builtin(
+        self,
+        name: str,
+        node: ast.Call,
+        args: list[Val],
+        kwargs: dict[str, Val],
+        arg_taint: frozenset,
+        env: Env,
+        ctx: FnCtx,
+    ) -> Optional[Val]:
+        a0 = args[0] if args else BOTTOM
+        if name == "len":
+            length = _container_length(a0)
+            taint = a0.taint - {TAINT_UNORDERED}
+            return Val(num=length.meet(Interval.nonneg()) or Interval.nonneg(), taint=taint)
+        if name == "range":
+            return self._builtin_range(args, arg_taint)
+        if name in ("min", "max"):
+            return self._builtin_minmax(name, args, kwargs, arg_taint, ctx)
+        if name == "sorted":
+            key = kwargs.get("key")
+            if key is not None and key.func is not None:
+                self._call_funcinfo(key.func, [self.iter_element(a0)], {}, ctx)
+            elem = self.iter_element(a0)
+            elem = _strip_taint(elem, TAINT_UNORDERED)
+            length = _container_length(a0)
+            return Val.of_seq(elem, length, taint=a0.taint - {TAINT_UNORDERED})
+        if name == "sum":
+            elem = _strip_taint(self.iter_element(a0), TAINT_UNORDERED)
+            length = _container_length(a0)
+            if elem.num is not None:
+                total = elem.num.mul(length.meet(Interval.nonneg()) or Interval.nonneg())
+                start = args[1].num if len(args) > 1 and args[1].num else Interval.exact(0)
+                return Val(num=total.add(start), taint=elem.taint | (a0.taint - {TAINT_UNORDERED}))
+            return Val(num=Interval.top(), taint=elem.taint)
+        if name == "abs":
+            if a0.num is not None:
+                lo, hi = a0.num.lo, a0.num.hi
+                if lo is not None and lo >= 0:
+                    return Val(num=a0.num, taint=a0.taint)
+                if lo is not None and hi is not None:
+                    return Val(num=Interval(0, max(abs(lo), abs(hi))), taint=a0.taint)
+                return Val(num=Interval.nonneg(), taint=a0.taint)
+            return Val(num=Interval.nonneg(), taint=a0.taint)
+        if name == "int":
+            if a0.num is not None:
+                return Val(num=a0.num, taint=a0.taint)
+            return Val(num=Interval.top(), taint=a0.taint)
+        if name == "bool":
+            return Val.of_bool(a0.taint)
+        if name in ("isinstance", "issubclass", "hasattr", "callable"):
+            return Val.of_bool()
+        if name == "enumerate":
+            elem = self.iter_element(a0)
+            length = _container_length(a0)
+            hi = None if length.hi is None else max(length.hi - 1, 0)
+            pair = Val(tup=(Val.of_int(0, hi), elem))
+            unordered = bool(a0.seq and a0.seq.unordered) or bool(
+                a0.map and a0.map.unordered
+            )
+            return Val.of_seq(pair, length, unordered=unordered, taint=a0.taint)
+        if name == "zip":
+            elems = tuple(self.iter_element(value) for value in args)
+            lengths = [_container_length(value) for value in args]
+            hi = None
+            for length in lengths:
+                if length.hi is not None:
+                    hi = length.hi if hi is None else min(hi, length.hi)
+            lo = 0
+            if lengths and all(length.lo is not None for length in lengths):
+                lo = min(length.lo for length in lengths)
+            return Val.of_seq(Val(tup=elems), Interval(lo, hi), taint=arg_taint)
+        if name in ("list", "tuple"):
+            if not args:
+                return Val.of_seq(BOTTOM, Interval.exact(0))
+            return Val.of_seq(
+                self.iter_element(a0),
+                _container_length(a0),
+                unordered=bool(a0.seq and a0.seq.unordered)
+                or bool(a0.map and a0.map.unordered),
+                taint=a0.taint,
+            )
+        if name in ("set", "frozenset"):
+            if not args:
+                return Val.of_seq(BOTTOM, Interval.exact(0), unordered=True)
+            return Val.of_seq(
+                self.iter_element(a0),
+                Interval(0, _container_length(a0).hi),
+                unordered=True,
+                taint=a0.taint,
+            )
+        if name in ("dict", "OrderedDict", "defaultdict", "Counter"):
+            if not args:
+                return Val.of_map(BOTTOM, BOTTOM, Interval.exact(0))
+            if a0.map is not None:
+                return Val(map=a0.map, taint=a0.taint)
+            return Val.of_map(TOP, TOP, taint=a0.taint)
+        if name == "deque":
+            if not args:
+                return Val.of_seq(BOTTOM, Interval.exact(0))
+            return Val.of_seq(self.iter_element(a0), _container_length(a0))
+        if name == "iter":
+            return a0
+        if name == "next":
+            elem = self.iter_element(a0)
+            if len(args) > 1:
+                elem = elem.join(args[1])
+            if a0.map is not None and a0.seq is None:
+                # next(iter(d)) yields a key; handled by iter_element.
+                pass
+            return elem
+        if name == "divmod":
+            if a0.num is not None and len(args) > 1 and args[1].num is not None:
+                return Val(
+                    tup=(
+                        Val(num=a0.num.floordiv(args[1].num), taint=arg_taint),
+                        Val(num=a0.num.mod(args[1].num), taint=arg_taint),
+                    )
+                )
+            return Val(tup=(Val.top(arg_taint), Val.top(arg_taint)))
+        if name == "reversed":
+            return Val.of_seq(
+                self.iter_element(a0), _container_length(a0), taint=a0.taint
+            )
+        if name in ("all", "any"):
+            return Val.of_bool(self.iter_element(a0).taint)
+        if name == "id":
+            return Val.of_int(0, None, taint=frozenset((TAINT_PID,)))
+        if name == "print":
+            return Val.none()
+        if name in ("repr", "str", "format", "chr", "hex", "bin", "oct"):
+            return Val(other=True, taint=arg_taint)
+        if name == "round":
+            if a0.num is not None and len(args) == 1:
+                return Val(num=a0.num, taint=a0.taint)
+            return Val(num=Interval.top(), other=True, taint=arg_taint)
+        if name == "pow":
+            return Val(num=Interval.top(), taint=arg_taint)
+        if name == "log2_exact":
+            # Companion model of repro.caches.base.log2_exact: exact on
+            # exact powers of two, a non-negative width otherwise.
+            if a0.num is not None and a0.num.is_exact:
+                value = a0.num.value
+                if value > 0 and value & (value - 1) == 0:
+                    return Val.exact(value.bit_length() - 1, a0.taint)
+            return Val(num=Interval.nonneg(), taint=a0.taint)
+        if name == "super":
+            return None  # handled structurally in _dispatch_call
+        return None
+
+    def _builtin_range(self, args: list[Val], arg_taint: frozenset) -> Val:
+        zero = Interval.exact(0)
+        one = Interval.exact(1)
+        if not args:
+            return Val.of_seq(Val(num=Interval.nonneg()), Interval.nonneg())
+        if len(args) == 1:
+            start, stop, step = zero, args[0].num or Interval.top(), one
+        else:
+            start = args[0].num or Interval.top()
+            stop = args[1].num or Interval.top()
+            step = args[2].num if len(args) > 2 and args[2].num else one
+        if not step.ge(1):
+            return Val.of_seq(
+                Val(num=Interval.top(), taint=arg_taint), Interval.nonneg()
+            )
+        elem_hi = None if stop.hi is None else stop.hi - 1
+        elem = Val(num=Interval(start.lo, elem_hi), taint=arg_taint)
+        span = stop.sub(start)
+        length = span.meet(Interval.nonneg()) or Interval.exact(0)
+        if not step.is_exact or step.value != 1:
+            length = Interval(0, length.hi)
+        return Val.of_seq(elem, length, taint=arg_taint)
+
+    def _builtin_minmax(
+        self,
+        name: str,
+        args: list[Val],
+        kwargs: dict[str, Val],
+        arg_taint: frozenset,
+        ctx: FnCtx,
+    ) -> Val:
+        key = kwargs.get("key")
+        if len(args) == 1:
+            elem = _strip_taint(self.iter_element(args[0]), TAINT_UNORDERED)
+            if key is not None and key.func is not None:
+                self._call_funcinfo(key.func, [elem], {}, ctx)
+            return elem.with_taint(args[0].taint - {TAINT_UNORDERED})
+        nums = [value.num for value in args]
+        if all(num is not None for num in nums):
+            pick_lo = [num.lo for num in nums]
+            pick_hi = [num.hi for num in nums]
+            if name == "min":
+                lo = None if any(b is None for b in pick_lo) else min(pick_lo)
+                hi = None if all(b is None for b in pick_hi) else min(
+                    b for b in pick_hi if b is not None
+                )
+            else:
+                lo = None if all(b is None for b in pick_lo) else max(
+                    b for b in pick_lo if b is not None
+                )
+                hi = None if any(b is None for b in pick_hi) else max(pick_hi)
+            return Val(num=Interval(lo, hi), taint=arg_taint - {TAINT_UNORDERED})
+        out = BOTTOM
+        for value in args:
+            out = out.join(value)
+        return out
+
+    # -- container method models ---------------------------------------
+    def _call_container_method(
+        self,
+        base: Val,
+        method: str,
+        node: ast.Call,
+        args: list[Val],
+        kwargs: dict[str, Val],
+        env: Env,
+        ctx: FnCtx,
+    ) -> Optional[Val]:
+        a0 = args[0] if args else BOTTOM
+        local_name = None
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            local_name = func.value.id
+
+        if base.seq is not None and method in _SEQ_METHODS:
+            seq = base.seq
+            elem = seq.elem
+            if seq.prov is not None:
+                elem = elem.join(self.summary_load(seq.prov))
+            if method in ("append", "add"):
+                self._mutate_seq(base, a0, local_name, env, grow=1)
+                return Val.none()
+            if method == "insert":
+                value = args[1] if len(args) > 1 else TOP
+                self._mutate_seq(base, value, local_name, env, grow=1)
+                return Val.none()
+            if method == "extend":
+                self._mutate_seq(
+                    base, self.iter_element(a0), local_name, env, grow=None
+                )
+                return Val.none()
+            if method == "pop":
+                if args:
+                    self._seq_obligation(base, a0, node, ctx)
+                return elem.with_taint(base.taint)
+            if method == "index":
+                hi = None if seq.length.hi is None else max(seq.length.hi - 1, 0)
+                return Val.of_int(0, hi, taint=base.taint)
+            if method == "count":
+                return Val.of_int(0, seq.length.hi, taint=base.taint)
+            if method in ("remove", "clear", "reverse", "discard"):
+                return Val.none()
+            if method == "sort":
+                if local_name is not None and local_name in env:
+                    current = env[local_name]
+                    if current.seq is not None:
+                        env[local_name] = Val(
+                            num=current.num,
+                            maybe_none=current.maybe_none,
+                            seq=SeqInfo(
+                                current.seq.elem,
+                                current.seq.length,
+                                current.seq.prov,
+                                False,
+                            ),
+                            map=current.map,
+                            tup=current.tup,
+                            obj=current.obj,
+                            func=current.func,
+                            other=current.other,
+                            taint=current.taint,
+                        )
+                return Val.none()
+            if method == "copy":
+                return Val.of_seq(
+                    elem, seq.length, unordered=seq.unordered, taint=base.taint
+                )
+
+        if base.map is not None and method in _MAP_METHODS:
+            mapc = base.map
+            val = mapc.val
+            if mapc.prov is not None:
+                val = val.join(self.summary_load(mapc.prov))
+            if method == "get":
+                default = args[1] if len(args) > 1 else Val.none()
+                return val.join(default).with_taint(base.taint)
+            if method == "pop":
+                default = args[1] if len(args) > 1 else BOTTOM
+                return val.join(default).with_taint(base.taint)
+            if method == "popitem":
+                return Val(
+                    tup=(mapc.key.with_taint(base.taint), val.with_taint(base.taint))
+                )
+            if method == "items":
+                return Val.of_seq(
+                    Val(tup=(mapc.key, val)),
+                    mapc.length,
+                    unordered=mapc.unordered,
+                    taint=base.taint,
+                )
+            if method == "keys":
+                return Val.of_seq(
+                    mapc.key, mapc.length, unordered=mapc.unordered, taint=base.taint
+                )
+            if method == "values":
+                return Val.of_seq(
+                    val,
+                    mapc.length,
+                    prov=mapc.prov,
+                    unordered=mapc.unordered,
+                    taint=base.taint,
+                )
+            if method == "setdefault":
+                default = args[1] if len(args) > 1 else Val.none()
+                if mapc.prov is not None:
+                    self.summary_store(mapc.prov, default)
+                return val.join(default).with_taint(base.taint)
+            if method == "update":
+                if a0.map is not None and mapc.prov is not None:
+                    self.summary_store(mapc.prov, a0.map.val)
+                return Val.none()
+            if method in ("move_to_end", "clear"):
+                return Val.none()
+            if method == "copy":
+                return Val(map=mapc, taint=base.taint)
+
+        if (
+            base.num is not None
+            and base.seq is None
+            and base.map is None
+            and method == "bit_length"
+        ):
+            hi = None
+            if base.num.hi is not None and base.num.lo is not None:
+                hi = max(abs(base.num.hi), abs(base.num.lo)).bit_length()
+            return Val.of_int(0, hi, taint=base.taint)
+        return None
+
+    def _mutate_seq(
+        self,
+        base: Val,
+        value: Val,
+        local_name: Optional[str],
+        env: Env,
+        grow: Optional[int],
+    ) -> None:
+        if base.seq is not None and base.seq.prov is not None:
+            self.summary_store(base.seq.prov, value)
+        if local_name is not None and local_name in env:
+            current = env[local_name]
+            if current.seq is not None:
+                growth = (
+                    Interval.exact(grow) if grow is not None else Interval.nonneg()
+                )
+                env[local_name] = Val(
+                    num=current.num,
+                    maybe_none=current.maybe_none,
+                    seq=SeqInfo(
+                        current.seq.elem.join(value),
+                        current.seq.length.add(growth),
+                        current.seq.prov,
+                        current.seq.unordered,
+                    ),
+                    map=current.map,
+                    tup=current.tup,
+                    obj=current.obj,
+                    func=current.func,
+                    other=current.other,
+                    taint=current.taint,
+                )
+
+
+_SEQ_METHODS = frozenset(
+    (
+        "append",
+        "add",
+        "insert",
+        "extend",
+        "pop",
+        "index",
+        "count",
+        "remove",
+        "clear",
+        "reverse",
+        "discard",
+        "sort",
+        "copy",
+    )
+)
+
+_MAP_METHODS = frozenset(
+    (
+        "get",
+        "pop",
+        "popitem",
+        "items",
+        "keys",
+        "values",
+        "setdefault",
+        "update",
+        "move_to_end",
+        "clear",
+        "copy",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Module helpers
+# ----------------------------------------------------------------------
+class _MissingSentinel:
+    pass
+
+
+_MISSING = _MissingSentinel()
+
+
+class _quietly:
+    """Context manager suppressing obligations/hook events (re-eval)."""
+
+    def __init__(self, interp: Interp) -> None:
+        self.interp = interp
+
+    def __enter__(self) -> None:
+        self.interp._quiet += 1
+
+    def __exit__(self, *exc: Any) -> None:
+        self.interp._quiet -= 1
+
+
+_NEGATED_OPS: dict[type, type] = {
+    ast.Eq: ast.NotEq,
+    ast.NotEq: ast.Eq,
+    ast.Lt: ast.GtE,
+    ast.LtE: ast.Gt,
+    ast.Gt: ast.LtE,
+    ast.GtE: ast.Lt,
+    ast.Is: ast.IsNot,
+    ast.IsNot: ast.Is,
+}
+
+
+def _comparison_bound(
+    op_type: type, other: Interval, flipped: bool
+) -> Optional[Interval]:
+    """The interval the refined side must lie in, given ``side op other``.
+
+    ``flipped`` means the refined side is on the *right* of the op.
+    """
+    if flipped:
+        op_type = {
+            ast.Lt: ast.Gt,
+            ast.LtE: ast.GtE,
+            ast.Gt: ast.Lt,
+            ast.GtE: ast.LtE,
+        }.get(op_type, op_type)
+    if op_type is ast.Eq:
+        return other
+    if op_type is ast.NotEq:
+        return Interval.top()  # endpoint exclusion handled by caller
+    if op_type is ast.Lt:
+        return Interval(None, None if other.hi is None else other.hi - 1)
+    if op_type is ast.LtE:
+        return Interval(None, other.hi)
+    if op_type is ast.Gt:
+        return Interval(None if other.lo is None else other.lo + 1, None)
+    if op_type is ast.GtE:
+        return Interval(other.lo, None)
+    return None
+
+
+def _exclude_endpoint(interval: Interval, value: int) -> Optional[Interval]:
+    """Refine ``!= value`` when it trims an interval endpoint."""
+    lo, hi = interval.lo, interval.hi
+    if lo is not None and lo == value:
+        lo = lo + 1
+    elif hi is not None and hi == value:
+        hi = hi - 1
+    if lo is not None and hi is not None and lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+def _container_length(value: Val) -> Interval:
+    length = None
+    if value.seq is not None:
+        length = value.seq.length
+    if value.map is not None:
+        length = (
+            value.map.length if length is None else length.join(value.map.length)
+        )
+    if value.tup is not None:
+        arity = Interval.exact(len(value.tup))
+        length = arity if length is None else length.join(arity)
+    if length is None:
+        return Interval.nonneg()
+    return length
+
+
+def _container_with_elem(current: Val, value: Val, index: Val) -> Val:
+    """Weak update of a local container binding after ``c[i] = v``."""
+    seq = current.seq
+    if seq is not None:
+        seq = SeqInfo(seq.elem.join(value), seq.length, seq.prov, seq.unordered)
+    mapc = current.map
+    if mapc is not None:
+        mapc = MapInfo(
+            mapc.key.join(index),
+            mapc.val.join(value),
+            mapc.length.add(Interval(0, 1)),
+            mapc.prov,
+            mapc.unordered,
+        )
+    return Val(
+        num=current.num,
+        maybe_none=current.maybe_none,
+        seq=seq,
+        map=mapc,
+        tup=None if current.tup is not None else None,
+        obj=current.obj,
+        func=current.func,
+        other=current.other,
+        taint=current.taint,
+    )
+
+
+def _strip_taint(value: Val, label: str) -> Val:
+    if label not in value.taint:
+        return value
+    from dataclasses import replace as _replace
+
+    return _replace(value, taint=value.taint - {label})
+
+
+def _truthy(value: Val) -> Optional[Val]:
+    """Refine a value assumed truthy; ``None`` if impossible."""
+    if value.is_bottom:
+        return None
+    num = value.num
+    if num is not None:
+        lo, hi = num.lo, num.hi
+        if lo == 0 and hi == 0:
+            num = None
+        else:
+            if lo == 0:
+                lo = 1
+            if hi == 0:
+                hi = -1
+            if lo is not None and hi is not None and lo > hi:
+                num = None
+            else:
+                num = Interval(lo, hi)
+    seq = value.seq
+    if seq is not None:
+        length = seq.length.meet(Interval(1, None))
+        seq = None if length is None else SeqInfo(
+            seq.elem, length, seq.prov, seq.unordered
+        )
+    mapc = value.map
+    if mapc is not None:
+        length = mapc.length.meet(Interval(1, None))
+        mapc = None if length is None else MapInfo(
+            mapc.key, mapc.val, length, mapc.prov, mapc.unordered
+        )
+    tup = value.tup if value.tup else None
+    out = Val(
+        num=num,
+        maybe_none=False,
+        seq=seq,
+        map=mapc,
+        tup=tup,
+        obj=value.obj,
+        func=value.func,
+        other=value.other,
+        taint=value.taint,
+    )
+    return None if out.is_bottom else out
+
+
+def _falsy(value: Val) -> Optional[Val]:
+    """Refine a value assumed falsy; ``None`` if impossible."""
+    if value.is_bottom:
+        return None
+    num = None
+    if value.num is not None:
+        num = value.num.meet(Interval.exact(0))
+    seq = value.seq
+    if seq is not None:
+        length = seq.length.meet(Interval.exact(0))
+        seq = None if length is None else SeqInfo(
+            seq.elem, length, seq.prov, seq.unordered
+        )
+    mapc = value.map
+    if mapc is not None:
+        length = mapc.length.meet(Interval.exact(0))
+        mapc = None if length is None else MapInfo(
+            mapc.key, mapc.val, length, mapc.prov, mapc.unordered
+        )
+    tup = value.tup if value.tup is not None and len(value.tup) == 0 else None
+    out = Val(
+        num=num,
+        maybe_none=value.maybe_none,
+        seq=seq,
+        map=mapc,
+        tup=tup,
+        obj=value.obj,
+        func=value.func,
+        other=value.other,
+        taint=value.taint,
+    )
+    return None if out.is_bottom else out
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # noqa: BLE001 - cosmetic only
+        return "<expr>"
+
+
+def _as_load(node: ast.expr) -> ast.expr:
+    """A Load-context copy of an assignment target (for AugAssign)."""
+    try:
+        loaded = ast.parse(_expr_text(node), mode="eval").body
+        ast.increment_lineno(loaded, getattr(node, "lineno", 1) - 1)
+        return loaded
+    except SyntaxError:  # pragma: no cover - defensive
+        return ast.Constant(value=None)

@@ -27,8 +27,11 @@ BCL007    no mutable default arguments
 BCL008    cache-interface methods must carry full type annotations so
           this pass (and mypy) can reason about subclass signatures
 BCL009    batch kernels (``access_trace`` / ``_batch_trace``) must stay
-          allocation-free: no ``AccessResult(...)`` construction inside
-          their loops (accumulate locals, bulk-update the stats once)
+          allocation-free: no ``AccessResult(...)`` construction on a
+          CFG cycle (accumulate locals, bulk-update the stats once) —
+          decided on the function's real control-flow graph, so
+          straight-line code under a lexical loop that returns on its
+          first iteration is not flagged
 BCL010    engine code (``repro.engine``) must not swallow failures or
           spin-retry: no bare ``except:``, no ``except Exception:
           pass``, and retry loops (``while``/``for range(...)`` with an
@@ -43,7 +46,25 @@ BCL012    telemetry contract: ``span(...)`` must be used as a context
           ``__enter__``, which loses the crash-safe exit event), and
           metric names passed to ``counter``/``gauge``/``histogram``
           must match ``^repro_[a-z0-9_]+$``
+BCL013    determinism audit (flow): values tainted by wall-clock,
+          process identity, unseeded randomness or unordered iteration
+          must not flow into result-bearing sinks — ``CacheStats``
+          fields, journal ``record(...)`` calls, ``merge_deltas`` and
+          serve response payloads
+BCL014    fork-safety (flow): process-boundary entry points must not
+          mutate module-level mutable state, ship unpicklable objects
+          (locks, file handles, event loops) across ``Process``/
+          ``submit`` boundaries, or (serve) drop ``create_task``
+          references (task leak)
+BCL015    bit-width proof (flow): address-derived indices in
+          ``_access_block``-family methods are abstract-interpreted
+          over intervals seeded from the constructor; an index mask
+          provably wider than its table is flagged
 ========  =============================================================
+
+Rules BCL013–BCL015 run on the :mod:`repro.analysis.flow`
+abstract-interpretation engine (see ``docs/analysis.md``); the
+remaining rules are single-pass syntactic checks.
 
 A violation on a line containing ``# noqa: BCLxxx`` (or a bare
 ``# noqa``) is suppressed; the repo itself is expected to stay clean
@@ -54,11 +75,14 @@ from __future__ import annotations
 
 import argparse
 import ast
+import hashlib
+import json
+import os
 import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 #: One-line summary per rule (``bcache-lint --list-rules``).
 RULES: dict[str, str] = {
@@ -78,7 +102,16 @@ RULES: dict[str, str] = {
     "inside a serve coroutine",
     "BCL012": "span() not used as a context manager, or metric name not "
     "matching ^repro_[a-z0-9_]+$",
+    "BCL013": "nondeterministic value (wall-clock/pid/random/unordered) "
+    "flows into a result-bearing sink",
+    "BCL014": "fork-safety hazard: worker-reachable module state mutation, "
+    "unpicklable across the process boundary, or dropped create_task",
+    "BCL015": "address-derived index mask provably wider than its table "
+    "(interval/bit-width proof of address math)",
 }
+
+#: Rules that need the flow engine rather than the syntactic visitor.
+FLOW_RULES = frozenset({"BCL013", "BCL014", "BCL015"})
 
 #: Sub-packages of ``repro`` whose code runs once per simulated access.
 HOT_PACKAGES = frozenset(
@@ -338,6 +371,12 @@ class _Linter(ast.NodeVisitor):
                     f"mutable default argument in {node.name}()",
                 )
 
+        # BCL009 on real control flow: an allocation counts as per-access
+        # only when its basic block sits on a CFG cycle (or inside a
+        # comprehension).  Nested defs get their own CFGs.
+        if node.name in BATCH_FUNCS and not self._in_batch_func:
+            self._check_batch_allocations(node)
+
         if node.name in CACHE_INTERFACE:
             positional = args.posonlyargs + args.args
             unannotated = [
@@ -367,6 +406,38 @@ class _Linter(ast.NodeVisitor):
         self._loop_depth = enclosing_loops
         self._async_stack.pop()
         self._func_stack.pop()
+
+    def _check_batch_allocations(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        from .rules_flow import batch_allocation_lines
+
+        nested = [
+            sub
+            for sub in ast.walk(node)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not node
+        ]
+        nested_spans = [
+            (sub.lineno, sub.end_lineno or sub.lineno) for sub in nested
+        ]
+        lines = {
+            line
+            for line in batch_allocation_lines(node)
+            if not any(lo <= line <= hi for lo, hi in nested_spans)
+        }
+        for sub in nested:
+            lines.update(batch_allocation_lines(sub))
+        for line in sorted(lines):
+            self.violations.append(
+                Violation(
+                    self.path,
+                    line,
+                    "BCL009",
+                    "AccessResult allocated per access inside a batch "
+                    "kernel loop; accumulate local counters instead",
+                )
+            )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_function(node)
@@ -508,20 +579,6 @@ class _Linter(ast.NodeVisitor):
     # -- expressions ---------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
-
-        # BCL009: the batch kernels exist to avoid one AccessResult per
-        # reference; constructing one inside their loops defeats them.
-        if self._in_batch_func and self._loop_depth > 0:
-            name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else ""
-            )
-            if name == "AccessResult":
-                self._add(
-                    node,
-                    "BCL009",
-                    "AccessResult allocated per access inside a batch "
-                    "kernel loop; accumulate local counters instead",
-                )
 
         # BCL004: int(math.log2(...)) truncates silently on non-powers
         # of two; log2_exact raises instead.
@@ -709,17 +766,44 @@ def _noqa_codes(source: str) -> dict[int, set[str] | None]:
     return suppressed
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Violation]:
-    """Lint one module's source text; ``path`` drives path-scoped rules."""
+def _flow_violations(
+    tree: ast.Module, path: str, segments: tuple[str, ...]
+) -> list[Violation]:
+    """BCL013–BCL015 via the abstract-interpretation engine."""
+    from .rules_flow import (
+        check_address_math,
+        check_determinism,
+        check_fork_safety,
+    )
+
+    violations: list[Violation] = []
+    for checker in (check_determinism, check_fork_safety, check_address_math):
+        for line, code, message in checker(tree, segments):
+            violations.append(Violation(path, line, code, message))
+    return violations
+
+
+def lint_source(
+    source: str, path: str = "<string>", flow: bool = True
+) -> list[Violation]:
+    """Lint one module's source text; ``path`` drives path-scoped rules.
+
+    ``flow=False`` restricts the pass to the syntactic rules (an order
+    of magnitude faster; used by callers that only need BCL001–BCL012).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "BCL000", f"syntax error: {exc.msg}")]
-    linter = _Linter(path, _module_segments(path))
+    segments = _module_segments(path)
+    linter = _Linter(path, segments)
     linter.visit(tree)
+    violations = linter.violations
+    if flow:
+        violations = violations + _flow_violations(tree, path, segments)
     suppressed = _noqa_codes(source)
     kept = []
-    for violation in linter.violations:
+    for violation in violations:
         codes = suppressed.get(violation.line, set())
         if codes is None or (codes and violation.code in codes):
             continue
@@ -741,12 +825,189 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield entry
 
 
-def lint_paths(paths: Iterable[str | Path]) -> list[Violation]:
-    """Lint every python file under ``paths``; returns all violations."""
-    violations: list[Violation] = []
-    for file in iter_python_files(paths):
-        violations.extend(lint_source(file.read_text(encoding="utf-8"), str(file)))
+# ----------------------------------------------------------------------
+# Result cache + parallel execution
+# ----------------------------------------------------------------------
+#: Default location of the content-hash result cache.
+CACHE_DIR_NAME = ".bcache-lint-cache"
+
+_fingerprint: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analysis engine's own sources.
+
+    Part of every cache key, so editing any rule (or the engine under
+    it) invalidates all cached results at once.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        digest = hashlib.sha256()
+        here = Path(__file__).parent
+        for name in ("lint.py", "domains.py", "flow.py", "rules_flow.py"):
+            module = here / name
+            if module.exists():
+                digest.update(module.read_bytes())
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _cache_key(path: str, source: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(engine_fingerprint().encode())
+    digest.update(path.encode())
+    digest.update(b"\0")
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+def _cache_load(cache_dir: Path, key: str) -> Optional[list[Violation]]:
+    entry = cache_dir / f"{key}.json"
+    try:
+        rows = json.loads(entry.read_text(encoding="utf-8"))
+        return [Violation(r[0], r[1], r[2], r[3]) for r in rows]
+    except (OSError, ValueError, IndexError, TypeError):
+        return None
+
+
+def _cache_store(
+    cache_dir: Path, key: str, violations: list[Violation]
+) -> None:
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        rows = [[v.path, v.line, v.code, v.message] for v in violations]
+        tmp = cache_dir / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(rows), encoding="utf-8")
+        tmp.replace(cache_dir / f"{key}.json")
+    except OSError:  # cache is best-effort; never fail the lint
+        pass
+
+
+def lint_file(
+    path: str | Path, cache_dir: str | Path | None = None
+) -> list[Violation]:
+    """Lint one file, consulting the content-hash cache if given."""
+    path = str(path)
+    source = Path(path).read_text(encoding="utf-8")
+    if cache_dir is None:
+        return lint_source(source, path)
+    cache = Path(cache_dir)
+    key = _cache_key(path, source)
+    cached = _cache_load(cache, key)
+    if cached is not None:
+        return cached
+    violations = lint_source(source, path)
+    _cache_store(cache, key, violations)
     return violations
+
+
+def _lint_file_job(job: tuple[str, str | None]) -> list[Violation]:
+    """Process-pool entry point (must be module-level picklable)."""
+    path, cache_dir = job
+    return lint_file(path, cache_dir)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> list[Violation]:
+    """Lint every python file under ``paths``; returns all violations.
+
+    ``jobs > 1`` fans files out across a process pool;
+    ``cache_dir`` enables the content-hash result cache.
+    """
+    files = [str(f) for f in iter_python_files(paths)]
+    cache = str(cache_dir) if cache_dir is not None else None
+    violations: list[Violation] = []
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(files))) as pool:
+            for result in pool.map(
+                _lint_file_job, [(f, cache) for f in files]
+            ):
+                violations.extend(result)
+    else:
+        for file in files:
+            violations.extend(lint_file(file, cache))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+def render_json(violations: list[Violation]) -> str:
+    rows = [
+        {
+            "path": v.path,
+            "line": v.line,
+            "code": v.code,
+            "message": v.message,
+        }
+        for v in violations
+    ]
+    return json.dumps(rows, indent=2)
+
+
+def render_sarif(violations: list[Violation]) -> str:
+    """SARIF 2.1.0, as consumed by GitHub code scanning."""
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, summary in sorted(RULES.items())
+    ]
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace(os.sep, "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(v.line, 1)},
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "bcache-lint",
+                        "informationUri": "https://example.invalid/bcache-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -761,6 +1022,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="lint N files in parallel (default: all available CPUs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"disable the {CACHE_DIR_NAME}/ result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=CACHE_DIR_NAME,
+        help=f"result-cache directory (default: {CACHE_DIR_NAME})",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -773,15 +1057,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bcache-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    violations = lint_paths(args.paths)
-    for violation in violations:
-        print(violation.render())
+    jobs = args.jobs if args.jobs > 0 else available_cpus()
+    cache_dir = None if args.no_cache else args.cache_dir
+    violations = lint_paths(args.paths, jobs=jobs, cache_dir=cache_dir)
+    violations.sort(key=lambda v: (v.path, v.line, v.code))
     checked = sum(1 for _ in iter_python_files(args.paths))
-    if violations:
-        print(f"bcache-lint: {len(violations)} violation(s) in {checked} file(s)")
-        return 1
-    print(f"bcache-lint: OK ({checked} files clean)")
-    return 0
+    if args.format == "json":
+        print(render_json(violations))
+    elif args.format == "sarif":
+        print(render_sarif(violations))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(
+                f"bcache-lint: {len(violations)} violation(s) in "
+                f"{checked} file(s)"
+            )
+        else:
+            print(f"bcache-lint: OK ({checked} files clean)")
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

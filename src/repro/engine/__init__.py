@@ -19,6 +19,7 @@ Five pieces (see ``docs/engine.md``):
 """
 
 import importlib
+from typing import Any
 
 from repro.engine.runner import (
     SweepJob,
@@ -47,7 +48,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     submodule = _LAZY.get(name)
     if submodule is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

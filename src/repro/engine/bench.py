@@ -30,6 +30,7 @@ import platform
 import sys
 import time
 from pathlib import Path
+from typing import Any, Callable, Sequence
 
 from repro.caches import make_cache
 from repro.engine.runner import SweepJob, run_sweep
@@ -48,7 +49,9 @@ SWEEP_SPECS = ("dm", "2way", "4way", "8way", "mf8_bas8", "victim16")
 SWEEP_BENCHMARKS = ("gzip", "gcc", "equake", "mcf")
 
 
-def _replay_scalar(cache, addresses, kinds) -> float:
+def _replay_scalar(
+    cache: Any, addresses: Sequence[int], kinds: Sequence[int]
+) -> float:
     """Per-access replay; returns elapsed seconds."""
     access = cache.access
     start = time.perf_counter()
@@ -57,7 +60,9 @@ def _replay_scalar(cache, addresses, kinds) -> float:
     return time.perf_counter() - start
 
 
-def _replay_batch(cache, addresses, kinds) -> float:
+def _replay_batch(
+    cache: Any, addresses: Sequence[int], kinds: Sequence[int]
+) -> float:
     """Batch replay; returns elapsed seconds."""
     start = time.perf_counter()
     cache.access_trace(addresses, kinds)
@@ -95,13 +100,23 @@ def bench_hot_loop(
     return results
 
 
-def _timed_fresh(replay, spec: str, addresses, kinds) -> float:
+def _timed_fresh(
+    replay: Callable[[Any, Sequence[int], Sequence[int]], float],
+    spec: str,
+    addresses: Sequence[int],
+    kinds: Sequence[int],
+) -> float:
     """One timed replay on a freshly built cache (state-independent)."""
     return replay(make_cache(spec), addresses, kinds)
 
 
 def _timed_iteration(
-    replay, spec: str, flavor: str, iteration: int, addresses, kinds
+    replay: Callable[[Any, Sequence[int], Sequence[int]], float],
+    spec: str,
+    flavor: str,
+    iteration: int,
+    addresses: Sequence[int],
+    kinds: Sequence[int],
 ) -> float:
     """One timed replay, reporting the raw sample to the obs event log.
 

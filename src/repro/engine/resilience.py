@@ -45,10 +45,11 @@ import os
 import time
 import zlib
 from dataclasses import asdict, dataclass, field
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
 from random import Random
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.engine.faultinject import (
     FaultPlan,
@@ -346,13 +347,13 @@ class ResultJournal:
 # ----------------------------------------------------------------------
 # Supervised workers
 # ----------------------------------------------------------------------
-def _safe_send(conn, message: object) -> None:
+def _safe_send(conn: Connection, message: object) -> None:
     with contextlib.suppress(OSError, ValueError, BrokenPipeError):
         conn.send(message)
 
 
 def _worker_entry(
-    conn,
+    conn: Connection,
     job: SweepJob,
     store_root: str,
     sanitize: bool,
@@ -419,7 +420,7 @@ def _receive(worker: _Active) -> tuple | None:
 
 
 def _spawn(
-    ctx,
+    ctx: Any,
     jobs: Sequence[SweepJob],
     entry: _Pending,
     store: TraceStore,

@@ -39,7 +39,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, BinaryIO, Iterator
 
 log = logging.getLogger("repro.obs")
 
@@ -74,9 +74,9 @@ class EventLog:
         self.path = Path(path)
         self.emitted = 0
         self.dropped = 0
-        self._handle = None
+        self._handle: BinaryIO | None = None
 
-    def _ensure_open(self):
+    def _ensure_open(self) -> BinaryIO:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             # O_APPEND + one write() per line keeps concurrent writers'

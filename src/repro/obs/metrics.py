@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, TypeVar
 
 from repro.stats.latency import rank_position
+
+_M = TypeVar("_M", bound="_Metric")
 
 #: Metric names must match this (enforced here and by lint rule BCL012).
 METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
@@ -253,7 +255,9 @@ class MetricsRegistry:
         self._metrics: dict[str, _Metric] = {}
 
     # -- registration --------------------------------------------------
-    def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any):
+    def _get_or_create(
+        self, cls: "type[_M]", name: str, help: str, **kwargs: Any
+    ) -> "_M":
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:

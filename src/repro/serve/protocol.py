@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import struct
+import asyncio
 from typing import Any
 
 #: 4-byte big-endian unsigned length header.
@@ -105,7 +106,9 @@ class FrameDecoder:
         return len(self._buffer)
 
 
-async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> dict[str, Any] | None:
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
     """Read one frame from an asyncio stream.
 
     Returns ``None`` on a clean EOF (connection closed between frames)
@@ -134,7 +137,9 @@ async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> dict[str, Any]
 
 
 async def write_frame(
-    writer, payload: dict[str, Any], max_frame: int = MAX_FRAME_BYTES
+    writer: asyncio.StreamWriter,
+    payload: dict[str, Any],
+    max_frame: int = MAX_FRAME_BYTES,
 ) -> None:
     """Write one frame to an asyncio stream and drain the transport."""
     writer.write(encode_frame(payload, max_frame))

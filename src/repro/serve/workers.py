@@ -35,6 +35,7 @@ import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from random import Random
+from multiprocessing.connection import Connection
 from typing import Any, Sequence
 
 from repro.engine.resilience import RetryPolicy
@@ -49,7 +50,7 @@ ShardResult = tuple[str, Any]
 
 
 def _shard_entry(
-    conn, store_root: str, obs_mode: str = "off", obs_log: str = ""
+    conn: Connection, store_root: str, obs_mode: str = "off", obs_log: str = ""
 ) -> None:
     """Worker process: serve ``("batch", [job dicts])`` until ``("stop",)``.
 

@@ -1,0 +1,4 @@
+# lint-path: src/repro/caches/example.py
+class BrokenCache(Cache):
+    def _access_block(self, block: int, is_write: bool) -> int:
+        return 0

@@ -1,0 +1,10 @@
+# lint-path: src/repro/caches/example.py
+class GoodCache(Cache):
+    def _access_block(self, block: int, is_write: bool) -> int:
+        return 0
+
+    def _probe_block(self, block: int) -> bool:
+        return False
+
+    def _flush_state(self) -> None:
+        pass

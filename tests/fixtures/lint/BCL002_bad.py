@@ -1,0 +1,4 @@
+# lint-path: src/repro/caches/example.py
+class SneakyCache(SetAssociativeCache):
+    def access(self, address, is_write=False):
+        return None

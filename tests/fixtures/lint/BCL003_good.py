@@ -1,0 +1,4 @@
+# lint-path: src/repro/caches/example.py
+@dataclass(frozen=True, slots=True)
+class Point:
+    x: int

@@ -1,0 +1,4 @@
+# lint-path: src/repro/experiments/example.py
+import math
+
+bits = int(math.log2(sets))

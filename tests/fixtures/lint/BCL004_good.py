@@ -1,0 +1,2 @@
+# lint-path: src/repro/experiments/example.py
+bits = log2_exact(sets, "number of sets")

@@ -1,0 +1,4 @@
+# lint-path: src/repro/experiments/example.py
+import random
+
+value = random.random()

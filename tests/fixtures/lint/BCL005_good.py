@@ -1,0 +1,5 @@
+# lint-path: src/repro/experiments/example.py
+import random
+
+rng = random.Random(2006)
+value = rng.random()

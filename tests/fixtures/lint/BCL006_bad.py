@@ -1,0 +1,3 @@
+# lint-path: src/repro/caches/example.py
+def decompose_block(self, block: int) -> int:
+    return block / self.num_sets

@@ -1,0 +1,3 @@
+# lint-path: src/repro/caches/example.py
+def set_index(self, row: int, cluster: int) -> int:
+    return (cluster * self.num_rows + row) // 1

@@ -1,0 +1,3 @@
+# lint-path: src/repro/experiments/example.py
+def collect(rows=[]):
+    return rows

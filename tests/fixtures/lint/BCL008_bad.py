@@ -1,0 +1,3 @@
+# lint-path: src/repro/caches/example.py
+def _probe_block(self, block):
+    return False

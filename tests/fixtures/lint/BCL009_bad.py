@@ -1,0 +1,6 @@
+# lint-path: src/repro/caches/example.py
+class SlowCache(DirectMappedCache):
+    def _batch_trace(self, addresses, kinds):
+        for address in addresses:
+            result = AccessResult(hit=True, set_index=0)
+        return self.stats

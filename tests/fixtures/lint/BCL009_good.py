@@ -1,0 +1,8 @@
+# lint-path: src/repro/caches/example.py
+class FastCache(DirectMappedCache):
+    def _batch_trace(self, addresses, kinds):
+        # Lexically under a for, but returns on iteration 1: the block
+        # is not on a CFG cycle, so the flow-aware rule stays quiet.
+        for address in addresses:
+            return AccessResult(hit=True, set_index=0)
+        return None

@@ -1,0 +1,5 @@
+# lint-path: src/repro/engine/example.py
+try:
+    risky()
+except Exception:
+    pass

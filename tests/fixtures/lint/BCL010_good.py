@@ -1,0 +1,8 @@
+# lint-path: src/repro/engine/example.py
+while True:
+    try:
+        result = job()
+        break
+    except ValueError:
+        time.sleep(delay)
+        continue

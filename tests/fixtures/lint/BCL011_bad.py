@@ -1,0 +1,3 @@
+# lint-path: src/repro/serve/example.py
+async def handler(reader, writer):
+    time.sleep(0.1)

@@ -1,0 +1,3 @@
+# lint-path: src/repro/serve/example.py
+async def handler(reader, writer):
+    await asyncio.sleep(0.1)

@@ -1,0 +1,4 @@
+# lint-path: src/repro/experiments/example.py
+def run(registry):
+    span("job.run", key="k")
+    registry.counter("jobs_total")

@@ -1,0 +1,4 @@
+# lint-path: src/repro/experiments/example.py
+def run(registry):
+    with span("job.run", key="k"):
+        registry.counter("repro_engine_jobs_total")

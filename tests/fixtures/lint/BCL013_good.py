@@ -1,0 +1,9 @@
+# lint-path: src/repro/stats/example.py
+import time
+
+
+class Recorder:
+    def finish(self, stats, journal):
+        started = time.perf_counter()
+        stats.misses += 1
+        journal.record("job", stats, duration=time.perf_counter() - started)

@@ -1,0 +1,6 @@
+# lint-path: src/repro/engine/example.py
+_PENDING = {}
+
+
+def _worker_entry(conn):
+    _PENDING["job"] = conn

@@ -1,0 +1,4 @@
+# lint-path: src/repro/engine/example.py
+def _worker_entry(conn):
+    pending = {}
+    pending["job"] = conn

@@ -1,0 +1,10 @@
+# lint-path: src/repro/caches/example.py
+class WideMaskCache:
+    def __init__(self, size: int, line_size: int) -> None:
+        self.num_sets = size // line_size
+        self._tags = [-1] * self.num_sets
+
+    def _access_block(self, block: int, is_write: bool) -> int:
+        # Deliberately widened index mask: one bit too many.
+        index = block & (2 * self.num_sets - 1)
+        return self._tags[index]

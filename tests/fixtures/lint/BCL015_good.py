@@ -1,0 +1,9 @@
+# lint-path: src/repro/caches/example.py
+class TightMaskCache:
+    def __init__(self, size: int, line_size: int) -> None:
+        self.num_sets = size // line_size
+        self._tags = [-1] * self.num_sets
+
+    def _access_block(self, block: int, is_write: bool) -> int:
+        index = block & (self.num_sets - 1)
+        return self._tags[index]

@@ -1,0 +1,5 @@
+# lint-path: src/repro/experiments/example.py
+import random
+
+rng = random.Random()  # noqa: BCL005
+value = random.random()  # noqa

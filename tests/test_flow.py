@@ -1,0 +1,257 @@
+"""The abstract-interpretation engine under bcache-lint.
+
+Three layers of coverage:
+
+* unit tests of the (interval, bit-width) domain — the joins, widening
+  and bit-aware transfer functions everything else stands on;
+* CFG construction and cycle detection (the BCL009 retrofit substrate);
+* the headline acceptance criterion: :func:`prove_address_math`
+  discharges every bounds obligation for **all 17 factory cache
+  specs**, and a deliberately widened index mask is refuted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.domains import (
+    TAINT_ADDR,
+    TAINT_UNORDERED,
+    Interval,
+    Val,
+    seed_value,
+)
+from repro.analysis.flow import (
+    AstResolver,
+    FnCtx,
+    Interp,
+    build_cfg,
+    cycle_blocks,
+)
+from repro.analysis.rules_flow import (
+    CONTRACTS,
+    batch_allocation_lines,
+    prove_address_math,
+)
+from repro.caches import make_cache
+
+from test_engine_equivalence import ALL_SPECS
+
+
+# ----------------------------------------------------------------------
+# Interval domain
+# ----------------------------------------------------------------------
+class TestInterval:
+    def test_exact_and_contains(self):
+        nine = Interval.exact(9)
+        assert nine.is_exact and nine.value == 9
+        assert nine.contains(9) and not nine.contains(8)
+
+    def test_join_widen_meet(self):
+        a, b = Interval(0, 3), Interval(2, 7)
+        assert a.join(b) == Interval(0, 7)
+        assert a.meet(b) == Interval(2, 3)
+        widened = a.widen(Interval(0, 8))
+        assert widened.lo == 0 and widened.hi is None
+
+    def test_arithmetic(self):
+        a, b = Interval(1, 3), Interval(10, 20)
+        assert a.add(b) == Interval(11, 23)
+        assert b.sub(a) == Interval(7, 19)
+        assert a.mul(Interval.exact(4)) == Interval(4, 12)
+        assert b.floordiv(Interval.exact(2)) == Interval(5, 10)
+
+    def test_bit_ops_bound_by_mask(self):
+        block = Interval(0, (1 << 26) - 1)
+        mask = Interval.exact(511)
+        masked = block.and_(mask)
+        assert masked.lo == 0 and masked.hi == 511
+
+    def test_shift_composition(self):
+        # (pi << npi) | row with npi=9, pi<=3 stays under 2^11.
+        pi = Interval(0, 3)
+        row = Interval(0, 511)
+        composed = pi.lshift(Interval.exact(9)).or_(row)
+        assert composed.hi is not None and composed.hi < (1 << 11)
+
+    def test_mod_nonnegative_rhs(self):
+        assert Interval(0, None).mod(Interval.exact(8)) == Interval(0, 7)
+
+
+# ----------------------------------------------------------------------
+# CFG + cycles (BCL009 substrate)
+# ----------------------------------------------------------------------
+def _fn(source: str) -> ast.FunctionDef:
+    node = ast.parse(source).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+class TestCfg:
+    def test_loop_body_is_on_a_cycle(self):
+        fn = _fn(
+            "def f(xs):\n"
+            "    total = 0\n"
+            "    for x in xs:\n"
+            "        total += x\n"
+            "    return total\n"
+        )
+        blocks = build_cfg(fn)
+        cyclic = cycle_blocks(blocks)
+        assert cyclic, "for-loop body must lie on a CFG cycle"
+
+    def test_straight_line_has_no_cycle(self):
+        fn = _fn("def f(x):\n    y = x + 1\n    return y\n")
+        assert cycle_blocks(build_cfg(fn)) == set()
+
+    def test_loop_that_returns_immediately_has_no_cycle_alloc(self):
+        fn = _fn(
+            "def access_trace(xs):\n"
+            "    for x in xs:\n"
+            "        return AccessResult(x)\n"
+            "    return None\n"
+        )
+        assert batch_allocation_lines(fn) == []
+
+    def test_real_loop_allocation_is_flagged(self):
+        fn = _fn(
+            "def access_trace(xs):\n"
+            "    out = None\n"
+            "    for x in xs:\n"
+            "        out = AccessResult(x)\n"
+            "    return out\n"
+        )
+        assert batch_allocation_lines(fn) == [4]
+
+    def test_comprehension_allocation_is_flagged(self):
+        fn = _fn(
+            "def access_trace(xs):\n"
+            "    return [AccessResult(x) for x in xs]\n"
+        )
+        assert batch_allocation_lines(fn) == [2]
+
+
+# ----------------------------------------------------------------------
+# Solver + narrowing
+# ----------------------------------------------------------------------
+def _analyze(source: str, bound: dict[str, Val]) -> Interp:
+    tree = ast.parse(source)
+    resolver = AstResolver(tree, inline=True)
+    interp = Interp(resolver, contracts=CONTRACTS)
+    fn = tree.body[0]
+    interp.analyze(fn, FnCtx(module=resolver, name=fn.name), bound)
+    return interp
+
+
+class TestSolverObligations:
+    def test_masked_subscript_is_proved(self):
+        interp = _analyze(
+            "def f(block, tags):\n"
+            "    index = block & 511\n"
+            "    return tags[index]\n",
+            {
+                "block": Val.of_int(0, (1 << 26) - 1),
+                "tags": Val.of_seq(Val.of_int(-1, None), Interval.exact(512)),
+            },
+        )
+        assert interp.obligations and all(o.proved for o in interp.obligations)
+
+    def test_wide_mask_is_refuted(self):
+        interp = _analyze(
+            "def f(block, tags):\n"
+            "    index = block & 1023\n"
+            "    return tags[index]\n",
+            {
+                "block": Val.of_int(0, (1 << 26) - 1),
+                "tags": Val.of_seq(Val.of_int(-1, None), Interval.exact(512)),
+            },
+        )
+        assert any(not o.proved for o in interp.obligations)
+
+    def test_branch_narrowing_proves_guarded_subscript(self):
+        interp = _analyze(
+            "def f(i, tags):\n"
+            "    if 0 <= i < 8:\n"
+            "        return tags[i]\n"
+            "    return -1\n",
+            {
+                "i": Val.of_int(None, None),
+                "tags": Val.of_seq(Val.of_int(-1, None), Interval.exact(8)),
+            },
+        )
+        assert interp.obligations and all(o.proved for o in interp.obligations)
+
+    def test_taint_propagates_through_arithmetic(self):
+        interp = _analyze(
+            "def f(block, tags):\n"
+            "    index = (block >> 3) & 7\n"
+            "    return tags[index]\n",
+            {
+                "block": Val.of_int(
+                    0, 1023, taint=frozenset((TAINT_ADDR,))
+                ),
+                "tags": Val.of_seq(Val.of_int(-1, None), Interval.exact(8)),
+            },
+        )
+        ob = interp.obligations[0]
+        assert TAINT_ADDR in ob.taint and ob.proved
+
+    def test_unordered_taint_from_set_iteration(self):
+        interp = _analyze(
+            "def f(items, tags):\n"
+            "    for item in items:\n"
+            "        x = tags[item]\n"
+            "    return 0\n",
+            {
+                "items": Val.of_seq(
+                    Val.of_int(0, 7), Interval.nonneg(), unordered=True
+                ),
+                "tags": Val.of_seq(Val.of_int(-1, None), Interval.exact(8)),
+            },
+        )
+        # Iterating an unordered container labels the loop variable.
+        assert interp.obligations
+        assert all(
+            TAINT_UNORDERED in o.taint for o in interp.obligations
+        )
+
+    def test_seed_value_reads_concrete_geometry(self):
+        cache = make_cache("dm")
+        val = seed_value(cache, path="self")
+        assert val.obj is not None and val.obj.concrete is cache
+        tags = seed_value(cache._tags, path="self._tags")
+        assert tags.seq is not None
+        assert tags.seq.length == Interval.exact(cache.num_sets)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: all 17 factory specs prove; a widened mask does not
+# ----------------------------------------------------------------------
+class TestAddressMathProof:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_spec_address_math_proves(self, spec):
+        report = prove_address_math(make_cache(spec))
+        assert report.proven, report.render()
+        assert report.obligations, "proof must discharge real obligations"
+
+    def test_bcache_geometry_checks_present(self):
+        report = prove_address_math(make_cache("mf8_bas8"))
+        assert report.geometry_checks, "B-Cache must get geometry checks"
+        assert all(ok for _, ok in report.geometry_checks)
+        assert any("injective" in desc for desc, _ in report.geometry_checks)
+
+    def test_widened_mask_is_refuted(self):
+        cache = make_cache("dm")
+        # Sabotage: one extra mask bit — half the indices point past
+        # the table.  The proof must fail, not silently pass.
+        cache._index_mask = cache.num_sets * 2 - 1
+        report = prove_address_math(cache)
+        assert not report.proven
+        assert report.failures
+
+    def test_report_renders(self):
+        report = prove_address_math(make_cache("2way"))
+        text = report.render()
+        assert "PROVEN" in text and "obligations" in text
