@@ -60,6 +60,10 @@ BCL015    bit-width proof (flow): address-derived indices in
           ``_access_block``-family methods are abstract-interpreted
           over intervals seeded from the constructor; an index mask
           provably wider than its table is flagged
+BCL016    columnar/shm discipline: no ``Access`` object construction
+          inside a batch-kernel loop (kernels consume address/kind
+          columns directly), and no ``SharedMemory`` use without a
+          paired ``close()``/``unlink()`` owner in the same module
 ========  =============================================================
 
 Rules BCL013–BCL015 run on the :mod:`repro.analysis.flow`
@@ -108,6 +112,8 @@ RULES: dict[str, str] = {
     "unpicklable across the process boundary, or dropped create_task",
     "BCL015": "address-derived index mask provably wider than its table "
     "(interval/bit-width proof of address math)",
+    "BCL016": "Access object built in a batch-kernel loop, or SharedMemory "
+    "without a paired close()/unlink() owner",
 }
 
 #: Rules that need the flow engine rather than the syntactic visitor.
@@ -273,6 +279,12 @@ class _Linter(ast.NodeVisitor):
         self._awaited_calls: set[ast.Call] = set()
         self._cm_calls: set[ast.Call] = set()  # calls used as with-items
         self._loop_depth = 0  # loops inside the current function body
+        # BCL016 bookkeeping: SharedMemory call sites seen in this
+        # module, plus whether any close()/unlink() appears anywhere in
+        # it (resolved module-wide in finish()).
+        self._shm_calls: list[tuple[ast.Call, bool]] = []
+        self._saw_close = False
+        self._saw_unlink = False
 
     # -- helpers -------------------------------------------------------
     def _add(self, node: ast.AST, code: str, message: str) -> None:
@@ -668,6 +680,34 @@ class _Linter(ast.NodeVisitor):
                 "^repro_[a-z0-9_]+$",
             )
 
+        # BCL016: the columnar refactor's contract.  Batch kernels flow
+        # flat address/kind columns straight from the trace store; one
+        # Access object per reference would resurrect the allocation
+        # cost the columnar core removed.
+        if name == "Access" and self._in_batch_func and self._loop_depth > 0:
+            self._add(
+                node,
+                "BCL016",
+                "Access object built inside a batch-kernel loop; columnar "
+                "kernels consume address/kind columns directly",
+            )
+
+        # BCL016 bookkeeping: SharedMemory ownership is resolved
+        # module-wide in finish() — every create needs close()+unlink()
+        # somewhere in its module, every attach at least a close().
+        if name == "SharedMemory":
+            created = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            self._shm_calls.append((node, created))
+        elif name == "close":
+            self._saw_close = True
+        elif name == "unlink":
+            self._saw_unlink = True
+
         # BCL011: serve coroutines share one event loop; a single
         # blocking call there stalls every connection.  Blocking work
         # belongs in an executor (see ShardPool's shard-io threads).
@@ -750,6 +790,34 @@ class _Linter(ast.NodeVisitor):
             and (names is None or func.attr in names)
         )
 
+    # -- module-wide wrap-up -------------------------------------------
+    def finish(self) -> None:
+        """Emit violations that need the whole module seen first.
+
+        BCL016's shared-memory half is an ownership pairing: a module
+        that creates named segments must also be the place that closes
+        and unlinks them (the registry pattern); a module that only
+        attaches must still close its handles.  Individual calls can't
+        be judged until every call site has been visited.
+        """
+        for node, created in self._shm_calls:
+            if created and not (self._saw_close and self._saw_unlink):
+                self._add(
+                    node,
+                    "BCL016",
+                    "SharedMemory(create=True) without a paired "
+                    "close()/unlink() owner in this module; segments must "
+                    "be tracked and unlinked (registry pattern)",
+                )
+            elif not created and not self._saw_close:
+                self._add(
+                    node,
+                    "BCL016",
+                    "SharedMemory attached without a close() in this "
+                    "module; attachers must close their handle (only the "
+                    "owner unlinks)",
+                )
+
 
 def _noqa_codes(source: str) -> dict[int, set[str] | None]:
     """Map line number -> suppressed codes (None = suppress all)."""
@@ -798,6 +866,7 @@ def lint_source(
     segments = _module_segments(path)
     linter = _Linter(path, segments)
     linter.visit(tree)
+    linter.finish()
     violations = linter.violations
     if flow:
         violations = violations + _flow_violations(tree, path, segments)

@@ -63,6 +63,9 @@ class Cache(abc.ABC):
         self.num_sets = num_sets
         self.name = name or type(self).__name__
         self.stats = CacheStats(num_sets=num_sets)
+        #: Which kernel flavour the last access_trace batch ran on
+        #: ("stdlib" or "numpy"); telemetry-only, never affects stats.
+        self.last_kernel = "stdlib"
 
     # ------------------------------------------------------------------
     # Public API
@@ -124,9 +127,10 @@ class Cache(abc.ABC):
                     f"kinds length {len(kinds)} does not match "
                     f"addresses length {len(addresses)}"
                 )
+        self.last_kernel = "stdlib"
         start = _obs.kernel_clock()
         stats = self._batch_trace(addresses, kinds)
-        _obs.observe_kernel(self.name, len(addresses), start)
+        _obs.observe_kernel(self.name, len(addresses), start, self.last_kernel)
         return stats
 
     def contains(self, address: int) -> bool:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.caches import columnar
 from repro.caches.base import AccessResult, Cache, log2_exact
 from repro.stats.counters import CacheStats
 
@@ -53,28 +54,33 @@ class DirectMappedCache(Cache):
             # A subclass customises per-access behaviour; let the generic
             # kernel drive its _access_block override instead of this one.
             return super()._batch_trace(addresses, kinds)
+        if columnar.dm_batch(self, addresses, kinds):
+            self.last_kernel = "numpy"
+            return self.stats
         stats = self.stats
         tags = self._tags
         dirty = self._dirty
         index_mask = self._index_mask
-        index_bits = self.index_bits
         offset_bits = self.offset_bits
+        tag_shift = offset_bits + self.index_bits
         set_accesses = stats.set_accesses
         set_hits = stats.set_hits
         set_misses = stats.set_misses
+        # Hits dominate, so the hot loop only bumps the per-set access
+        # and miss counters; per-set hits are reconstructed afterwards
+        # from the deltas (final statistics stay bit-identical).
+        accesses_before = set_accesses.copy()
+        misses_before = set_misses.copy()
         n = len(addresses)
         if kinds is None:
             kinds = bytes(n)  # all reads
-        hits = misses = writes = evictions = writebacks = 0
+        misses = writes = evictions = writebacks = 0
         for address, kind in zip(addresses, kinds):
-            block = address >> offset_bits
-            index = block & index_mask
-            tag = block >> index_bits
+            index = (address >> offset_bits) & index_mask
+            tag = address >> tag_shift
             set_accesses[index] += 1
             resident = tags[index]
             if resident == tag:
-                hits += 1
-                set_hits[index] += 1
                 if kind == 1:
                     writes += 1
                     dirty[index] = True
@@ -91,6 +97,13 @@ class DirectMappedCache(Cache):
                     dirty[index] = True
                 else:
                     dirty[index] = False
+        for set_index, before in enumerate(accesses_before):
+            delta = set_accesses[set_index] - before
+            if delta:
+                set_hits[set_index] += delta - (
+                    set_misses[set_index] - misses_before[set_index]
+                )
+        hits = n - misses
         stats.accesses += n
         stats.reads += n - writes
         stats.writes += writes

@@ -8,8 +8,10 @@ baseline and chooses a victim among N blocks per set.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Sequence
 
+from repro.caches import columnar
 from repro.caches.base import AccessResult, Cache, log2_exact
 from repro.replacement import ReplacementPolicy, make_policy
 from repro.replacement.lru import LRUPolicy
@@ -93,52 +95,196 @@ class SetAssociativeCache(Cache):
         set_accesses = stats.set_accesses
         set_hits = stats.set_hits
         set_misses = stats.set_misses
-        # Exact LRU is the common case; its touch() is pure recency-list
-        # maintenance with no RNG, so it can be inlined verbatim.
-        lru_fast = all(type(p) is LRUPolicy for p in policies)
+        num_sets = self.num_sets
         n = len(addresses)
         if kinds is None:
             kinds = bytes(n)  # all reads
-        hits = misses = writes = evictions = writebacks = 0
-        for address, kind in zip(addresses, kinds):
-            block = address >> offset_bits
-            index = block & index_mask
-            tag = block >> index_bits
-            tags = tags_by_set[index]
-            set_accesses[index] += 1
-            try:
-                way = tags.index(tag)
-            except ValueError:
-                way = -1
-            if way >= 0:
-                hits += 1
-                set_hits[index] += 1
-                policy = policies[index]
-                if lru_fast:
-                    order = policy._order
-                    if order[0] != way:
-                        order.remove(way)
-                        order.insert(0, way)
-                else:
-                    policy.touch(way)
-                if kind == 1:
-                    writes += 1
-                    dirty_by_set[index][way] = True
+        ways = self.ways
+        num_blocks = self.num_blocks
+        # Hits dominate: the hot loop only bumps per-set misses; per-set
+        # hits are reconstructed from the deltas afterwards (final
+        # statistics stay bit-identical to per-access replay).
+        accesses_before = set_accesses.copy()
+        misses_before = set_misses.copy()
+        # Column preparation: the address math vectorises even though
+        # the replacement-policy state is inherently sequential.  The
+        # stdlib fallback builds the same column with a comprehension.
+        columns = columnar.block_columns(
+            addresses, offset_bits, index_mask, num_sets
+        )
+        lru_fast = all(type(p) is LRUPolicy for p in policies)
+        hit_way_counts: list[int] | None = None
+        if columns is not None:
+            block_column, counts = columns
+            columnar.add_set_counts(set_accesses, counts)
+        else:
+            block_column = [a >> offset_bits for a in addresses]
+            if lru_fast:
+                # The LRU loop below counts hits per way slot; together
+                # with the per-set miss counts that recovers per-set
+                # accesses without a separate whole-column masking pass
+                # (which costs ~25% of the stdlib kernel).
+                hit_way_counts = [0] * num_blocks
             else:
-                misses += 1
-                set_misses[index] += 1
-                policy = policies[index]
-                way = policy.victim()
-                if tags[way] >= 0:
-                    evictions += 1
-                    if dirty_by_set[index][way]:
-                        writebacks += 1
-                tags[way] = tag
-                is_write = kind == 1
-                if is_write:
-                    writes += 1
-                dirty_by_set[index][way] = is_write
-                policy.touch(way)
+                for set_index, count in Counter(
+                    b & index_mask for b in block_column
+                ).items():
+                    set_accesses[set_index] += count
+        # Flattened state, indexed by global way id ``set * ways + way``:
+        # one {block: global way} map resolves a reference with a single
+        # hash probe, so the hit path never derives index or tag at all.
+        lookup: dict[int, int] = {}
+        resident_blocks = [-1] * num_blocks
+        dirty_flat = [False] * num_blocks
+        for index in range(num_sets):
+            base = index * ways
+            row_tags = tags_by_set[index]
+            row_dirty = dirty_by_set[index]
+            for way in range(ways):
+                resident_tag = row_tags[way]
+                if resident_tag >= 0:
+                    resident = (resident_tag << index_bits) | index
+                    lookup[resident] = base + way
+                    resident_blocks[base + way] = resident
+                dirty_flat[base + way] = row_dirty[way]
+        # Exact LRU is the common case; its touch() is pure recency
+        # maintenance with no RNG, so it runs on a flat timestamp
+        # column: a hit is one list store, the victim scan (min of N)
+        # only runs on misses, and the policies' recency lists are
+        # rebuilt bit-identically from the stamps after the loop.
+        ts_flat: list[int] | None = None
+        if lru_fast:
+            ts_flat = [0] * num_blocks
+            for index, policy in enumerate(policies):
+                base = index * ways
+                for position, way in enumerate(policy._order):
+                    ts_flat[base + way] = -position
+        stamp = 0
+        misses = writes = evictions = writebacks = 0
+        if ts_flat is not None and hit_way_counts is not None:
+            # Same loop as below plus the one-store hit count; kept as
+            # a separate variant so the numpy-assisted path (whose
+            # per-set counts already came from bincount) pays nothing.
+            for block, kind in zip(block_column, kinds):
+                try:
+                    way = lookup[block]
+                    hit_way_counts[way] += 1
+                    stamp += 1
+                    ts_flat[way] = stamp
+                    if kind == 1:
+                        writes += 1
+                        dirty_flat[way] = True
+                except KeyError:
+                    index = block & index_mask
+                    misses += 1
+                    set_misses[index] += 1
+                    base = index * ways
+                    segment = ts_flat[base:base + ways]
+                    way = base + segment.index(min(segment))
+                    stamp += 1
+                    ts_flat[way] = stamp
+                    resident = resident_blocks[way]
+                    if resident >= 0:
+                        evictions += 1
+                        if dirty_flat[way]:
+                            writebacks += 1
+                        del lookup[resident]
+                    lookup[block] = way
+                    resident_blocks[way] = block
+                    is_write = kind == 1
+                    if is_write:
+                        writes += 1
+                    dirty_flat[way] = is_write
+        elif ts_flat is not None:
+            for block, kind in zip(block_column, kinds):
+                try:
+                    way = lookup[block]
+                    stamp += 1
+                    ts_flat[way] = stamp
+                    if kind == 1:
+                        writes += 1
+                        dirty_flat[way] = True
+                except KeyError:
+                    index = block & index_mask
+                    misses += 1
+                    set_misses[index] += 1
+                    base = index * ways
+                    segment = ts_flat[base:base + ways]
+                    way = base + segment.index(min(segment))
+                    stamp += 1
+                    ts_flat[way] = stamp
+                    resident = resident_blocks[way]
+                    if resident >= 0:
+                        evictions += 1
+                        if dirty_flat[way]:
+                            writebacks += 1
+                        del lookup[resident]
+                    lookup[block] = way
+                    resident_blocks[way] = block
+                    is_write = kind == 1
+                    if is_write:
+                        writes += 1
+                    dirty_flat[way] = is_write
+        else:
+            for block, kind in zip(block_column, kinds):
+                try:
+                    way = lookup[block]
+                    policies[way // ways].touch(way % ways)
+                    if kind == 1:
+                        writes += 1
+                        dirty_flat[way] = True
+                except KeyError:
+                    index = block & index_mask
+                    misses += 1
+                    set_misses[index] += 1
+                    policy = policies[index]
+                    victim = policy.victim()
+                    policy.touch(victim)
+                    way = index * ways + victim
+                    resident = resident_blocks[way]
+                    if resident >= 0:
+                        evictions += 1
+                        if dirty_flat[way]:
+                            writebacks += 1
+                        del lookup[resident]
+                    lookup[block] = way
+                    resident_blocks[way] = block
+                    is_write = kind == 1
+                    if is_write:
+                        writes += 1
+                    dirty_flat[way] = is_write
+        # Write the flattened state back into the per-set structures.
+        for index in range(num_sets):
+            base = index * ways
+            row_tags = tags_by_set[index]
+            row_dirty = dirty_by_set[index]
+            for way in range(ways):
+                resident = resident_blocks[base + way]
+                row_tags[way] = resident >> index_bits if resident >= 0 else -1
+                row_dirty[way] = dirty_flat[base + way]
+        if ts_flat is not None:
+            for index, policy in enumerate(policies):
+                base = index * ways
+                segment = ts_flat[base:base + ways]
+                policy._order.sort(key=segment.__getitem__, reverse=True)
+        if hit_way_counts is not None:
+            # accesses = hits (counted per way slot) + misses (counted
+            # per set); folding both in here keeps the set_hits
+            # reconstruction below oblivious to how counting happened.
+            for slot, count in enumerate(hit_way_counts):
+                if count:
+                    set_accesses[slot // ways] += count
+            for set_index, before in enumerate(misses_before):
+                miss_delta = set_misses[set_index] - before
+                if miss_delta:
+                    set_accesses[set_index] += miss_delta
+        for set_index, before in enumerate(accesses_before):
+            delta = set_accesses[set_index] - before
+            if delta:
+                set_hits[set_index] += delta - (
+                    set_misses[set_index] - misses_before[set_index]
+                )
+        hits = n - misses
         stats.accesses += n
         stats.reads += n - writes
         stats.writes += writes

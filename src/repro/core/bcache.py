@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.caches import columnar
 from repro.caches.base import AccessResult, Cache
 from repro.core.config import BCacheGeometry
 from repro.core.decoder import ProgrammableDecoderBank
@@ -169,7 +170,9 @@ class BCache(Cache):
         dirty = self._dirty
         policies = self._policies
         num_rows = geometry.num_rows
+        num_sets = geometry.num_sets
         row_mask = num_rows - 1
+        row_bits = num_rows.bit_length() - 1
         npi_bits = geometry.npi_bits
         pi_mask = (1 << geometry.pi_bits) - 1
         tag_shift = npi_bits + geometry.pi_bits
@@ -177,62 +180,123 @@ class BCache(Cache):
         set_accesses = stats.set_accesses
         set_hits = stats.set_hits
         set_misses = stats.set_misses
-        # Exact LRU is the paper's default policy; its touch() is pure
-        # recency-list maintenance with no RNG, so it can be inlined.
-        lru_fast = all(type(p) is LRUPolicy for p in policies)
         n = len(addresses)
         if kinds is None:
             kinds = bytes(n)  # all reads
-        hits = misses = writes = 0
+        # Column preparation: only the offset shift vectorises — the
+        # set index depends on decoder state, so hit detection and the
+        # per-set counters stay sequential.
+        block_column = columnar.shifted_blocks(addresses, offset_bits)
+        if block_column is None:
+            block_column = [a >> offset_bits for a in addresses]
+        # One-cycle hits (PD hit + tag match) resolve with a single
+        # probe of a {block: set index} map built from the decoder and
+        # tag state; row and cluster fall out of the set index
+        # (``set_index = cluster * num_rows + row``).
+        hit_map: dict[int, int] = {}
+        resident_blocks = [-1] * num_sets
+        for row in range(num_rows):
+            for pi_value, cluster in lookup[row].items():
+                set_index = cluster * num_rows + row
+                resident_tag = tags[set_index]
+                if resident_tag >= 0:
+                    resident = geometry.compose_block(row, pi_value, resident_tag)
+                    hit_map[resident] = set_index
+                    resident_blocks[set_index] = resident
+        # Exact LRU is the paper's default policy; its touch() is pure
+        # recency maintenance with no RNG, so it runs on a flat
+        # timestamp column indexed by set (the recency lists are
+        # rebuilt bit-identically from the stamps after the loop).
+        lru_fast = all(type(p) is LRUPolicy for p in policies)
+        ts_flat: list[int] | None = None
+        if lru_fast:
+            ts_flat = [0] * num_sets
+            for row, policy in enumerate(policies):
+                for position, cluster in enumerate(policy._order):
+                    ts_flat[cluster * num_rows + row] = -position
+        # Hits dominate: the hot loop only bumps per-set accesses and
+        # misses; per-set hits are reconstructed from the deltas
+        # afterwards (final statistics stay bit-identical).
+        accesses_before = set_accesses.copy()
+        misses_before = set_misses.copy()
+        stamp = 0
+        misses = writes = 0
         pd_hit = pd_miss = evictions = writebacks = 0
-        for address, kind in zip(addresses, kinds):
-            block = address >> offset_bits
-            row = block & row_mask
-            pi = (block >> npi_bits) & pi_mask
-            tag = block >> tag_shift
-            cluster = lookup[row].get(pi)
-            if cluster is not None:
-                set_index = cluster * num_rows + row
-                if tags[set_index] == tag:
-                    # One-cycle hit: exactly one word line fired.
-                    hits += 1
-                    set_accesses[set_index] += 1
-                    set_hits[set_index] += 1
-                    policy = policies[row]
-                    if lru_fast:
-                        order = policy._order
-                        if order[0] != cluster:
-                            order.remove(cluster)
-                            order.insert(0, cluster)
+        for block, kind in zip(block_column, kinds):
+            try:
+                set_index = hit_map[block]
+                # One-cycle hit: exactly one word line fired.
+                set_accesses[set_index] += 1
+                if ts_flat is not None:
+                    stamp += 1
+                    ts_flat[set_index] = stamp
+                else:
+                    policies[set_index & row_mask].touch(set_index >> row_bits)
+                if kind == 1:
+                    writes += 1
+                    dirty[set_index] = True
+            except KeyError:
+                row = block & row_mask
+                pi = (block >> npi_bits) & pi_mask
+                tag = block >> tag_shift
+                cluster = lookup[row].get(pi)
+                if cluster is not None:
+                    # Scenario 2: PD hit, tag mismatch — forced victim.
+                    pd_hit += 1
+                else:
+                    # Scenario 1/3: PD miss — victim from all BAS
+                    # clusters (invalid PD entries first, then LRU).
+                    pd_miss += 1
+                    invalid = decoder.invalid_clusters(row)
+                    if ts_flat is None:
+                        policy = policies[row]
+                        cluster = (
+                            policy.victim_among(invalid)
+                            if invalid
+                            else policy.victim()
+                        )
+                    elif invalid:
+                        cluster = invalid[0]
+                        best = ts_flat[cluster * num_rows + row]
+                        for position in range(1, len(invalid)):
+                            candidate = invalid[position]
+                            candidate_ts = ts_flat[candidate * num_rows + row]
+                            if candidate_ts < best:
+                                best = candidate_ts
+                                cluster = candidate
                     else:
-                        policy.touch(cluster)
-                    if kind == 1:
-                        writes += 1
-                        dirty[set_index] = True
-                    continue
-                # Scenario 2: PD hit, tag mismatch — forced victim.
-                pd_hit += 1
-            else:
-                # Scenario 1/3: PD miss — victim from all BAS clusters.
-                pd_miss += 1
-                invalid = decoder.invalid_clusters(row)
-                policy = policies[row]
-                cluster = (
-                    policy.victim_among(invalid) if invalid else policy.victim()
-                )
+                        segment = ts_flat[row::num_rows]
+                        cluster = segment.index(min(segment))
                 set_index = cluster * num_rows + row
-            misses += 1
-            set_accesses[set_index] += 1
-            set_misses[set_index] += 1
-            is_write = kind == 1
-            if is_write:
-                writes += 1
-            evicted, evicted_dirty = self._evicted_address(row, cluster)
-            if evicted is not None:
-                evictions += 1
-                if evicted_dirty:
-                    writebacks += 1
-            self._fill(row, cluster, pi, tag, is_write)
+                misses += 1
+                set_accesses[set_index] += 1
+                set_misses[set_index] += 1
+                is_write = kind == 1
+                if is_write:
+                    writes += 1
+                resident = resident_blocks[set_index]
+                if resident >= 0:
+                    evictions += 1
+                    if dirty[set_index]:
+                        writebacks += 1
+                    del hit_map[resident]
+                self._fill(row, cluster, pi, tag, is_write)
+                if ts_flat is not None:
+                    stamp += 1
+                    ts_flat[set_index] = stamp
+                hit_map[block] = set_index
+                resident_blocks[set_index] = block
+        if ts_flat is not None:
+            for row, policy in enumerate(policies):
+                segment = ts_flat[row::num_rows]
+                policy._order.sort(key=segment.__getitem__, reverse=True)
+        for set_index, before in enumerate(accesses_before):
+            delta = set_accesses[set_index] - before
+            if delta:
+                set_hits[set_index] += delta - (
+                    set_misses[set_index] - misses_before[set_index]
+                )
+        hits = n - misses
         # The per-access path performs one CAM search per reference.
         decoder.searches += n
         stats.accesses += n

@@ -341,6 +341,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         job_timeout=args.timeout,
     )
 
+    from repro.engine import shm
+
+    def leak_shm(stage: str) -> bool:
+        """Shared-memory leak gate: no trace segment survives a sweep.
+
+        Fault-killed workers (SIGKILL included) only ever *attach*;
+        the parent registry owns every segment and must unlink them
+        all on the way out, whatever the sweep just went through.
+        """
+        leaked = shm.leaked_segments()
+        if leaked:
+            print(
+                f"chaos: FAIL — {stage} leaked shared-memory "
+                f"segments: {', '.join(leaked)}",
+                file=sys.stderr,
+            )
+            return True
+        return False
+
     print(f"chaos: {len(jobs)} jobs, plan [{plan.render()}]")
     expected = run_sweep(jobs, workers=1)
 
@@ -357,6 +376,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if faulted != expected:
             print("chaos: FAIL — faulted run diverged from clean run", file=sys.stderr)
             return 1
+        if leak_shm("faulted run"):
+            return 1
         print("chaos: faulted run recovered bit-identically")
         resumed = run_sweep(
             jobs,
@@ -367,6 +388,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         if resumed != expected:
             print("chaos: FAIL — resume diverged from clean run", file=sys.stderr)
+            return 1
+        if leak_shm("resume"):
             return 1
         print("chaos: resume replayed bit-identically from the journal")
     print(f"chaos: PASS ({len(plan)} faults injected and recovered)")

@@ -58,6 +58,7 @@ from repro.engine.faultinject import (
     corrupt_job_blobs,
 )
 from repro.engine.runner import SweepJob, _prewarm, execute_job, job_label
+from repro.engine.shm import Manifest, SharedTraceRegistry
 from repro.engine.trace_store import TraceStore, set_default_store
 from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
@@ -360,11 +361,14 @@ def _worker_entry(
     fault_kinds: tuple[str, ...],
     obs_mode: str = "off",
     obs_log: str = "",
+    manifest: Manifest | None = None,
 ) -> None:
     """Child process: run one job, send ('ok', snapshot) or ('error', msg)."""
     try:
         apply_child_faults(fault_kinds)  # may _exit, hang, or raise
-        set_default_store(TraceStore(store_root, fsync=False))
+        worker_store = TraceStore(store_root, fsync=False)
+        worker_store.adopt_manifest(manifest)
+        set_default_store(worker_store)
         if obs_mode != "off" and obs_log:
             obs_events.configure(mode=obs_mode, log_path=obs_log)
         stats = execute_job(job, sanitize=sanitize)
@@ -427,10 +431,15 @@ def _spawn(
     config: ResilienceConfig,
     plan: FaultPlan | None,
     sanitize: bool,
+    manifest: Manifest | None = None,
 ) -> _Active:
     job = jobs[entry.index]
     if plan is not None and plan.matches("corrupt_blob", entry.index, entry.attempt):
         corrupt_job_blobs(store, job)
+        # The fault corrupts *disk* blobs to exercise the quarantine
+        # path; a shared-memory attach would serve the pristine copy
+        # and bypass it, so this worker gets no manifest.
+        manifest = None
     child_kinds = plan.child_kinds(entry.index, entry.attempt) if plan else ()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
@@ -443,6 +452,7 @@ def _spawn(
             child_kinds,
             obs_events.mode(),
             str(obs_events.active_log_path()),
+            manifest,
         ),
         daemon=True,
     )
@@ -540,6 +550,7 @@ def _run_supervised(
     workers: int,
     sanitize: bool,
     rng: Random,
+    manifest: Manifest | None = None,
 ) -> None:
     """Fan ``todo`` over supervised worker processes with recovery."""
     ctx = multiprocessing.get_context()
@@ -559,7 +570,7 @@ def _run_supervised(
                     break
                 pending.remove(entry)
                 active.append(
-                    _spawn(ctx, jobs, entry, store, config, plan, sanitize)
+                    _spawn(ctx, jobs, entry, store, config, plan, sanitize, manifest)
                 )
             for worker in _wait_for_activity(active, pending, time.monotonic()):
                 message = _receive(worker)
@@ -771,17 +782,22 @@ def _resilient_body(
                 rng,
             )
         else:
-            _prewarm([jobs[index] for index in todo], store)
-            _run_supervised(
-                jobs,
-                todo,
-                results,
-                store,
-                config,
-                journal,
-                fault_plan,
-                min(workers, len(todo)),
-                sanitize,
-                rng,
-            )
+            registry = SharedTraceRegistry()
+            try:
+                manifest = _prewarm([jobs[index] for index in todo], store, registry)
+                _run_supervised(
+                    jobs,
+                    todo,
+                    results,
+                    store,
+                    config,
+                    journal,
+                    fault_plan,
+                    min(workers, len(todo)),
+                    sanitize,
+                    rng,
+                    manifest,
+                )
+            finally:
+                registry.unlink_all()
     return results

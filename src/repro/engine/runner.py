@@ -36,6 +36,7 @@ from repro.caches import make_cache
 from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
 from repro.stats.counters import CacheStats
+from repro.engine.shm import Manifest, SharedTraceRegistry, reap_stale_segments
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
 
 if TYPE_CHECKING:  # resilience imports this module; keep the cycle lazy
@@ -157,14 +158,21 @@ def execute_job(
     return cache.stats
 
 
-def _init_worker(root: str, obs_mode: str, obs_log: str) -> None:
+def _init_worker(
+    root: str, obs_mode: str, obs_log: str, manifest: Manifest | None = None
+) -> None:
     """Pool initializer: share the parent's trace-store root and obs state.
 
     The obs tier/log path are forwarded explicitly (not just inherited
     via the environment) so a parent that called ``obs.configure`` —
     e.g. ``bcache-sim --obs-log`` — gets worker events in the same log.
+    ``manifest`` names the parent's shared-memory trace segments; the
+    worker's store attaches to those zero-copy instead of re-reading
+    blobs from disk.
     """
-    set_default_store(TraceStore(root))
+    worker_store = TraceStore(root)
+    worker_store.adopt_manifest(manifest)
+    set_default_store(worker_store)
     if obs_mode != "off":
         obs_events.configure(mode=obs_mode, log_path=obs_log)
 
@@ -223,6 +231,10 @@ def run_sweep(
     if workers is None:
         workers = default_jobs()
     store = store if store is not None else default_store()
+    # A previous sweep killed with SIGKILL could not unlink its trace
+    # segments; heal them here so serial and resumed runs (which never
+    # construct a registry of their own) clean up after it too.
+    reap_stale_segments()
     if run_id or resume or resilience is not None or fault_plan is not None:
         if run_id and resume and run_id != resume:
             raise ValueError(
@@ -247,7 +259,8 @@ def run_sweep(
         if sanitize or workers <= 1 or len(jobs) <= 1:
             return [execute_job(job, store=store, sanitize=sanitize) for job in jobs]
 
-        _prewarm(jobs, store)
+        registry = SharedTraceRegistry()
+        manifest = _prewarm(jobs, store, registry)
         workers = min(workers, len(jobs))
         chunksize = max(1, len(jobs) // (workers * 4))
         pool = multiprocessing.get_context().Pool(
@@ -257,6 +270,7 @@ def run_sweep(
                 str(store.root),
                 obs_events.mode(),
                 str(obs_events.active_log_path()),
+                manifest,
             ),
         )
         try:
@@ -269,14 +283,29 @@ def run_sweep(
             raise
         finally:
             pool.join()
+            registry.unlink_all()
         return results
 
 
-def _prewarm(jobs: Sequence[SweepJob], store: TraceStore) -> None:
-    """Materialise every distinct trace once before forking workers."""
+def _prewarm(
+    jobs: Sequence[SweepJob],
+    store: TraceStore,
+    registry: SharedTraceRegistry | None = None,
+) -> Manifest | None:
+    """Materialise every distinct trace once before forking workers.
+
+    With a ``registry`` each trace is additionally exported into a
+    named shared-memory segment; the returned manifest lets workers
+    attach zero-copy instead of re-reading blobs from disk.
+    """
     seen: set[tuple] = set()
     for job in jobs:
         key = (job.benchmark, job.side, job.n, job.seed, job.with_kinds)
         if key not in seen:
             seen.add(key)
             store.ensure(job.benchmark, job.side, job.n, job.seed, kinds=job.with_kinds)
+            if registry is not None:
+                registry.export(
+                    store, job.benchmark, job.side, job.n, job.seed, job.with_kinds
+                )
+    return registry.manifest() if registry is not None else None

@@ -116,6 +116,22 @@ def _payload_size(count: int) -> int:
     return count + CRC_BYTES
 
 
+def _readonly(value: object) -> object:
+    """Wrap cached trace columns as read-only ``memoryview`` objects.
+
+    ``array`` blobs become typed read-only views (format ``Q``/``B``
+    preserved); shared-memory views are already read-only and pass
+    through; pairs wrap element-wise.
+    """
+    if isinstance(value, tuple):
+        return tuple(_readonly(item) for item in value)
+    if isinstance(value, memoryview):
+        return value if value.readonly else value.toreadonly()
+    if isinstance(value, array):
+        return memoryview(value).toreadonly()
+    return value
+
+
 class TraceStoreError(ValueError):
     """Raised for unknown sides or malformed store requests."""
 
@@ -143,8 +159,17 @@ class TraceStore:
         self.memory_entries = max(1, memory_entries)
         self.fsync = fsync
         self._memory: OrderedDict[tuple, object] = OrderedDict()
+        # Zero-copy tier: adopted {key: (segment name, count)} manifest
+        # plus the attached segment handles keeping the mappings alive.
+        self._shared: dict[tuple, tuple[str, int]] = {}
+        self._attached: dict[tuple, object] = {}
+        # Segments whose close() failed because a caller still holds a
+        # view; kept referenced so their finalisers fire only once the
+        # views are gone.
+        self._zombies: list[object] = []
         self.disk_hits = 0
         self.disk_misses = 0
+        self.shared_hits = 0
         self.quarantined = 0
 
     # -- paths ---------------------------------------------------------
@@ -217,14 +242,79 @@ class TraceStore:
             memory.popitem(last=False)
 
     def _recall(self, key: tuple) -> object | None:
+        """Cached value as **read-only** ``memoryview`` columns.
+
+        The LRU keeps the mutable backing objects private: a caller
+        mutating what it was handed can no longer corrupt the trace
+        every later caller sees.
+        """
         value = self._memory.get(key)
-        if value is not None:
-            self._memory.move_to_end(key)
-        return value
+        if value is None:
+            return None
+        self._memory.move_to_end(key)
+        return _readonly(value)
 
     def clear_memory(self) -> None:
         """Drop the in-process LRU (disk blobs stay)."""
         self._memory.clear()
+
+    # -- zero-copy shared-memory tier ----------------------------------
+    def adopt_manifest(self, manifest: dict | None) -> None:
+        """Adopt ``{trace key: (segment name, count)}`` from a parent.
+
+        Subsequent :meth:`addresses`/:meth:`accesses` calls for those
+        keys attach to the named segments instead of reading disk.
+        ``None`` or ``{}`` clears nothing; adopting replaces entries
+        key-by-key.
+        """
+        if manifest:
+            self._shared.update(manifest)
+
+    def _attach_shared(self, key: tuple) -> object | None:
+        """Attach ``key``'s segment and cache its zero-copy columns.
+
+        Falls back to ``None`` (disk tier) when the key has no adopted
+        segment or the segment vanished (owner already unlinked).
+        """
+        entry = self._shared.get(key)
+        if entry is None:
+            return None
+        from repro.engine import shm as _shm
+
+        name, count = entry
+        with_kinds = key[-1] == "acc"
+        try:
+            segment, addresses, kinds = _shm.attach_views(name, count, with_kinds)
+        except (FileNotFoundError, ValueError, OSError):
+            del self._shared[key]
+            return None
+        self._attached[key] = segment
+        value: object = (addresses, kinds) if with_kinds else addresses
+        self._remember(key, value)
+        self.shared_hits += 1
+        _obs.trace_store_hit("shared", key[0])
+        return self._recall(key)
+
+    def release_shared(self) -> None:
+        """Detach every attached segment and forget the manifest.
+
+        Cached views into the segments are dropped first so the
+        mappings can actually close; segment *unlinking* stays with the
+        owning registry in the parent process.
+        """
+        for key in list(self._attached):
+            self._memory.pop(key, None)
+        for key, segment in list(self._attached.items()):
+            self._zombies.append(segment)
+            del self._attached[key]
+        self._shared.clear()
+        still_pinned = []
+        for segment in self._zombies:
+            try:
+                segment.close()  # type: ignore[attr-defined]
+            except BufferError:  # a caller still holds a view
+                still_pinned.append(segment)
+        self._zombies = still_pinned
 
     def wipe(self) -> int:
         """Delete every blob under the root (quarantine included);
@@ -244,8 +334,9 @@ class TraceStore:
         return removed
 
     # -- address streams (experiment harness; reads only) --------------
-    def addresses(self, benchmark: str, side: str, n: int, seed: int) -> array:
-        """The first ``n`` addresses of one reference stream as ``array('Q')``."""
+    def addresses(self, benchmark: str, side: str, n: int, seed: int) -> memoryview:
+        """The first ``n`` addresses of one reference stream as a
+        read-only ``uint64`` ``memoryview`` (zero-copy columnar)."""
         if side not in ADDRESS_SIDES:
             raise TraceStoreError(
                 f"address streams support sides {ADDRESS_SIDES}, got {side!r}"
@@ -255,6 +346,9 @@ class TraceStore:
         if cached is not None:
             _obs.trace_store_hit("memory", benchmark)
             return cached  # type: ignore[return-value]
+        shared = self._attach_shared(key)
+        if shared is not None:
+            return shared  # type: ignore[return-value]
         path = self.address_path(benchmark, side, n, seed)
         payload = self._load_payload(path, expected_size=_payload_size(8 * n))
         if payload is not None:
@@ -268,7 +362,7 @@ class TraceStore:
             blob = self._generate_addresses(benchmark, side, n, seed)
             _obs.trace_store_miss(benchmark, time.monotonic() - started)
         self._remember(key, blob)
-        return blob
+        return self._recall(key)  # type: ignore[return-value]
 
     def _generate_addresses(self, benchmark: str, side: str, n: int, seed: int) -> array:
         profile = get_profile(benchmark)
@@ -284,8 +378,9 @@ class TraceStore:
     # -- access streams (addresses + kinds) ----------------------------
     def accesses(
         self, benchmark: str, side: str, n: int, seed: int
-    ) -> tuple[array, array]:
-        """One full access stream as ``(array('Q'), array('B'))``.
+    ) -> tuple[memoryview, memoryview]:
+        """One full access stream as read-only ``(uint64 addresses,
+        uint8 kinds)`` ``memoryview`` columns.
 
         For sides ``data``/``instr`` the length is exactly ``n``; for
         ``combined`` it is the number of references generated by ``n``
@@ -301,6 +396,9 @@ class TraceStore:
         if cached is not None:
             _obs.trace_store_hit("memory", benchmark)
             return cached  # type: ignore[return-value]
+        shared = self._attach_shared(key)
+        if shared is not None:
+            return shared  # type: ignore[return-value]
         addr_path = self.address_path(benchmark, side, n, seed, kinds=True)
         kind_path = self.kind_path(benchmark, side, n, seed)
         pair = self._read_access_pair(addr_path, kind_path, side, n)
@@ -313,7 +411,7 @@ class TraceStore:
             self.disk_hits += 1
             _obs.trace_store_hit("disk", benchmark)
         self._remember(key, pair)
-        return pair
+        return self._recall(key)  # type: ignore[return-value]
 
     def _read_access_pair(
         self, addr_path: Path, kind_path: Path, side: str, n: int

@@ -2,8 +2,8 @@
 
 Traces are deterministic (seeded) and materialised once per machine by
 the on-disk :mod:`repro.engine.trace_store`; the thin ``lru_cache``
-wrappers here only pin the hot handful of decoded ``array('Q')`` blobs
-so repeated sweeps stay allocation-free.  All replay goes through
+wrappers here only pin the hot handful of decoded columnar blobs (as
+read-only ``uint64`` views) so repeated sweeps stay allocation-free.  All replay goes through
 :func:`repro.engine.runner.execute_job`, the same code path the
 process-pool runner uses — which is what makes ``jobs > 1`` sweeps
 bit-identical to serial ones.
@@ -69,14 +69,14 @@ FULL = ExperimentScale(data_n=1_000_000, instr_n=1_000_000, instructions=500_000
 
 
 @lru_cache(maxsize=32)
-def data_addresses(benchmark: str, n: int, seed: int) -> array:
-    """Memoised data-address trace for one benchmark (``array('Q')``)."""
+def data_addresses(benchmark: str, n: int, seed: int) -> memoryview:
+    """Memoised data-address column (read-only ``uint64`` view)."""
     return default_store().addresses(benchmark, "data", n, seed)
 
 
 @lru_cache(maxsize=32)
-def instr_addresses(benchmark: str, n: int, seed: int) -> array:
-    """Memoised instruction-address trace for one benchmark (``array('Q')``)."""
+def instr_addresses(benchmark: str, n: int, seed: int) -> memoryview:
+    """Memoised instruction-address column (read-only ``uint64`` view)."""
     return default_store().addresses(benchmark, "instr", n, seed)
 
 

@@ -36,23 +36,29 @@ def kernel_clock() -> float:
     return time.monotonic()
 
 
-def observe_kernel(cache_name: str, refs: int, start: float) -> None:
-    """Record one ``Cache.access_trace`` batch (paired with kernel_clock)."""
+def observe_kernel(
+    cache_name: str, refs: int, start: float, path: str = "stdlib"
+) -> None:
+    """Record one ``Cache.access_trace`` batch (paired with kernel_clock).
+
+    ``path`` names the kernel flavour that ran ("stdlib" or "numpy") so
+    a perf investigation can tell the two apart per batch.
+    """
     if start == 0.0 or not events.enabled():
         return
     seconds = time.monotonic() - start
     events.emit("kernel.batch", cache=cache_name, refs=refs,
-                dur_s=round(seconds, 6))
+                dur_s=round(seconds, 6), path=path)
     if events.metrics_enabled():
         registry = default_registry()
         registry.histogram(
             "repro_kernel_batch_seconds",
             "Wall time of one Cache.access_trace batch",
-        ).observe(seconds, cache=cache_name)
+        ).observe(seconds, cache=cache_name, path=path)
         registry.counter(
             "repro_kernel_batch_refs_total",
             "Memory references simulated by access_trace batches",
-        ).inc(refs, cache=cache_name)
+        ).inc(refs, cache=cache_name, path=path)
 
 
 def trace_store_hit(tier: str, spec: str) -> None:
@@ -94,6 +100,24 @@ def trace_store_quarantined(spec: str, reason: str) -> None:
             "repro_trace_store_quarantined_total",
             "Corrupt trace blobs quarantined by the integrity check",
         ).inc()
+
+
+def shm_segment(event: str, name: str, nbytes: int) -> None:
+    """One shared-memory segment lifecycle step (export|attach|unlink|reap)."""
+    if not events.enabled():
+        return
+    events.emit(f"shm.{event}", name=name, bytes=nbytes)
+    if events.metrics_enabled():
+        registry = default_registry()
+        registry.counter(
+            "repro_shm_segments_total",
+            "Shared-memory trace segment operations, by lifecycle event",
+        ).inc(event=event)
+        if event == "export":
+            registry.counter(
+                "repro_shm_exported_bytes_total",
+                "Bytes of trace data exported into shared-memory segments",
+            ).inc(nbytes)
 
 
 def job_event(state: str, key: str, *, benchmark: str = "",

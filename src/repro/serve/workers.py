@@ -40,6 +40,7 @@ from typing import Any, Sequence
 
 from repro.engine.resilience import RetryPolicy
 from repro.engine.runner import SweepJob, execute_job
+from repro.engine.shm import Manifest, SharedTraceRegistry, TraceKey, trace_key
 from repro.engine.trace_store import TraceStore, default_store, set_default_store
 from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
@@ -58,13 +59,20 @@ def _shard_entry(
     path shared with the sweep runner and the serial harness — so a
     served simulation is bit-identical to a local replay.
 
+    Batches may carry a third element: a shared-memory manifest delta
+    naming trace segments the parent exported since the last batch.
+    The worker's store adopts each delta and attaches zero-copy instead
+    of re-reading blobs from disk; two-element batches (the pre-shm
+    protocol) are still accepted.
+
     Each response is ``(results, metric deltas)``: under
     ``REPRO_OBS=full`` the worker drains its process-local registry
     (engine job counts, trace-store hits, kernel timings) after every
     batch and the parent merges the deltas into the server registry,
     so ``/metrics`` covers the workers, not just the parent process.
     """
-    set_default_store(TraceStore(store_root, fsync=False))
+    store = TraceStore(store_root, fsync=False)
+    set_default_store(store)
     if obs_mode != "off" and obs_log:
         obs_events.configure(mode=obs_mode, log_path=obs_log)
     while True:
@@ -74,6 +82,8 @@ def _shard_entry(
             break
         if not isinstance(message, tuple) or message[0] == "stop":
             break
+        if len(message) >= 3:
+            store.adopt_manifest(message[2])
         results: list[ShardResult] = []
         for payload in message[1]:
             try:
@@ -91,6 +101,7 @@ def _shard_entry(
             conn.send((results, deltas))
         except (OSError, BrokenPipeError):
             break
+    store.release_shared()  # detach segments before the owner unlinks them
     with contextlib.suppress(OSError):
         conn.close()
 
@@ -148,8 +159,12 @@ class ShardPool:
         self.retry = retry
         self._rng = Random(seed)
         self._ctx = multiprocessing.get_context()
+        self._registry = SharedTraceRegistry()
         self._shards = [self._spawn() for _ in range(shards)]
         self._locks = [threading.Lock() for _ in range(shards)]
+        # Trace keys each shard has already been handed a segment name
+        # for; guarded by the matching per-shard lock, reset on restart.
+        self._sent_keys: list[set[TraceKey]] = [set() for _ in range(shards)]
         self._inflight = [0] * shards
         self._executor = ThreadPoolExecutor(
             max_workers=shards, thread_name_prefix="shard-io"
@@ -190,6 +205,7 @@ class ShardPool:
             with contextlib.suppress(OSError, ValueError):
                 shard.conn.close()
         self._executor.shutdown(wait=False)
+        self._registry.unlink_all()
 
     # -- routing -------------------------------------------------------
     @property
@@ -233,12 +249,14 @@ class ShardPool:
                     if self._closed:
                         break
                     shard = self._shards[shard_id]
+                    delta = self._manifest_delta(shard_id, jobs)
                     try:
-                        shard.conn.send(("batch", payloads))
+                        shard.conn.send(("batch", payloads, delta))
                         response = shard.conn.recv()
                     except (EOFError, OSError, BrokenPipeError):
                         self._restart(shard_id, attempt)
                         continue
+                    self._sent_keys[shard_id].update(delta)
                     results, deltas = self._split_response(response)
                     if isinstance(results, list) and len(results) == len(jobs):
                         if deltas:
@@ -256,6 +274,33 @@ class ShardPool:
         finally:
             self._inflight[shard_id] -= 1
             _obs.serve_queue_depth(shard_id, self._inflight[shard_id])
+
+    def _manifest_delta(self, shard_id: int, jobs: Sequence[SweepJob]) -> Manifest:
+        """Segment entries this batch needs that the shard has not seen.
+
+        Traces are exported lazily, on the first batch that replays
+        them; affinity routing means each trace is usually exported
+        once and then named to exactly one shard.  Runs under the
+        shard's lock (the caller holds it).
+        """
+        delta: Manifest = {}
+        manifest = self._registry.manifest()
+        sent = self._sent_keys[shard_id]
+        for job in jobs:
+            key = trace_key(job.benchmark, job.side, job.n, job.seed, job.with_kinds)
+            if key in sent or key in delta:
+                continue
+            entry = manifest.get(key)
+            if entry is None:
+                try:
+                    entry = self._registry.export(
+                        self.store, job.benchmark, job.side,
+                        job.n, job.seed, job.with_kinds,
+                    )
+                except (OSError, ValueError):
+                    continue  # shm unavailable: the worker reads from disk
+            delta[key] = entry
+        return delta
 
     @staticmethod
     def _split_response(response: Any) -> tuple[Any, list]:
@@ -289,6 +334,7 @@ class ShardPool:
         replacement.jobs = shard.jobs
         replacement.restarts = shard.restarts + 1
         self._shards[shard_id] = replacement
+        self._sent_keys[shard_id].clear()  # fresh worker, no attachments
         _obs.serve_shard_restarted(shard_id)
 
     def _run_local(self, job: SweepJob) -> ShardResult:

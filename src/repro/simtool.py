@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 from array import array
+from typing import Sequence
 
 from repro.caches import make_cache
 from repro.engine.runner import SweepJob, default_jobs, run_sweep
@@ -36,12 +37,14 @@ from repro.trace.trace_file import stream_trace
 from repro.workloads.spec2k import ALL_BENCHMARKS
 
 
-def _load_accesses(args: argparse.Namespace) -> tuple[array, array]:
-    """The reference stream as parallel (address, kind) arrays.
+def _load_accesses(
+    args: argparse.Namespace,
+) -> tuple[Sequence[int], Sequence[int]]:
+    """The reference stream as parallel (address, kind) columns.
 
-    Trace files are streamed record-by-record into the arrays (constant
-    memory, no ``list[Access]``); synthetic benchmarks load the stored
-    ``array('Q')``/``array('B')`` blobs from the trace store.
+    Trace files are streamed record-by-record into ``array`` columns
+    (constant memory, no ``list[Access]``); synthetic benchmarks get
+    the trace store's read-only ``uint64``/``uint8`` memoryviews.
     """
     if args.trace:
         addresses = array("Q")
@@ -54,7 +57,10 @@ def _load_accesses(args: argparse.Namespace) -> tuple[array, array]:
 
 
 def _simulate_one(
-    spec: str, args: argparse.Namespace, addresses: array, kinds: array
+    spec: str,
+    args: argparse.Namespace,
+    addresses: Sequence[int],
+    kinds: Sequence[int],
 ) -> CacheStats:
     """Replay the stream through one spec in this process."""
     cache = make_cache(
@@ -74,7 +80,7 @@ def _simulate_one(
 
 
 def _run_specs(
-    args: argparse.Namespace, addresses: array, kinds: array
+    args: argparse.Namespace, addresses: Sequence[int], kinds: Sequence[int]
 ) -> tuple[dict[str, CacheStats], dict[str, str], int]:
     """Run every spec; returns (stats by spec, errors by spec, status).
 
@@ -192,7 +198,7 @@ def _run_specs(
 
 
 def _run_json(
-    args: argparse.Namespace, addresses: array, kinds: array
+    args: argparse.Namespace, addresses: Sequence[int], kinds: Sequence[int]
 ) -> int:
     """Run all specs and dump one JSON document to stdout."""
     import json

@@ -1,0 +1,22 @@
+# lint-path: src/repro/caches/example.py
+from multiprocessing.shared_memory import SharedMemory
+
+
+class OwnedExporter:
+    def export(self, blob):
+        segment = SharedMemory(name="seg", create=True, size=len(blob))
+        segment.buf[: len(blob)] = blob
+        return segment
+
+    def destroy(self, segment):
+        segment.close()
+        segment.unlink()
+
+
+class ColumnarBatch(DirectMappedCache):
+    def _batch_trace(self, addresses, kinds):
+        misses = 0
+        for address in addresses:
+            misses += self._access_block(address >> 5)
+        self.stats.misses += misses
+        return self.stats

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine import shm
 from repro.engine.runner import SweepJob, execute_job
 from repro.serve.client import ServeClient
 from repro.serve.server import main as serve_main
@@ -90,6 +91,8 @@ class TestSigtermDrain:
             assert outcome["stats"].accesses == job.n
             assert proc.wait(timeout=60) == 0
             assert not sock_path.exists()  # socket file cleaned up
+            # The drain unlinked every trace segment the pool exported.
+            assert shm.leaked_segments() == []
         finally:
             client.close()
             if proc.poll() is None:
@@ -157,6 +160,7 @@ class TestLoadgen:
             assert report["verified_identical"] is True
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=60) == 0
+            assert shm.leaked_segments() == []
         finally:
             if proc.poll() is None:
                 proc.kill()

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from array import array
-
 import pytest
 
 from repro.engine.trace_store import (
@@ -26,10 +24,13 @@ class TestAddresses:
         blob = store.addresses("gzip", "data", 300, 1)
         assert list(blob) == list(get_profile("gzip").data_addresses(300, 1))
 
-    def test_returns_u64_array(self, store):
+    def test_returns_readonly_u64_view(self, store):
         blob = store.addresses("gcc", "instr", 200, 2)
-        assert isinstance(blob, array) and blob.typecode == "Q"
+        assert isinstance(blob, memoryview) and blob.format == "Q"
+        assert blob.readonly
         assert len(blob) == 200
+        with pytest.raises(TypeError):
+            blob[0] = 1  # handing out a mutable cache entry corrupts the LRU
 
     def test_persists_on_disk(self, store):
         store.addresses("gzip", "data", 250, 1)
@@ -43,10 +44,10 @@ class TestAddresses:
         assert reloaded == first
         assert fresh.disk_hits == 1 and fresh.disk_misses == 0
 
-    def test_memory_lru_returns_same_object(self, store):
-        assert store.addresses("gzip", "data", 100, 1) is store.addresses(
-            "gzip", "data", 100, 1
-        )
+    def test_memory_lru_returns_same_backing_object(self, store):
+        first = store.addresses("gzip", "data", 100, 1)
+        second = store.addresses("gzip", "data", 100, 1)
+        assert first.obj is second.obj  # fresh views over one cached blob
 
     def test_memory_lru_bounded(self, store):
         for seed in range(6):  # memory_entries=4
@@ -75,7 +76,8 @@ class TestAddresses:
 class TestAccesses:
     def test_pair_shapes(self, store):
         addresses, kinds = store.accesses("gzip", "data", 300, 1)
-        assert addresses.typecode == "Q" and kinds.typecode == "B"
+        assert addresses.format == "Q" and kinds.format == "B"
+        assert addresses.readonly and kinds.readonly
         assert len(addresses) == len(kinds) == 300
 
     def test_matches_profile_stream(self, store):
