@@ -4,7 +4,7 @@ PYTHON ?= python
 LINT_FORMAT ?= text
 LINT_JOBS ?= 0
 
-.PHONY: install dev test lint typecheck bench bench-engine chaos serve loadgen top experiments experiments-full examples clean
+.PHONY: install dev test lint typecheck bench bench-engine chaos serve loadgen top cluster experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -44,6 +44,12 @@ loadgen:
 
 top:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.top
+
+# Chaos-test the fleet coordinator against a local 2-node fleet:
+# start two bcache-serve processes, sweep with node faults injected,
+# and require bit-identity with a serial run plus >=1 redispatch.
+cluster:
+	PYTHONPATH=src $(PYTHON) scripts/cluster_smoke.py
 
 experiments:
 	$(PYTHON) -m repro.cli all --scale default

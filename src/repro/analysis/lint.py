@@ -36,8 +36,9 @@ BCL010    engine code (``repro.engine``) must not swallow failures or
           spin-retry: no bare ``except:``, no ``except Exception:
           pass``, and retry loops (``while``/``for range(...)`` with an
           except-and-continue) must back off via a sleep/delay call
-BCL011    serve code (``repro.serve``) must not block the event loop:
-          no ``time.sleep``, synchronous file I/O (``open``,
+BCL011    event-loop code (``repro.serve`` and the cluster coordinator
+          ``repro.engine.cluster``) must not block the loop: no
+          ``time.sleep``, synchronous file I/O (``open``,
           ``read_text``/``write_text``/…) or ``Future.result()``
           inside a coroutine — await, or offload via
           ``run_in_executor``
@@ -64,6 +65,11 @@ BCL016    columnar/shm discipline: no ``Access`` object construction
           inside a batch-kernel loop (kernels consume address/kind
           columns directly), and no ``SharedMemory`` use without a
           paired ``close()``/``unlink()`` owner in the same module
+BCL017    cluster coroutines (``repro.engine.cluster``) must bound every
+          await on a node socket (``connect``/``request``/``sweep``/
+          ``status``/``read_frame``/…) with a deadline — wrap the call
+          in ``asyncio.wait_for(...)``; a hung node must never hang
+          the coordinator
 ========  =============================================================
 
 Rules BCL013–BCL015 run on the :mod:`repro.analysis.flow`
@@ -103,7 +109,7 @@ RULES: dict[str, str] = {
     "BCL009": "AccessResult allocation inside a batch-kernel loop",
     "BCL010": "engine code swallows exceptions or retries without backoff",
     "BCL011": "blocking call (time.sleep / sync file I/O / Future.result) "
-    "inside a serve coroutine",
+    "inside a serve or cluster coroutine",
     "BCL012": "span() not used as a context manager, or metric name not "
     "matching ^repro_[a-z0-9_]+$",
     "BCL013": "nondeterministic value (wall-clock/pid/random/unordered) "
@@ -114,6 +120,8 @@ RULES: dict[str, str] = {
     "(interval/bit-width proof of address math)",
     "BCL016": "Access object built in a batch-kernel loop, or SharedMemory "
     "without a paired close()/unlink() owner",
+    "BCL017": "await on a node socket without a deadline in a cluster "
+    "coroutine (wrap in asyncio.wait_for)",
 }
 
 #: Rules that need the flow engine rather than the syntactic visitor.
@@ -135,6 +143,33 @@ BACKOFF_CALLS = frozenset({"sleep", "delay", "backoff", "wait"})
 #: Sub-packages running on an asyncio event loop: a blocking call in a
 #: coroutine there stalls every connection at once (BCL011).
 SERVE_PACKAGES = frozenset({"serve"})
+
+#: Coroutine call names that talk to a node socket in the cluster
+#: coordinator.  BCL017: every such await must sit inside a deadline
+#: wrapper, or one hung node hangs the whole sweep.
+NODE_SOCKET_CALLS = frozenset(
+    {
+        "connect",
+        "connect_with_backoff",
+        "request",
+        "simulate",
+        "sweep",
+        "status",
+        "drain",
+        "open_connection",
+        "open_unix_connection",
+        "read_frame",
+        "write_frame",
+    }
+)
+
+def _is_cluster_module(segments: tuple[str, ...]) -> bool:
+    """Is this file part of the cluster coordinator (BCL011/BCL017 scope)?"""
+    return (
+        len(segments) >= 2
+        and segments[0] in ENGINE_PACKAGES
+        and segments[-1].startswith("cluster")
+    )
 
 #: Method calls that do synchronous file I/O when issued on a ``Path``
 #: (or file object) inside a coroutine.
@@ -210,6 +245,16 @@ class Violation:
         return f"{self.path}:{self.line}: {self.code} {self.message}"
 
 
+def _call_name(node: ast.Call) -> str:
+    """The called name: ``f(...)`` → ``f``, ``obj.m(...)`` → ``m``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
 def _module_segments(path: str) -> tuple[str, ...]:
     """Path components below the ``repro`` package (empty if outside)."""
     parts = Path(path).parts
@@ -271,7 +316,12 @@ class _Linter(ast.NodeVisitor):
         self.hot = bool(segments) and segments[0] in HOT_PACKAGES
         self.geometry_module = bool(segments) and segments[0] in GEOMETRY_PACKAGES
         self.engine_module = bool(segments) and segments[0] in ENGINE_PACKAGES
-        self.serve_module = bool(segments) and segments[0] in SERVE_PACKAGES
+        self.cluster_module = _is_cluster_module(segments)
+        # The cluster coordinator runs on an event loop exactly like the
+        # serve package; it inherits the no-blocking-call rule (BCL011).
+        self.serve_module = (
+            bool(segments) and segments[0] in SERVE_PACKAGES
+        ) or self.cluster_module
         self.violations: list[Violation] = []
         self._func_stack: list[str] = []
         self._async_stack: list[bool] = []  # "is coroutine" per frame
@@ -481,6 +531,19 @@ class _Linter(ast.NodeVisitor):
     def visit_Await(self, node: ast.Await) -> None:
         if isinstance(node.value, ast.Call):
             self._awaited_calls.add(node.value)
+            # BCL017: an awaited node-socket call must carry a deadline.
+            # The wrapped form (await asyncio.wait_for(client.sweep(...),
+            # t)) awaits wait_for, not sweep, so it passes; the bare
+            # form awaits the socket op directly and is flagged.
+            if self.cluster_module and self._in_coroutine:
+                name = _call_name(node.value)
+                if name in NODE_SOCKET_CALLS:
+                    self._add(
+                        node,
+                        "BCL017",
+                        f"await {name}() on a node socket without a deadline; "
+                        "wrap the call in asyncio.wait_for(...)",
+                    )
         self.generic_visit(node)
 
     # -- with-statements (BCL012 bookkeeping) --------------------------

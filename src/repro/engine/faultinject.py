@@ -27,6 +27,22 @@ Fault classes (``FAULT_KINDS``):
     what a power loss mid-append leaves behind.  The loader must skip
     it and the job must re-run on resume.
 
+Node-level classes (``NODE_KINDS``), consumed by the cluster
+coordinator (:mod:`repro.engine.cluster`) at dispatch time instead of
+inside a worker:
+
+``node_down``
+    The node serving the matched job dies permanently: its connection
+    drops, its circuit opens for good, and every in-flight job it held
+    must be re-dispatched elsewhere.
+``node_hang``
+    The dispatch deadline expires (a node that accepted the batch and
+    went silent); the batch is re-dispatched and the node is probed
+    before it gets more work.
+``node_flaky``
+    The node answers the matched dispatch with a transient error; the
+    batch is re-dispatched and the node stays in rotation.
+
 A plan is expressed either programmatically, via the seed-driven
 :meth:`FaultPlan.scatter`, or as a DSL string (``bcache-sim
 --inject-faults``)::
@@ -64,6 +80,12 @@ log = logging.getLogger("repro.engine.faultinject")
 
 FAULT_KINDS = ("crash", "hang", "flaky", "corrupt_blob", "torn_journal")
 
+#: Node-level faults, applied by the cluster coordinator at dispatch.
+NODE_KINDS = ("node_down", "node_hang", "node_flaky")
+
+#: Every kind the DSL accepts (worker-, parent- and node-level).
+ALL_KINDS = FAULT_KINDS + NODE_KINDS
+
 #: Faults applied inside the worker process.
 CHILD_KINDS = frozenset({"crash", "hang", "flaky"})
 #: Faults applied by the supervising parent.
@@ -93,9 +115,9 @@ class FaultSpec:
     attempt: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_KINDS:
             raise FaultPlanError(
-                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of {ALL_KINDS}"
             )
         if self.job_index < 0 or self.attempt < 0:
             raise FaultPlanError(
@@ -179,6 +201,24 @@ class FaultPlan:
             and spec.attempt == attempt
         }
         return tuple(kind for kind in FAULT_KINDS if kind in hit)
+
+    def node_kinds(self, job_index: int, attempt: int) -> tuple[str, ...]:
+        """Node-level fault kinds for this dispatch, in NODE_KINDS order.
+
+        ``attempt`` counts *dispatches* of the job by the coordinator
+        (initial dispatch = 0, each re-dispatch or speculative steal
+        copy increments it), so the default ``kind@job`` form fires on
+        the first dispatch only and the recovery path gets a clean
+        retry — mirroring the worker-side semantics.
+        """
+        hit = {
+            spec.kind
+            for spec in self.specs
+            if spec.kind in NODE_KINDS
+            and spec.job_index == job_index
+            and spec.attempt == attempt
+        }
+        return tuple(kind for kind in NODE_KINDS if kind in hit)
 
     def __bool__(self) -> bool:
         return bool(self.specs)

@@ -302,17 +302,32 @@ class ResultJournal:
     def _append_line(self, payload: dict) -> None:
         self._append(_frame_line(payload).encode())
 
-    def record(self, job: SweepJob, stats: CacheStats, torn: bool = False) -> None:
+    def record(
+        self,
+        job: SweepJob,
+        stats: CacheStats,
+        torn: bool = False,
+        node: str | None = None,
+    ) -> None:
         """Durably append one completed job's stats.
+
+        ``node`` (cluster sweeps) records which endpoint served the
+        job — provenance only; the loader ignores it, so local and
+        cluster journals resume interchangeably and bit-identically.
 
         ``torn=True`` (fault injection only) simulates a crash
         mid-append: half the bytes reach the file, no newline, and the
         record does **not** count as completed — exactly what a power
         loss between ``write`` and ``fsync`` leaves behind.
         """
-        data = _frame_line(
-            {"kind": "result", "job": asdict(job), "stats": stats.snapshot()}
-        ).encode()
+        payload: dict[str, object] = {
+            "kind": "result",
+            "job": asdict(job),
+            "stats": stats.snapshot(),
+        }
+        if node is not None:
+            payload["node"] = node
+        data = _frame_line(payload).encode()
         if torn:
             self._append(data[: max(1, len(data) // 2)])
             self._tail_needs_newline = True

@@ -203,3 +203,58 @@ def serve_queue_depth(shard: int, depth: int) -> None:
         "repro_serve_queue_depth",
         "Batches in flight per shard worker",
     ).set(float(depth), shard=str(shard))
+
+
+# ----------------------------------------------------------------------
+# Cluster-layer series (always on: a coordinator is an instrumented
+# process, and the cluster-smoke CI gate reads these totals)
+# ----------------------------------------------------------------------
+def cluster_nodes_up(count: int) -> None:
+    """Nodes currently dispatchable (not declared dead for the sweep)."""
+    default_registry().gauge(
+        "repro_cluster_nodes_up",
+        "Cluster nodes currently dispatchable",
+    ).set(float(count))
+
+
+def cluster_steal(thief: str, victim: str, jobs: int) -> None:
+    """An idle node speculatively re-dispatched a peer's in-flight jobs."""
+    default_registry().counter(
+        "repro_cluster_steals_total",
+        "In-flight jobs speculatively stolen by idle nodes",
+    ).inc(jobs, node=thief)
+    events.emit("cluster.steal", thief=thief, victim=victim, jobs=jobs)
+
+
+def cluster_redispatch(node: str, jobs: int) -> None:
+    """A failed node's batch was re-queued for other nodes."""
+    default_registry().counter(
+        "repro_cluster_redispatch_total",
+        "Jobs re-dispatched away from a failed or dead node",
+    ).inc(jobs, node=node)
+    events.emit("cluster.redispatch", node=node, jobs=jobs)
+
+
+def cluster_job_served(node: str) -> None:
+    """One job's result was merged from this node (first result wins)."""
+    default_registry().counter(
+        "repro_cluster_jobs_total",
+        "Jobs completed by the cluster, by serving node",
+    ).inc(node=node)
+
+
+def cluster_duplicate(node: str) -> None:
+    """A late duplicate result (lost steal race) was discarded."""
+    default_registry().counter(
+        "repro_cluster_duplicate_results_total",
+        "Late duplicate results discarded by job_key dedup",
+    ).inc(node=node)
+
+
+def cluster_fallback(jobs: int) -> None:
+    """Every node was down; this many jobs degraded to local execution."""
+    default_registry().counter(
+        "repro_cluster_fallback_jobs_total",
+        "Jobs run locally in-process because every node was down",
+    ).inc(jobs)
+    events.emit("cluster.local_fallback", jobs=jobs)

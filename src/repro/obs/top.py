@@ -280,6 +280,98 @@ def _poll_server(address: str) -> tuple[dict[str, Any], dict[str, Family] | None
 
 
 # ----------------------------------------------------------------------
+# Fleet mode: one row per node of a comma-separated --connect list
+# ----------------------------------------------------------------------
+def poll_fleet(
+    addresses: list[str],
+) -> list[tuple[str, dict[str, Any] | None, dict[str, Family] | None]]:
+    """Poll every node with short deadlines; a dead node yields ``None``.
+
+    Unlike single-server mode, an unreachable endpoint is a *row*, not
+    an error — watching a fleet through a partial outage is exactly
+    when a monitor earns its keep.
+    """
+    from repro.serve.client import ServeClient
+
+    rows: list[tuple[str, dict[str, Any] | None, dict[str, Family] | None]] = []
+    for address in addresses:
+        try:
+            with ServeClient.connect(
+                address, timeout=5.0, connect_timeout=2.0
+            ) as client:
+                status = client.status()
+                response = client.request({"op": "metrics"})
+        except (OSError, ValueError) as exc:
+            log_fleet_error(address, exc)
+            rows.append((address, None, None))
+            continue
+        families = None
+        if response.get("ok") and isinstance(response.get("metrics"), str):
+            families = parse_text(response["metrics"])
+        rows.append((address, status, families))
+    return rows
+
+
+def log_fleet_error(address: str, error: Exception) -> None:
+    """One unreachable-node notice per refresh (stderr, not the frame)."""
+    print(f"bcache-top: cannot reach {address}: {error}", file=sys.stderr)
+
+
+def render_fleet(
+    rows: list[tuple[str, dict[str, Any] | None, dict[str, Family] | None]],
+    width: int = 100,
+) -> str:
+    """One fleet-mode frame: a per-node row plus aggregated totals.
+
+    ``steals`` reads the ``repro_cluster_steals_total`` series labelled
+    with the node's address when any polled endpoint exports it (a
+    coordinator scraped through its own ``/metrics``); plain serve
+    nodes don't carry that series, so the column renders ``-``.
+    """
+    lines: list[str] = []
+    up = sum(1 for _, status, _ in rows if status is not None)
+    lines.append(f"bcache-top — fleet  {up}/{len(rows)} node(s) up")
+    header = (
+        f"{'node':<28} {'state':>6} {'inflight':>9} {'completed':>10} "
+        f"{'restarts':>9} {'steals':>7} {'uptime':>8}"
+    )
+    lines.append(header[:width])
+    lines.append("-" * min(width, len(header)))
+    total_completed = 0
+    total_inflight = 0
+    for address, status, families in rows:
+        name = address if len(address) <= 28 else "..." + address[-25:]
+        if status is None:
+            lines.append(
+                f"{name:<28} {'DOWN':>6} {'-':>9} {'-':>10} "
+                f"{'-':>9} {'-':>7} {'-':>8}"[:width]
+            )
+            continue
+        server = status.get("server", {})
+        state = "drain" if server.get("draining") else "up"
+        inflight = int(server.get("inflight_jobs", 0))
+        completed = int(server.get("completed", 0))
+        restarts = int(server.get("shard_restarts_total", 0))
+        total_inflight += inflight
+        total_completed += completed
+        steals = None
+        if families is not None:
+            steals = _metric_value(
+                families, "repro_cluster_steals_total", node=address
+            )
+        steals_text = f"{steals:.0f}" if steals is not None else "-"
+        lines.append(
+            f"{name:<28} {state:>6} {inflight:>9} {completed:>10} "
+            f"{restarts:>9} {steals_text:>7} "
+            f"{server.get('uptime_s', 0.0):>7.0f}s"[:width]
+        )
+    lines.append(
+        f"totals   inflight {total_inflight}  completed {total_completed}"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def _default_log(run_root: str | None) -> Path | None:
@@ -313,7 +405,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="tail this obs event log (events.jsonl)")
     source.add_argument("--connect", metavar="ADDR",
                         help="poll a bcache-serve instance "
-                        "(host:port or unix:/path.sock)")
+                        "(host:port or unix:/path.sock); a comma-"
+                        "separated list renders a per-node fleet table")
     parser.add_argument("--run-root", metavar="DIR", default=None,
                         help="with neither --log nor --connect: watch the "
                         "newest run under DIR (default $REPRO_RUN_ROOT)")
@@ -365,6 +458,8 @@ def _run_log(args: argparse.Namespace) -> int:
 
 
 def _run_connect(args: argparse.Namespace) -> int:
+    if "," in args.connect:
+        return _run_fleet(args)
     frames = 0
     while True:
         try:
@@ -382,6 +477,23 @@ def _run_connect(args: argparse.Namespace) -> int:
         frames += 1
         if args.once or (args.frames and frames >= args.frames):
             return 0
+        time.sleep(max(0.05, args.interval))
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    addresses = [part.strip() for part in args.connect.split(",") if part.strip()]
+    if not addresses:
+        print("bcache-top: --connect got an empty fleet list", file=sys.stderr)
+        return 2
+    frames = 0
+    while True:
+        rows = poll_fleet(addresses)
+        _emit_frame(render_fleet(rows), args.once)
+        frames += 1
+        if args.once or (args.frames and frames >= args.frames):
+            # Unlike single-server mode, a down node is a row, not an
+            # exit — but an entirely-dead fleet still signals failure.
+            return 0 if any(status is not None for _, status, _ in rows) else 4
         time.sleep(max(0.05, args.interval))
 
 

@@ -14,13 +14,22 @@ rebuilt from the server's snapshots, so a served result compares
 
 Addresses are given as ``host:port`` or ``unix:/path/to.sock`` (a bare
 path containing ``/`` also works).
+
+Both flavours carry deadlines: ``connect(...)`` takes separate
+``connect_timeout``/``timeout`` (read) knobs, every ``request`` accepts
+a per-call ``timeout=`` override, and a hung server surfaces as
+:class:`TimeoutError` instead of blocking the caller forever.
+:meth:`ServeClient.connect_with_backoff` retries a refused/unreachable
+endpoint under a seeded :class:`~repro.engine.resilience.RetryPolicy`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+import time
 from dataclasses import asdict
+from random import Random
 from typing import Any, Sequence
 
 from repro.engine.runner import SweepJob
@@ -104,10 +113,16 @@ class ServeClient:
             stats = client.simulate(SweepJob(spec="mf8_bas8", benchmark="gcc"))
     """
 
-    def __init__(self, sock: socket.socket, max_frame: int = MAX_FRAME_BYTES) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame: int = MAX_FRAME_BYTES,
+        timeout: float | None = 30.0,
+    ) -> None:
         self._sock = sock
         self._decoder = FrameDecoder(max_frame)
         self.max_frame = max_frame
+        self.timeout = timeout
 
     @classmethod
     def connect(
@@ -115,31 +130,93 @@ class ServeClient:
         address: str,
         timeout: float | None = 30.0,
         max_frame: int = MAX_FRAME_BYTES,
+        connect_timeout: float | None = None,
     ) -> "ServeClient":
+        """Open a connection; ``timeout`` bounds every later read/write.
+
+        ``connect_timeout`` bounds the TCP/Unix connect handshake only
+        and defaults to ``timeout`` — a fleet coordinator wants a short
+        connect deadline (is the node there at all?) but a generous
+        request deadline (a sweep batch takes real time).
+        """
         kind, target = parse_address(address)
         if kind == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.settimeout(timeout)
+        sock.settimeout(connect_timeout if connect_timeout is not None else timeout)
         try:
             sock.connect(target)
         except OSError:
             sock.close()
             raise
-        return cls(sock, max_frame)
+        sock.settimeout(timeout)
+        return cls(sock, max_frame, timeout)
+
+    @classmethod
+    def connect_with_backoff(
+        cls,
+        address: str,
+        timeout: float | None = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+        connect_timeout: float | None = None,
+        *,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        seed: int = 2006,
+    ) -> "ServeClient":
+        """:meth:`connect`, retrying refused/unreachable endpoints.
+
+        Backoff follows the engine's seeded
+        :class:`~repro.engine.resilience.RetryPolicy` (exponential with
+        deterministic jitter), so reconnect storms from many clients
+        de-synchronise reproducibly.  Raises the last ``OSError`` once
+        ``attempts`` connection attempts have failed.
+        """
+        from repro.engine.resilience import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=attempts, base_delay=base_delay, max_delay=max_delay
+        )
+        rng = Random(seed)
+        last_error: OSError | None = None
+        for attempt in range(max(1, attempts)):
+            try:
+                return cls.connect(
+                    address, timeout, max_frame, connect_timeout=connect_timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < max(1, attempts):
+                    time.sleep(policy.delay(attempt, rng))
+        assert last_error is not None
+        raise last_error
 
     # -- low level -----------------------------------------------------
-    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one request frame and block for its response frame."""
-        self._sock.sendall(encode_frame(payload, self.max_frame))
-        while True:
-            chunk = self._sock.recv(65536)
-            if not chunk:
-                raise ProtocolError("server closed the connection mid-response")
-            frames = self._decoder.feed(chunk)
-            if frames:
-                return frames[0]
+    def request(
+        self, payload: dict[str, Any], timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Send one request frame and block for its response frame.
+
+        ``timeout`` overrides the connection's read deadline for this
+        request only; a quiet server raises :class:`TimeoutError` when
+        the deadline passes instead of blocking forever.
+        """
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.sendall(encode_frame(payload, self.max_frame))
+            while True:
+                chunk = self._sock.recv(65536)
+                if not chunk:
+                    raise ProtocolError("server closed the connection mid-response")
+                frames = self._decoder.feed(chunk)
+                if frames:
+                    return frames[0]
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(self.timeout)
 
     # -- ops -----------------------------------------------------------
     def simulate(self, job: SweepJob | dict[str, Any]) -> CacheStats:
@@ -181,28 +258,54 @@ class AsyncServeClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame: int = MAX_FRAME_BYTES,
+        timeout: float | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self.max_frame = max_frame
+        self.timeout = timeout
 
     @classmethod
     async def connect(
-        cls, address: str, max_frame: int = MAX_FRAME_BYTES
+        cls,
+        address: str,
+        max_frame: int = MAX_FRAME_BYTES,
+        timeout: float | None = None,
+        connect_timeout: float | None = 10.0,
     ) -> "AsyncServeClient":
+        """Open a connection; ``connect_timeout`` bounds the handshake.
+
+        ``timeout`` becomes the default per-request deadline (``None``
+        keeps the historical unbounded behaviour for trusted local
+        servers; fleet callers should always set one).
+        """
         kind, target = parse_address(address)
         if kind == "unix":
-            reader, writer = await asyncio.open_unix_connection(target)
+            open_coro = asyncio.open_unix_connection(target)
         else:
-            reader, writer = await asyncio.open_connection(target[0], target[1])
-        return cls(reader, writer, max_frame)
+            open_coro = asyncio.open_connection(target[0], target[1])
+        reader, writer = await asyncio.wait_for(open_coro, connect_timeout)
+        return cls(reader, writer, max_frame, timeout)
 
-    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        await write_frame(self._writer, payload, self.max_frame)
-        response = await read_frame(self._reader, self.max_frame)
+    async def request(
+        self, payload: dict[str, Any], timeout: float | None = None
+    ) -> dict[str, Any]:
+        """One round trip; raises ``TimeoutError`` past the deadline.
+
+        The effective deadline is the per-call ``timeout`` or the
+        connection default; it covers the write and the full response
+        read, so a server that accepts the request and then hangs still
+        surfaces within the deadline.
+        """
+        deadline = timeout if timeout is not None else self.timeout
+        response = await asyncio.wait_for(self._round_trip(payload), deadline)
         if response is None:
             raise ProtocolError("server closed the connection mid-response")
         return response
+
+    async def _round_trip(self, payload: dict[str, Any]) -> dict[str, Any] | None:
+        await write_frame(self._writer, payload, self.max_frame)
+        return await read_frame(self._reader, self.max_frame)
 
     async def simulate(self, job: SweepJob | dict[str, Any]) -> CacheStats:
         return _stats_from(await self.request({"op": "simulate", **_job_payload(job)}))

@@ -35,6 +35,11 @@ HEADER = struct.Struct(">I")
 #: Default cap on one frame's JSON body (1 MiB).
 MAX_FRAME_BYTES = 1 << 20
 
+#: Wire-protocol revision advertised by the ``status`` op.  Bump only
+#: on incompatible framing or payload changes; the cluster coordinator
+#: refuses to dispatch to nodes speaking a newer major revision.
+PROTOCOL_VERSION = 1
+
 
 class ProtocolError(ValueError):
     """The peer violated the framing or sent a malformed payload."""

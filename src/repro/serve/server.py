@@ -56,6 +56,7 @@ from repro.obs.metrics import default_registry
 from repro.serve.batcher import MicroBatcher, SimulationError
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     FrameTooLarge,
     ProtocolError,
     read_frame,
@@ -482,6 +483,8 @@ class SimServer:
         return {
             "server": {
                 "draining": self._draining,
+                "protocol_version": PROTOCOL_VERSION,
+                "cpus_usable": available_cpus(),
                 "uptime_s": round(time.monotonic() - metrics.started_at, 3),
                 "connections_total": metrics.connections_total,
                 "requests": metrics.requests,

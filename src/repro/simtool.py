@@ -121,6 +121,16 @@ def _run_specs(
             )
             for spec in valid_specs
         ]
+        if "," in args.connect:
+            # Comma-separated fleet: route through the fault-tolerant
+            # cluster coordinator (work-stealing, failover, local
+            # fallback) — same bit-identical statistics contract.
+            from repro.engine.cluster import run_cluster_sweep
+
+            swept = run_cluster_sweep(sweep, args.connect.split(","))
+            for spec, stats in zip(valid_specs, swept):
+                results[spec] = stats
+            return results, errors, status
         try:
             with ServeClient.connect(args.connect) as client:
                 swept = client.sweep(sweep)
@@ -289,7 +299,10 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument("--connect", default=None, metavar="ADDR",
                         help="run benchmark specs on a bcache-serve instance "
                         "(host:port or unix:/path.sock) instead of locally; "
-                        "statistics are bit-identical (see docs/serve.md)")
+                        "a comma-separated list sweeps the fleet through "
+                        "the fault-tolerant cluster coordinator (see "
+                        "docs/serve.md and docs/cluster.md); statistics "
+                        "are bit-identical either way")
     parser.add_argument("--run-id", default=None, metavar="ID",
                         help="journal benchmark results durably under this "
                         "id and resume a killed run bit-identically "

@@ -1,0 +1,3 @@
+# lint-path: src/repro/engine/cluster.py
+async def dispatch(client, jobs):
+    return await asyncio.wait_for(client.sweep(jobs), timeout=30.0)

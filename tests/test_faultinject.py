@@ -5,8 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.engine.faultinject import (
+    ALL_KINDS,
     CHILD_KINDS,
     FAULT_KINDS,
+    NODE_KINDS,
     FaultPlan,
     FaultPlanError,
     FaultSpec,
@@ -32,6 +34,13 @@ class TestFaultSpec:
             FaultSpec("crash", -1)
         with pytest.raises(FaultPlanError, match="non-negative"):
             FaultSpec("crash", 0, -2)
+
+    def test_node_kinds_are_valid_specs(self):
+        assert ALL_KINDS == FAULT_KINDS + NODE_KINDS
+        for kind in NODE_KINDS:
+            assert FaultSpec(kind, 1).render() == f"{kind}@1"
+        round_trip = FaultPlan.parse("node_down@0,node_hang@1:2")
+        assert round_trip.render() == "node_down@0,node_hang@1:2"
 
 
 class TestFaultPlanDSL:
@@ -80,6 +89,14 @@ class TestFaultPlanQueries:
         assert plan.child_kinds(5, 0) == ("crash", "flaky")  # FAULT_KINDS order
         assert plan.child_kinds(5, 1) == ()
         assert plan.child_kinds(4, 0) == ()
+
+    def test_node_kinds_filters_and_orders(self):
+        plan = FaultPlan.parse("node_flaky@3,node_down@3,crash@3,node_hang@2")
+        # NODE_KINDS order, FAULT_KINDS filtered out, coordinates exact.
+        assert plan.node_kinds(3, 0) == ("node_down", "node_flaky")
+        assert plan.node_kinds(2, 0) == ("node_hang",)
+        assert plan.node_kinds(3, 1) == ()
+        assert plan.child_kinds(3, 0) == ("crash",)  # node kinds excluded
 
     def test_hash_and_equality(self):
         a = FaultPlan.parse("crash@0,hang@1")

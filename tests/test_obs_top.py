@@ -11,6 +11,8 @@ from repro.obs.top import (
     RETRY_STORM_THRESHOLD,
     SweepModel,
     main,
+    poll_fleet,
+    render_fleet,
     render_server,
     render_sweep,
 )
@@ -159,6 +161,57 @@ class TestRenderServer:
 
 
 # ----------------------------------------------------------------------
+# Fleet mode
+# ----------------------------------------------------------------------
+class TestRenderFleet:
+    def test_renders_one_row_per_node_and_totals(self):
+        status = _fake_status()
+        status["server"]["shard_restarts_total"] = 2
+        rows = [
+            ("unix:/tmp/a.sock", status, None),
+            ("unix:/tmp/b.sock", None, None),
+        ]
+        frame = render_fleet(rows)
+        assert "1/2 node(s) up" in frame
+        lines = frame.splitlines()
+        row_a = next(line for line in lines if "a.sock" in line)
+        row_b = next(line for line in lines if "b.sock" in line)
+        assert "up" in row_a and " 9" in row_a and " 2" in row_a
+        assert "DOWN" in row_b
+        assert any("completed" in line for line in lines)  # header present
+
+    def test_draining_node_renders_drain_state(self):
+        status = _fake_status()
+        status["server"]["draining"] = True
+        frame = render_fleet([("unix:/tmp/a.sock", status, None)])
+        assert "drain" in frame
+
+    def test_steals_column_reads_cluster_metric(self):
+        families = parse_text(
+            "# TYPE repro_cluster_steals_total counter\n"
+            'repro_cluster_steals_total{node="unix:/tmp/a.sock"} 7\n'
+        )
+        frame = render_fleet([("unix:/tmp/a.sock", _fake_status(), families)])
+        row = next(line for line in frame.splitlines() if "a.sock" in line)
+        assert " 7" in row
+
+    def test_plain_serve_node_renders_dash_for_steals(self):
+        frame = render_fleet([("unix:/tmp/a.sock", _fake_status(), None)])
+        row = next(line for line in frame.splitlines() if "a.sock" in line)
+        assert " -" in row
+
+    def test_long_address_is_truncated(self):
+        address = "unix:/" + "x" * 60 + "/serve.sock"
+        frame = render_fleet([(address, None, None)])
+        assert "..." in frame
+
+    def test_poll_fleet_marks_unreachable_nodes_down(self, tmp_path, capsys):
+        rows = poll_fleet([f"unix:{tmp_path}/ghost.sock"])
+        assert rows == [(f"unix:{tmp_path}/ghost.sock", None, None)]
+        assert "cannot reach" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 class TestCli:
@@ -195,6 +248,22 @@ class TestCli:
     def test_unreachable_server_exits_four(self, capsys):
         assert main(["--connect", "127.0.0.1:1", "--once"]) == 4
         assert "cannot reach" in capsys.readouterr().err
+
+    def test_fleet_of_unreachable_nodes_renders_then_exits_four(
+        self, tmp_path, capsys
+    ):
+        code = main([
+            "--connect", f"unix:{tmp_path}/a.sock,unix:{tmp_path}/b.sock",
+            "--once",
+        ])
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "0/2 node(s) up" in captured.out
+        assert captured.out.count("DOWN") == 2
+
+    def test_empty_fleet_list_exits_two(self, capsys):
+        assert main(["--connect", ",", "--once"]) == 2
+        assert "empty fleet" in capsys.readouterr().err
 
     def test_log_and_connect_are_exclusive(self, capsys):
         with pytest.raises(SystemExit):

@@ -238,6 +238,11 @@ class TestSimServer:
         assert status["batcher"]["requests"] == 1
         assert len(status["shards"]) == 1
         assert status["shards"][0]["alive"]
+        # Fleet-coordination fields: a cluster coordinator keys its
+        # compatibility and batch sizing off these three.
+        assert status["server"]["draining"] is False
+        assert status["server"]["protocol_version"] == 1
+        assert status["server"]["cpus_usable"] >= 1
 
     def test_overload_sheds_with_explicit_error(self):
         # Budget of one in-flight job and a long window: the second
