@@ -4,7 +4,7 @@ PYTHON ?= python
 LINT_FORMAT ?= text
 LINT_JOBS ?= 0
 
-.PHONY: install dev test lint typecheck bench bench-engine chaos serve loadgen top cluster experiments experiments-full examples clean
+.PHONY: install dev test lint typecheck bench bench-engine chaos serve gateway gateway-smoke loadgen top cluster experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -37,6 +37,18 @@ chaos:
 
 serve:
 	PYTHONPATH=src $(PYTHON) -m repro.serve --port 4006 --shards 2
+
+# HTTP tier in front of a running `make serve` (result cache + rate
+# limiting live in the backend; start it with --result-cache to see
+# repeated-mix speedups).
+gateway:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.gateway \
+		--port 8006 --backend 127.0.0.1:4006
+
+# Full serving-stack smoke: serve + gateway + loadgen over HTTP with a
+# repeated mix; asserts cache hits, dedup, and bit-identity.
+gateway-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/gateway_smoke.py
 
 loadgen:
 	PYTHONPATH=src $(PYTHON) -m repro.serve.loadgen \

@@ -1,0 +1,156 @@
+"""Serving-stack smoke for the HTTP tier (``make gateway-smoke`` / CI).
+
+Boots the full production topology — ``bcache-serve`` (2 shards, result
+cache on) fronted by ``bcache-gateway`` — and drives it twice with
+``bcache-loadgen`` over HTTP using a cache-friendly repeated mix:
+
+1. **cold → warm**: the first leg populates the result cache; it must
+   finish with zero errors, stats bit-identical to a local replay
+   (``--verify``), and at least one identical-job dedup (micro-batch
+   coalescing or singleflight) — the regression that motivated the
+   canonical job key.
+2. **warm**: the second leg re-runs the same mix; the cumulative result
+   cache hit ratio must reach at least 0.5 — repeats are answered from
+   memory, not shards.
+
+Finally both processes get SIGTERM and must drain to exit 0 — the
+gateway printing its drained line — so CI never leaks processes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+REQUESTS = 120
+CLIENTS = 8
+MIX = "repeated:6"
+
+
+def _env(root: Path) -> dict[str, str]:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC)
+    env.setdefault("REPRO_TRACE_STORE", str(root / "traces"))
+    return env
+
+
+def start_serve(root: Path) -> tuple[subprocess.Popen, Path]:
+    sock = root / "serve.sock"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--unix", str(sock),
+         "--shards", "2", "--result-cache", str(root / "resultcache")],
+        env=_env(root), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    assert proc.stdout is not None
+    ready = proc.stdout.readline()
+    if "ready" not in ready:
+        proc.kill()
+        raise SystemExit(f"bcache-serve did not come up: {ready!r}")
+    print(f"serve: {ready.strip()}", flush=True)
+    return proc, sock
+
+
+def start_gateway(root: Path, sock: Path) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.gateway", "--port", "0",
+         "--backend", f"unix:{sock}"],
+        env=_env(root), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    assert proc.stdout is not None
+    ready = proc.stdout.readline()
+    if "ready" not in ready:
+        proc.kill()
+        raise SystemExit(f"bcache-gateway did not come up: {ready!r}")
+    print(f"gateway: {ready.strip()}", flush=True)
+    address = next(
+        word.split("=", 1)[1]
+        for word in ready.split()
+        if word.startswith("http=")
+    )
+    return proc, f"http://{address}"
+
+
+def run_loadgen(root: Path, url: str, out: Path) -> dict:
+    code = subprocess.call(
+        [sys.executable, "-m", "repro.serve.loadgen", "--gateway", url,
+         "--requests", str(REQUESTS), "--clients", str(CLIENTS),
+         "--mix", MIX, "--verify", "--out", str(out)],
+        env=_env(root),
+    )
+    if code != 0:
+        raise SystemExit(f"bcache-loadgen exited {code}")
+    return json.loads(out.read_text())
+
+
+def gate(condition: bool, message: str) -> None:
+    print(("PASS" if condition else "FAIL") + f": {message}", flush=True)
+    if not condition:
+        raise SystemExit(1)
+
+
+def drain(proc: subprocess.Popen, name: str) -> str:
+    with contextlib.suppress(ProcessLookupError):
+        proc.send_signal(signal.SIGTERM)
+    try:
+        output, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise SystemExit(f"{name} did not drain within 60s")
+    gate(proc.returncode == 0, f"{name} drained to exit 0 on SIGTERM")
+    return output or ""
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gateway-smoke-") as tmp:
+        root = Path(tmp)
+        serve_proc, sock = start_serve(root)
+        gateway_proc, url = start_gateway(root, sock)
+        try:
+            print("=== gateway-smoke: leg 1 (cold -> warm) ===", flush=True)
+            started = time.monotonic()
+            cold = run_loadgen(root, url, root / "leg1.json")
+            print(f"leg 1 took {time.monotonic() - started:.1f}s", flush=True)
+            gate(cold["errors"] == 0, "leg 1 finished with zero errors")
+            gate(cold.get("verified_identical") is True,
+                 "leg 1 served stats bit-identical to local replay")
+            deduped = (int(cold.get("coalesced", 0))
+                       + int(cold.get("coalesced_inflight", 0))
+                       + int(cold.get("singleflight_waits", 0)))
+            gate(deduped > 0,
+                 f"repeated mix deduplicated identical jobs ({deduped} hits)")
+
+            print("=== gateway-smoke: leg 2 (warm) ===", flush=True)
+            warm = run_loadgen(root, url, root / "leg2.json")
+            gate(warm["errors"] == 0, "leg 2 finished with zero errors")
+            gate(warm.get("verified_identical") is True,
+                 "leg 2 served stats bit-identical to local replay")
+            cache = warm.get("resultcache") or {}
+            hits = int(cache.get("hits_memory", 0)) + int(
+                cache.get("hits_disk", 0))
+            probes = hits + int(cache.get("misses", 0))
+            ratio = hits / probes if probes else 0.0
+            gate(ratio >= 0.5,
+                 f"result cache hit ratio {ratio:.2f} >= 0.5 "
+                 f"({hits}/{probes} probes)")
+        finally:
+            gateway_output = drain(gateway_proc, "bcache-gateway")
+            drain(serve_proc, "bcache-serve")
+        gate("drained" in gateway_output,
+             "gateway announced its drain before exiting")
+    print("gateway-smoke: all gates passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,7 @@ from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
 from repro.serve.client import AsyncServeClient, ServeError
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.resultcache import ResultCache
 from repro.stats.counters import CacheStats
 
 log = logging.getLogger("repro.engine.cluster")
@@ -324,6 +325,7 @@ class ClusterCoordinator:
         addresses: Sequence[str],
         config: ClusterConfig | None = None,
         store: TraceStore | None = None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         unique = list(dict.fromkeys(address.strip() for address in addresses))
         unique = [address for address in unique if address]
@@ -334,7 +336,9 @@ class ClusterCoordinator:
         self.redispatch_total = 0
         self.steals_total = 0
         self.fallback_jobs = 0
+        self.cache_hits = 0
         self._store = store
+        self._cache = result_cache
         self._jobs: list[SweepJob] = []
         self._keys: list[str] = []
         self._key_indices: dict[str, list[int]] = {}
@@ -404,6 +408,7 @@ class ClusterCoordinator:
             "redispatch_total": self.redispatch_total,
             "steals_total": self.steals_total,
             "fallback_jobs": self.fallback_jobs,
+            "cache_hits": self.cache_hits,
         }
 
     # -- coordinator core ----------------------------------------------
@@ -431,6 +436,7 @@ class ClusterCoordinator:
                 self._results[index] = cached
             else:
                 self._remaining.add(index)
+        await self._consult_cache()
         for index in sorted(self._remaining):
             self._queue.append(_Task(index))
         self._inflight = {node.address: {} for node in self.nodes}
@@ -449,6 +455,40 @@ class ClusterCoordinator:
                     await self._run_local_fallback()
         _obs.cluster_nodes_up(self._alive_count())
         return [self._final(stats) for stats in self._results]
+
+    async def _consult_cache(self) -> None:
+        """Answer still-pending jobs from the content-addressed cache.
+
+        Runs before any dispatch: a fleet sweep repeated with the same
+        engine fingerprint costs zero node round-trips.  Cache reads
+        touch disk, so they run on the default executor, not the loop.
+        """
+        cache = self._cache
+        if cache is None or not self._remaining:
+            return
+        loop = asyncio.get_running_loop()
+        for index in sorted(self._remaining):
+            if index not in self._remaining:  # twin already answered
+                continue
+            job = self._jobs[index]
+            snapshot = await loop.run_in_executor(None, cache.get, job)
+            if snapshot is None:
+                continue
+            stats = CacheStats.from_snapshot(snapshot)
+            for twin in self._key_indices[self._keys[index]]:
+                if twin in self._remaining:
+                    self._remaining.discard(twin)
+                    self._results[twin] = stats
+            self.cache_hits += 1
+
+    async def _cache_store(self, job: SweepJob, stats: CacheStats) -> None:
+        """Write-through one fresh result (off-loop: the put hits disk)."""
+        cache = self._cache
+        if cache is None:
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, functools.partial(cache.put, job, stats.snapshot())
+        )
 
     @staticmethod
     def _final(stats: CacheStats | None) -> CacheStats:
@@ -622,6 +662,7 @@ class ClusterCoordinator:
             node.stats.completed += 1
             _obs.cluster_job_served(node.address)
             await self._journal_write(self._jobs[task.index], stats, node.address)
+            await self._cache_store(self._jobs[task.index], stats)
 
     async def _journal_write(
         self, job: SweepJob, stats: CacheStats, node_name: str
@@ -666,6 +707,7 @@ class ClusterCoordinator:
                     self._results[twin] = stats
             self.fallback_jobs += 1
             await self._journal_write(job, stats, "local")
+            await self._cache_store(job, stats)
 
     def _mark_dead(self, node: NodeHandle, reason: str) -> None:
         node.dead = True
@@ -685,9 +727,12 @@ def run_cluster_sweep(
     run_root: str | Path | None = None,
     fault_plan: FaultPlan | None = None,
     store: TraceStore | None = None,
+    result_cache: ResultCache | None = None,
 ) -> list[CacheStats]:
     """One-shot fleet sweep (``bcache-sim --connect host1,host2`` path)."""
-    coordinator = ClusterCoordinator(addresses, config=config, store=store)
+    coordinator = ClusterCoordinator(
+        addresses, config=config, store=store, result_cache=result_cache
+    )
     return coordinator.run(
         jobs,
         run_id=run_id,
@@ -765,6 +810,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail unless at least N jobs ran via local fallback (CI gate)",
     )
     parser.add_argument(
+        "--result-cache", nargs="?", const="", default=None, metavar="DIR",
+        help="consult/fill the content-addressed result cache before "
+        "dispatching (optional DIR overrides the default root)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
     )
     return parser
@@ -792,7 +842,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         connect_timeout=args.connect_timeout,
         request_timeout=args.request_timeout,
     )
-    coordinator = ClusterCoordinator(args.connect.split(","), config=config)
+    result_cache = (
+        ResultCache(args.result_cache or None)
+        if args.result_cache is not None
+        else None
+    )
+    coordinator = ClusterCoordinator(
+        args.connect.split(","), config=config, result_cache=result_cache
+    )
     results = coordinator.run(
         jobs,
         run_id=args.run_id,
@@ -817,7 +874,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"cluster: redispatch_total={summary['redispatch_total']} "
             f"steals_total={summary['steals_total']} "
-            f"fallback_jobs={summary['fallback_jobs']}"
+            f"fallback_jobs={summary['fallback_jobs']} "
+            f"cache_hits={summary['cache_hits']}"
         )
     failed = False
     if args.verify:

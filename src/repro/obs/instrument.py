@@ -206,6 +206,128 @@ def serve_queue_depth(shard: int, depth: int) -> None:
 
 
 # ----------------------------------------------------------------------
+# Result-cache series (always on: the memoized serving tier's hit
+# ratio is the whole point, so it is never dark)
+# ----------------------------------------------------------------------
+def resultcache_lookup(tier: str) -> None:
+    """One result-cache probe: ``tier`` = memory|disk on a hit, miss."""
+    registry = default_registry()
+    if tier == "miss":
+        registry.counter(
+            "repro_resultcache_misses_total",
+            "Result-cache lookups that fell through to live execution",
+        ).inc()
+    else:
+        registry.counter(
+            "repro_resultcache_hits_total",
+            "Result-cache lookups served from a cache tier",
+        ).inc(tier=tier)
+
+
+def resultcache_stored(count: int = 1) -> None:
+    """Snapshots written through to the result cache."""
+    default_registry().counter(
+        "repro_resultcache_stores_total",
+        "Snapshots written into the result cache",
+    ).inc(count)
+
+
+def resultcache_entries(count: int) -> None:
+    """Current in-process LRU population."""
+    default_registry().gauge(
+        "repro_resultcache_entries",
+        "Entries currently held by the in-process result-cache LRU",
+    ).set(float(count))
+
+
+def resultcache_evicted() -> None:
+    """One LRU entry evicted to stay within the memory-tier budget."""
+    default_registry().counter(
+        "repro_resultcache_evictions_total",
+        "Entries evicted from the in-process result-cache LRU",
+    ).inc()
+
+
+def resultcache_quarantined(entry: str, reason: str) -> None:
+    """A corrupt disk entry was moved aside instead of served."""
+    default_registry().counter(
+        "repro_resultcache_quarantined_total",
+        "Corrupt result-cache disk entries quarantined",
+    ).inc()
+    events.emit("resultcache.quarantined", entry=entry, reason=reason)
+
+
+def resultcache_invalidated(dirs: int) -> None:
+    """Stale fingerprint directories removed on engine change."""
+    default_registry().counter(
+        "repro_resultcache_invalidations_total",
+        "Stale result-cache fingerprint directories pruned",
+    ).inc(dirs)
+    events.emit("resultcache.invalidated", dirs=dirs)
+
+
+def resultcache_singleflight() -> None:
+    """A request piggybacked on an in-flight identical execution."""
+    default_registry().counter(
+        "repro_resultcache_singleflight_total",
+        "Requests that shared an in-flight identical execution",
+    ).inc()
+
+
+# ----------------------------------------------------------------------
+# Admission-control series (always on, like the serve layer)
+# ----------------------------------------------------------------------
+def admission_shed(reason: str, client: str) -> None:
+    """One request shed by admission control, by mechanism."""
+    default_registry().counter(
+        "repro_admission_shed_total",
+        "Requests shed by admission control, by reason",
+    ).inc(reason=reason)
+    events.emit("admission.shed", reason=reason, client=client)
+
+
+def admission_waited(seconds: float) -> None:
+    """Time a request spent parked in the fair queue before its grant."""
+    default_registry().histogram(
+        "repro_admission_wait_seconds",
+        "Seconds requests waited in the fair admission queue",
+    ).observe(seconds)
+
+
+# ----------------------------------------------------------------------
+# Gateway series (always on: an HTTP front end is an instrumented
+# process, and the gateway-smoke CI gate scrapes these)
+# ----------------------------------------------------------------------
+def gateway_request(route: str, code: int, seconds: float) -> None:
+    """One HTTP request handled by ``bcache-gateway``."""
+    registry = default_registry()
+    registry.counter(
+        "repro_gateway_requests_total",
+        "HTTP requests handled by the gateway, by route and status",
+    ).inc(route=route, code=str(code))
+    registry.histogram(
+        "repro_gateway_request_seconds",
+        "Gateway HTTP request wall time",
+    ).observe(seconds, route=route)
+
+
+def gateway_streamed(results: int) -> None:
+    """Partial sweep results streamed as NDJSON lines."""
+    default_registry().counter(
+        "repro_gateway_streamed_results_total",
+        "Partial sweep results streamed to NDJSON clients",
+    ).inc(results)
+
+
+def gateway_backend_error(kind: str) -> None:
+    """A backend round trip failed (connection, protocol, timeout)."""
+    default_registry().counter(
+        "repro_gateway_backend_errors_total",
+        "Gateway-to-backend round trips that failed, by kind",
+    ).inc(kind=kind)
+
+
+# ----------------------------------------------------------------------
 # Cluster-layer series (always on: a coordinator is an instrumented
 # process, and the cluster-smoke CI gate reads these totals)
 # ----------------------------------------------------------------------

@@ -11,7 +11,14 @@ job.  Two levels of coalescing happen:
   job (same spec, benchmark, side, n, seed, geometry, policy) attach to
   one pending entry and share a single execution; every waiter gets the
   same snapshot.  Simulations are pure functions of the job, so this is
-  semantically invisible.
+  semantically invisible.  Jobs are identified by the **canonical** key
+  of :func:`repro.serve.resultcache.canonical_job_key` (sorted keys,
+  fixed separators, normalised scalars) so representation drift cannot
+  split one logical job across two entries.
+* **Cross-window singleflight** — coalescing does not stop when the
+  window closes: a job whose batch is already executing keeps accepting
+  waiters until its result lands, so a burst of identical requests
+  spanning many windows still costs one execution.
 * **Batch coalescing** — distinct jobs bound for the same shard within
   the window travel in one pipe message, amortising IPC and scheduling.
 
@@ -28,9 +35,9 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.engine.resilience import job_key
 from repro.engine.runner import SweepJob
 from repro.obs import instrument as _obs
+from repro.serve.resultcache import canonical_job_key
 from repro.serve.workers import ShardPool
 
 
@@ -44,6 +51,7 @@ class BatchMetrics:
 
     requests: int = 0  #: jobs admitted to the batcher
     coalesced: int = 0  #: requests that piggybacked on an identical pending job
+    coalesced_inflight: int = 0  #: ...of which joined an already-executing batch
     batches: int = 0  #: worker round-trips
     batched_jobs: int = 0  #: distinct jobs sent across all batches
     batch_errors: int = 0  #: jobs whose worker reported an error
@@ -59,6 +67,7 @@ class BatchMetrics:
         return {
             "requests": self.requests,
             "coalesced": self.coalesced,
+            "coalesced_inflight": self.coalesced_inflight,
             "batches": self.batches,
             "batched_jobs": self.batched_jobs,
             "batch_errors": self.batch_errors,
@@ -93,6 +102,9 @@ class MicroBatcher:
         self.max_batch = max(1, max_batch)
         self.metrics = BatchMetrics()
         self._pending: dict[int, dict[str, _Entry]] = {}
+        #: canonical key -> entry whose batch is currently executing;
+        #: late identical requests attach here (cross-window singleflight).
+        self._executing: dict[str, _Entry] = {}
         self._timers: dict[int, asyncio.Task] = {}
         self._inflight: set[asyncio.Task] = set()
 
@@ -104,17 +116,26 @@ class MicroBatcher:
         for this job.
         """
         loop = asyncio.get_running_loop()
+        key = canonical_job_key(job)
+        self.metrics.requests += 1
+        executing = self._executing.get(key)
+        if executing is not None:
+            # The job is already on a worker; ride that execution.
+            self.metrics.coalesced += 1
+            self.metrics.coalesced_inflight += 1
+            future: asyncio.Future = loop.create_future()
+            executing.futures.append(future)
+            executing.requests += 1
+            return await future
         shard = self.pool.shard_of(job)
         bucket = self._pending.setdefault(shard, {})
-        key = job_key(job)
         entry = bucket.get(key)
-        self.metrics.requests += 1
         if entry is None:
             entry = _Entry(job=job)
             bucket[key] = entry
         else:
             self.metrics.coalesced += 1
-        future: asyncio.Future = loop.create_future()
+        future = loop.create_future()
         entry.futures.append(future)
         entry.requests += 1
         if len(bucket) >= self.max_batch:
@@ -140,13 +161,17 @@ class MicroBatcher:
         bucket = self._pending.pop(shard, None)
         if not bucket:
             return
+        # From here until the batch resolves, identical submissions
+        # attach to these entries instead of queueing a re-execution.
+        self._executing.update(bucket)
         task = asyncio.get_running_loop().create_task(
-            self._run_batch(shard, list(bucket.values()))
+            self._run_batch(shard, bucket)
         )
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    async def _run_batch(self, shard: int, entries: list[_Entry]) -> None:
+    async def _run_batch(self, shard: int, bucket: dict[str, _Entry]) -> None:
+        entries = list(bucket.values())
         self.metrics.batches += 1
         self.metrics.batched_jobs += len(entries)
         # Registry-only telemetry: no file I/O on the event loop (BCL011).
@@ -156,11 +181,20 @@ class MicroBatcher:
                 shard, [entry.job for entry in entries]
             )
         except Exception as exc:
+            self._retire(bucket)
             for entry in entries:
                 self._resolve(entry, "error", f"batch failed: {exc}")
             return
+        # Retire before resolving, in one scheduling step: once a
+        # future resolves nobody may attach to its entry anymore.
+        self._retire(bucket)
         for entry, (status, payload) in zip(entries, results):
             self._resolve(entry, status, payload)
+
+    def _retire(self, bucket: dict[str, _Entry]) -> None:
+        for key, entry in bucket.items():
+            if self._executing.get(key) is entry:
+                self._executing.pop(key, None)
 
     def _resolve(self, entry: _Entry, status: str, payload: Any) -> None:
         if status != "ok":

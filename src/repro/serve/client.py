@@ -57,6 +57,16 @@ class OverloadedError(ServeError):
     """The server shed this request (bounded queue full); retry later."""
 
 
+class RateLimitedError(ServeError):
+    """The client is over its admission rate; retry after ``retry_after``."""
+
+    def __init__(
+        self, code: str, detail: str = "", retry_after: float = 1.0
+    ) -> None:
+        super().__init__(code, detail)
+        self.retry_after = retry_after
+
+
 class DrainingError(ServeError):
     """The server is draining and no longer accepts work."""
 
@@ -85,6 +95,13 @@ def _raise_for_error(response: dict[str, Any]) -> None:
     detail = str(response.get("detail", ""))
     if code == "overloaded":
         raise OverloadedError(code, detail)
+    if code == "rate_limited":
+        retry_after = response.get("retry_after", 1.0)
+        raise RateLimitedError(
+            code,
+            detail,
+            float(retry_after) if isinstance(retry_after, (int, float)) else 1.0,
+        )
     if code == "draining":
         raise DrainingError(code, detail)
     raise ServeError(code, detail)

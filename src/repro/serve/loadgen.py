@@ -10,17 +10,28 @@ transports.
 The request mix cycles through the cross product of ``--specs`` and
 ``--benchmarks``, so concurrent clients repeatedly ask for identical
 and near-identical jobs — exactly the traffic shape the server's
-micro-batcher coalesces.  After the run the tool fetches the server's
-``status`` metrics and reports the **mean batch size** alongside
-throughput and latency percentiles; with ``--verify`` it also replays
-every distinct job locally through the same ``execute_job`` path and
-asserts the served statistics are bit-identical.
+micro-batcher coalesces.  ``--mix repeated:R`` repeats each job ``R``
+times back-to-back, the cache-friendly shape that exercises the result
+cache and singleflight tiers.  After the run the tool fetches the
+server's ``status`` metrics and reports the **mean batch size** and
+coalescing/singleflight counters alongside throughput and latency
+percentiles; with ``--verify`` it also replays every distinct job
+locally through the same ``execute_job`` path and asserts the served
+statistics are bit-identical.
+
+Targets: a native server over TCP (``--connect``) or a Unix socket
+(``--unix``), or a ``bcache-gateway`` over HTTP (``--gateway URL``) —
+the HTTP path uses a tiny stdlib client speaking persistent HTTP/1.1,
+and maps 429 responses back onto the shed-retry loop.
 
 ``--out`` writes a machine-readable report (``BENCH_serve.json``
 schema); ``--check BASELINE`` gates regressions the same ratio-based
 way ``bcache-bench`` does — only dimensionless quantities (errors,
 identity, coalescing factor) are compared, so a baseline recorded on
-one machine transfers to another.
+one machine transfers to another.  A baseline may hold several
+``rows`` (cold / warm / repeated); ``--baseline-row`` picks one.  On a
+repeated mix the gate additionally requires that coalescing or
+singleflight actually fired (``coalesced + singleflight_waits > 0``).
 """
 
 from __future__ import annotations
@@ -34,15 +45,22 @@ from pathlib import Path
 from random import Random
 from typing import Any
 
+from dataclasses import asdict
+
 from repro.engine.resilience import job_key
 from repro.engine.runner import SweepJob, execute_job
-from repro.serve.client import AsyncServeClient, OverloadedError, ServeError
+from repro.serve.client import (
+    AsyncServeClient,
+    OverloadedError,
+    RateLimitedError,
+    ServeError,
+)
 from repro.serve.protocol import ProtocolError
 from repro.stats.counters import CacheStats
 from repro.stats.latency import LatencyRecorder
 from repro.workloads.spec2k import ALL_BENCHMARKS
 
-SCHEMA = "bcache-loadgen/1"
+SCHEMA = "bcache-loadgen/2"
 
 DEFAULT_SPECS = "dm,mf8_bas8"
 DEFAULT_BENCHMARKS = "gzip,gcc,equake,mcf"
@@ -58,22 +76,136 @@ class _RunState:
         self.latency = LatencyRecorder()
         self.errors: list[str] = []
         self.shed = 0
+        self.rate_limited = 0
         self.served: dict[str, CacheStats] = {}  # job_key -> first result
 
 
+def parse_mix(text: str) -> int:
+    """``cycle`` → 1, ``repeated:R`` → R; raises ``ValueError`` otherwise."""
+    if text == "cycle":
+        return 1
+    if text.startswith("repeated:"):
+        repeat = int(text.partition(":")[2])
+        if repeat < 1:
+            raise ValueError(f"repeat factor must be >= 1, got {repeat}")
+        return repeat
+    raise ValueError(f"bad --mix {text!r}; use 'cycle' or 'repeated:R'")
+
+
 def build_mix(
-    specs: list[str], benchmarks: list[str], n: int, seed: int
+    specs: list[str], benchmarks: list[str], n: int, seed: int,
+    repeat: int = 1,
 ) -> list[SweepJob]:
-    """The request mix: every (spec, benchmark) pair at one scale."""
-    return [
+    """The request mix: every (spec, benchmark) pair at one scale.
+
+    ``repeat`` > 1 repeats each job back-to-back that many times — the
+    shape that exercises identical-job coalescing and the result cache.
+    """
+    base = [
         SweepJob(spec=spec, benchmark=benchmark, n=n, seed=seed)
         for benchmark in benchmarks
         for spec in specs
     ]
+    if repeat <= 1:
+        return base
+    return [job for job in base for _ in range(repeat)]
+
+
+class GatewayClient:
+    """Minimal persistent HTTP/1.1 JSON client for ``bcache-gateway``.
+
+    Presents the same ``simulate``/``status``/``close`` surface as
+    :class:`AsyncServeClient`, so the load loops are transport-blind.
+    Gateway 429 responses map back onto the native exceptions the
+    retry loop already understands.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: str,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._host = host
+
+    @classmethod
+    async def connect(cls, url: str) -> "GatewayClient":
+        """``http://host:port`` → one persistent connection."""
+        if not url.startswith("http://"):
+            raise ValueError(f"only http:// gateway URLs are supported: {url}")
+        netloc = url[len("http://"):].split("/", 1)[0]
+        host, _, port_text = netloc.partition(":")
+        port = int(port_text) if port_text else 80
+        reader, writer = await asyncio.open_connection(host or "127.0.0.1", port)
+        return cls(reader, writer, netloc)
+
+    async def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: {self._host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        parts = status_line.split()
+        if len(parts) < 2:
+            raise ProtocolError(f"bad gateway status line {status_line!r}")
+        code = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        return code, headers, dict(json.loads(raw))
+
+    async def simulate(self, job: SweepJob) -> CacheStats:
+        code, headers, response = await self._request(
+            "POST", "/v1/simulate", asdict(job)
+        )
+        if code == 429:
+            retry_after = float(headers.get("retry-after", "1"))
+            raise RateLimitedError(
+                "rate_limited", str(response.get("error", "")), retry_after
+            )
+        if code >= 400 or not response.get("ok"):
+            raise ServeError(
+                f"http_{code}", str(response.get("error", response))
+            )
+        return CacheStats.from_snapshot(response["stats"])
+
+    async def status(self) -> dict[str, Any]:
+        code, _, response = await self._request("GET", "/v1/status")
+        if code >= 400:
+            raise ServeError(f"http_{code}", str(response))
+        return response
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _connect(target: str) -> "AsyncServeClient | GatewayClient":
+    """Open the right transport for a target address or gateway URL."""
+    if target.startswith("http://"):
+        return await GatewayClient.connect(target)
+    return await AsyncServeClient.connect(target)
 
 
 async def _issue(
-    client: AsyncServeClient,
+    client: "AsyncServeClient | GatewayClient",
     job: SweepJob,
     state: _RunState,
     rng: Random,
@@ -83,6 +215,18 @@ async def _issue(
         started = time.perf_counter()
         try:
             stats = await client.simulate(job)
+        except RateLimitedError as exc:
+            state.rate_limited += 1
+            if attempt == SHED_RETRIES:
+                state.errors.append(
+                    f"{job.spec}/{job.benchmark}: still rate-limited after "
+                    f"{SHED_RETRIES} retries"
+                )
+                return
+            await asyncio.sleep(
+                min(2.0, max(0.01, exc.retry_after)) * (1.0 + rng.random())
+            )
+            continue
         except OverloadedError:
             state.shed += 1
             if attempt == SHED_RETRIES:
@@ -112,7 +256,7 @@ async def _closed_loop(
     async def worker(worker_id: int) -> None:
         rng = Random(seed + worker_id)
         try:
-            client = await AsyncServeClient.connect(address)
+            client = await _connect(address)
         except OSError as exc:
             state.errors.append(f"client {worker_id}: connect failed: {exc}")
             return
@@ -139,11 +283,11 @@ async def _open_loop(
     seed: int,
 ) -> _RunState:
     state = _RunState()
-    pool: asyncio.Queue[AsyncServeClient] = asyncio.Queue()
-    opened: list[AsyncServeClient] = []
+    pool: "asyncio.Queue[AsyncServeClient | GatewayClient]" = asyncio.Queue()
+    opened: "list[AsyncServeClient | GatewayClient]" = []
     for index in range(clients):
         try:
-            client = await AsyncServeClient.connect(address)
+            client = await _connect(address)
         except OSError as exc:
             state.errors.append(f"connection {index}: connect failed: {exc}")
             continue
@@ -177,7 +321,7 @@ async def _open_loop(
 
 async def _fetch_status(address: str) -> dict[str, Any] | None:
     try:
-        client = await AsyncServeClient.connect(address)
+        client = await _connect(address)
     except OSError:
         return None
     try:
@@ -207,6 +351,25 @@ def verify_identical(
     return (not mismatches, mismatches)
 
 
+def select_baseline_row(
+    baseline: dict[str, Any], row: str | None
+) -> dict[str, Any]:
+    """Resolve a v2 multi-row baseline (``rows``) to one row.
+
+    Flat v1 baselines pass through unchanged; v2 baselines default to
+    the ``cold`` row.  Raises ``KeyError`` for an unknown row name.
+    """
+    rows = baseline.get("rows")
+    if not isinstance(rows, dict):
+        return baseline
+    name = row or "cold"
+    if name not in rows:
+        raise KeyError(
+            f"baseline has no row {name!r}; rows: {', '.join(sorted(rows))}"
+        )
+    return dict(rows[name])
+
+
 def check_against_baseline(
     report: dict[str, Any], baseline: dict[str, Any], tolerance: float
 ) -> list[str]:
@@ -225,6 +388,15 @@ def check_against_baseline(
                 f"{floor:.2f} ({tolerance:.0%} of baseline {base_batch:.2f}) — "
                 "the micro-batcher stopped coalescing"
             )
+    if str(report.get("mix", "cycle")).startswith("repeated"):
+        deduped = int(report.get("coalesced", 0)) + int(
+            report.get("singleflight_waits", 0)
+        )
+        if deduped <= 0:
+            failures.append(
+                "repeated mix produced zero coalesced/singleflight hits — "
+                "identical-job dedup is dormant"
+            )
     return failures
 
 
@@ -239,6 +411,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="TCP address of the server")
     target.add_argument("--unix", metavar="PATH",
                         help="Unix socket path of the server")
+    target.add_argument("--gateway", metavar="URL",
+                        help="bcache-gateway base URL (http://host:port); "
+                        "drives the server through the HTTP tier")
     parser.add_argument("--requests", type=int, default=200, metavar="N",
                         help="total requests to issue (default 200)")
     parser.add_argument("--clients", type=int, default=8, metavar="C",
@@ -253,6 +428,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=20_000,
                         help="trace length per request (default 20000)")
     parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--mix", default="cycle", metavar="MIX",
+                        help="request mix: 'cycle' (default) or "
+                        "'repeated:R' to repeat each job R times "
+                        "back-to-back (cache-friendly traffic)")
+    parser.add_argument("--baseline-row", default=None, metavar="NAME",
+                        help="row of a multi-row baseline to check against "
+                        "(default: cold)")
     parser.add_argument("--verify", action="store_true",
                         help="replay every distinct job locally and require "
                         "bit-identical statistics")
@@ -278,8 +460,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bcache-loadgen: unknown benchmark(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
-    address = args.connect if args.connect else f"unix:{args.unix}"
-    mix = build_mix(specs, benchmarks, args.n, args.seed)
+    try:
+        repeat = parse_mix(args.mix)
+    except ValueError as exc:
+        print(f"bcache-loadgen: {exc}", file=sys.stderr)
+        return 2
+    if args.gateway:
+        address = args.gateway
+    elif args.connect:
+        address = args.connect
+    else:
+        address = f"unix:{args.unix}"
+    mix = build_mix(specs, benchmarks, args.n, args.seed, repeat)
 
     started = time.perf_counter()
     if args.rate:
@@ -298,20 +490,27 @@ def main(argv: list[str] | None = None) -> int:
 
     completed = len(state.latency)
     batcher = (status or {}).get("batcher", {})
+    server = (status or {}).get("server", {})
     mean_batch = float(batcher.get("mean_batch_size", 0.0))
     report: dict[str, Any] = {
         "schema": SCHEMA,
         "mode": mode,
+        "mix": args.mix,
+        "transport": "gateway" if args.gateway else "native",
         "requests": args.requests,
         "clients": args.clients,
         "completed": completed,
         "errors": len(state.errors),
         "shed_retries": state.shed,
+        "rate_limited_retries": state.rate_limited,
         "wall_s": round(wall_s, 4),
         "rps": round(completed / wall_s, 2) if wall_s > 0 else 0.0,
         "mean_batch_size": mean_batch,
         "coalesced": batcher.get("coalesced", 0),
+        "coalesced_inflight": batcher.get("coalesced_inflight", 0),
         "batches": batcher.get("batches", 0),
+        "singleflight_waits": server.get("singleflight_waits", 0),
+        "resultcache": (status or {}).get("resultcache"),
     }
     if completed:
         report["latency"] = state.latency.summary().as_dict()
@@ -321,13 +520,21 @@ def main(argv: list[str] | None = None) -> int:
         state.errors.extend(mismatches)
         report["errors"] = len(state.errors)
 
-    print(f"mode {mode}: {completed}/{args.requests} ok in {wall_s:.2f}s "
+    print(f"mode {mode} ({report['transport']}, mix {args.mix}): "
+          f"{completed}/{args.requests} ok in {wall_s:.2f}s "
           f"({report['rps']:.1f} req/s), {len(state.errors)} error(s), "
-          f"{state.shed} shed retry(ies)")
+          f"{state.shed} shed retry(ies), "
+          f"{state.rate_limited} rate-limited retry(ies)")
     if completed:
         print(f"latency {state.latency.summary().render()}")
     print(f"coalescing: {report['batches']} batches, mean batch size "
-          f"{mean_batch:.2f}, {report['coalesced']} identical-job hits")
+          f"{mean_batch:.2f}, {report['coalesced']} identical-job hits, "
+          f"{report['singleflight_waits']} singleflight waits")
+    cache_snapshot = report.get("resultcache")
+    if isinstance(cache_snapshot, dict):
+        print(f"result cache: {cache_snapshot.get('hits_memory', 0)} memory / "
+              f"{cache_snapshot.get('hits_disk', 0)} disk hits, "
+              f"{cache_snapshot.get('misses', 0)} misses")
     if args.verify:
         print("served stats bit-identical to local replay: "
               + ("yes" if report["verified_identical"] else "NO"))
@@ -341,8 +548,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         try:
-            baseline = json.loads(Path(args.check).read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            baseline = select_baseline_row(
+                json.loads(Path(args.check).read_text()), args.baseline_row
+            )
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
             print(f"cannot read baseline {args.check}: {exc}", file=sys.stderr)
             return 2
         failures = check_against_baseline(report, baseline, args.tolerance)

@@ -1,0 +1,468 @@
+"""Content-addressed result cache for served simulations.
+
+Every job the service runs is a pure function of its
+:class:`~repro.engine.runner.SweepJob` description — same spec,
+benchmark, side, trace length, seed, geometry and policy in, same
+:class:`~repro.stats.counters.CacheStats` out, bit for bit.  That makes
+the whole serving tier memoizable: this module keys completed snapshots
+by a canonical content hash of the job and answers repeats without
+touching a shard.
+
+Three pieces:
+
+* **Canonical keys** — :func:`canonical_job_key` serialises a job with
+  sorted keys, fixed separators and normalised scalar types (an ``n``
+  of ``20000.0`` and ``20000`` hash identically; genuinely fractional
+  floats are rejected), so neither dict order nor float ``repr`` drift
+  can split one logical job across two cache entries.  The micro-batch
+  coalescer uses the same key, which is what makes identical-job
+  coalescing actually fire.  :func:`job_hash` folds the key together
+  with the engine fingerprint into a 128-bit truncated SHA-256 — wide
+  enough that accidental collisions stay out of reach even at
+  birthday-paradox request volumes (see PAPERS.md).
+* **Two-tier store** — :class:`ResultCache` keeps an in-process LRU of
+  snapshots in front of a crash-safe on-disk tier beside the trace
+  store: one CRC32-framed JSON file per entry, written atomically
+  (temp file + ``os.replace``), quarantined on corruption instead of
+  trusted.  Entries live under a directory named by the **engine
+  fingerprint** (a hash of every simulation-relevant source file), so
+  editing a kernel, a workload generator or a replacement policy
+  silently invalidates every stale result — the cache can never serve
+  statistics an older engine computed.
+* **Singleflight** — :class:`Singleflight` collapses concurrent
+  identical work across micro-batch windows: the first caller executes,
+  every later caller awaits the same future, one execution serves N
+  completions.
+
+All methods of :class:`ResultCache` are synchronous and thread-safe;
+event-loop callers must off-load ``get``/``put`` to an executor
+(BCL011) or use the loop-safe :meth:`ResultCache.lookup_memory` fast
+path, which is pure dict work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import hashlib
+import json
+import os
+import shutil
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro.engine.runner import SweepJob
+from repro.obs import instrument as _obs
+
+ENV_RESULT_CACHE = "REPRO_RESULT_CACHE"
+
+#: Job fields folded into the canonical hash.  This is the result-cache
+#: key discipline: every field ``execute_job`` (or a kernel under it)
+#: reads off the job MUST appear here, or two jobs differing only in
+#: that field would collide on one cache entry.  Lint rule BCL018
+#: cross-checks the engine against this set.
+HASHED_JOB_FIELDS = frozenset(
+    {"spec", "benchmark", "side", "n", "seed", "size", "line_size",
+     "policy", "with_kinds"}
+)
+
+#: Hex digits kept from the SHA-256 job digest: 32 nibbles = 128 bits,
+#: sized against birthday-paradox collision odds (PAPERS.md).
+HASH_HEX_DIGITS = 32
+
+#: Hex digits of the engine fingerprint used in directory names.
+FINGERPRINT_HEX_DIGITS = 16
+
+#: Source trees whose bytes define what a simulation computes; any
+#: change to them must invalidate every cached snapshot.
+_FINGERPRINT_ROOTS = (
+    "caches",
+    "core",
+    "cpu",
+    "hierarchy",
+    "replacement",
+    "stats",
+    "trace",
+    "workloads",
+    "engine/runner.py",
+    "engine/trace_store.py",
+)
+
+
+class CacheKeyError(ValueError):
+    """A job field cannot be serialised canonically (lossy value)."""
+
+
+def _canonical_scalar(field: str, value: Any) -> Any:
+    """Normalise one job field value for hashing.
+
+    Booleans, ints and strings pass through; an integral float is
+    coerced to ``int`` (so ``20000.0`` and ``20000`` name the same
+    job); anything else — fractional floats, containers, ``None`` —
+    is rejected rather than hashed via a repr that may drift.
+    """
+    if isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != int(value):
+            raise CacheKeyError(
+                f"job field {field!r} has non-integral float {value!r}; "
+                "cache keys only admit exact scalars"
+            )
+        return int(value)
+    raise CacheKeyError(
+        f"job field {field!r} has unhashable type {type(value).__name__}"
+    )
+
+
+def canonical_job_key(job: SweepJob | Mapping[str, Any]) -> str:
+    """Stable serialisation of a job: sorted keys, fixed separators.
+
+    For a :class:`SweepJob` this matches
+    :func:`repro.engine.resilience.job_key` byte for byte (journal keys
+    and cache keys agree); for a raw mapping it additionally normalises
+    scalar types so payload-level representation drift cannot split a
+    job across cache entries.
+    """
+    payload: Mapping[str, Any]
+    if is_dataclass(job) and not isinstance(job, type):
+        payload = asdict(job)
+    else:
+        payload = job  # type: ignore[assignment]
+    unknown = set(payload) - HASHED_JOB_FIELDS
+    if unknown:
+        raise CacheKeyError(
+            f"unknown job field(s) in cache key: {', '.join(sorted(unknown))}"
+        )
+    normal = {
+        field: _canonical_scalar(field, value)
+        for field, value in payload.items()
+    }
+    return json.dumps(normal, sort_keys=True, separators=(",", ":"))
+
+
+def job_hash(job: SweepJob | Mapping[str, Any], fingerprint: str = "") -> str:
+    """128-bit content hash of (engine fingerprint, canonical job key)."""
+    body = f"{fingerprint}\n{canonical_job_key(job)}"
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:HASH_HEX_DIGITS]
+
+
+@functools.lru_cache(maxsize=1)
+def engine_fingerprint() -> str:
+    """Hash of every simulation-relevant source file in this install.
+
+    Walks the trees in ``_FINGERPRINT_ROOTS`` in sorted order and
+    digests each file's package-relative path alongside its bytes, so
+    renames invalidate too.  Cached per process — the sources cannot
+    change under a running server in a way Python would notice anyway.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for root in _FINGERPRINT_ROOTS:
+        target = package_root / root
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for path in files:
+            if not path.is_file() or "__pycache__" in path.parts:
+                continue
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()[:FINGERPRINT_HEX_DIGITS]
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_RESULT_CACHE`` or ``~/.cache/bcache-repro/results``."""
+    env = os.environ.get(ENV_RESULT_CACHE)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path("~/.cache").expanduser()
+    return base / "bcache-repro" / "results"
+
+
+def _frame_entry(payload: dict[str, Any]) -> str:
+    """One disk entry: ``<crc32-hex> <canonical-json>\\n`` (journal idiom)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(body.encode()):08x} {body}\n"
+
+
+def _unframe_entry(raw: str) -> dict[str, Any] | None:
+    """Decode one disk entry; ``None`` for torn or bit-rotted files."""
+    head, sep, body = raw.rstrip("\n").partition(" ")
+    if not sep or len(head) != 8:
+        return None
+    try:
+        expected = int(head, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode()) != expected:
+        return None
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class ResultCache:
+    """Two-tier (memory LRU + CRC-framed disk) store of job snapshots.
+
+    Args:
+        root: cache root directory (default
+            ``$REPRO_RESULT_CACHE`` or ``~/.cache/bcache-repro/results``);
+            entries live under ``<root>/fp-<engine fingerprint>/``.
+        capacity: in-process LRU entry budget.
+        fingerprint: engine fingerprint override (tests); defaults to
+            :func:`engine_fingerprint` over the live sources.
+        fsync: flush disk entries to stable storage before the rename
+            (disable only in tests, mirroring the trace store).
+
+    Thread-safe; every public method may be called from executor
+    threads.  Only :meth:`lookup_memory` is cheap enough for an event
+    loop.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        capacity: int = 4096,
+        fingerprint: str | None = None,
+        fsync: bool = True,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.fingerprint = fingerprint if fingerprint else engine_fingerprint()
+        self.dir = self.root / f"fp-{self.fingerprint}"
+        self.quarantine_root = self.root / "quarantine"
+        self.capacity = max(1, capacity)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.quarantined = 0
+
+    # -- keys ----------------------------------------------------------
+    def key(self, job: SweepJob | Mapping[str, Any]) -> str:
+        """The content hash this cache files ``job`` under."""
+        return job_hash(job, self.fingerprint)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    # -- memory tier (event-loop safe) ---------------------------------
+    def lookup_memory(self, key: str) -> dict[str, Any] | None:
+        """Memory-tier probe: pure dict work, safe on an event loop."""
+        with self._lock:
+            snapshot = self._memory.get(key)
+            if snapshot is None:
+                return None
+            self._memory.move_to_end(key)
+            self.hits_memory += 1
+        _obs.resultcache_lookup("memory")
+        return snapshot
+
+    def _remember(self, key: str, snapshot: dict[str, Any]) -> None:
+        with self._lock:
+            self._memory[key] = snapshot
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+                self.evictions += 1
+                _obs.resultcache_evicted()
+            _obs.resultcache_entries(len(self._memory))
+
+    # -- full lookup (executor threads) --------------------------------
+    def get(self, job: SweepJob | Mapping[str, Any]) -> dict[str, Any] | None:
+        """Snapshot for ``job``, or ``None`` on a miss.
+
+        Checks the memory LRU first, then the disk tier; a disk hit is
+        promoted into memory.  A corrupt disk entry is quarantined and
+        reported as a miss (the caller recomputes), and an entry whose
+        stored canonical key disagrees with the probe (a 128-bit hash
+        collision, i.e. never) is ignored rather than served.
+        """
+        key = self.key(job)
+        snapshot = self.lookup_memory(key)
+        if snapshot is not None:
+            return snapshot
+        entry = self._load_entry(key)
+        if entry is not None:
+            if entry.get("key") == canonical_job_key(job):
+                stats = entry.get("stats")
+                if isinstance(stats, dict):
+                    with self._lock:
+                        self.hits_disk += 1
+                    _obs.resultcache_lookup("disk")
+                    self._remember(key, stats)
+                    return stats
+            else:  # pragma: no cover - needs a 128-bit collision
+                with self._lock:
+                    self.misses += 1
+                _obs.resultcache_lookup("miss")
+                return None
+        with self._lock:
+            self.misses += 1
+        _obs.resultcache_lookup("miss")
+        return None
+
+    def _load_entry(self, key: str) -> dict[str, Any] | None:
+        path = self._entry_path(key)
+        try:
+            raw = path.read_text("utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        entry = _unframe_entry(raw)
+        if entry is None:
+            self._quarantine(path, "crc mismatch")
+            return None
+        return entry
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Park a corrupt entry for forensics; the caller recomputes."""
+        target = self.quarantine_root / path.name
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # A racing process already moved or replaced it.
+            path.unlink(missing_ok=True)
+        with self._lock:
+            self.quarantined += 1
+        _obs.resultcache_quarantined(path.name, reason)
+
+    # -- store ----------------------------------------------------------
+    def put(
+        self, job: SweepJob | Mapping[str, Any], snapshot: dict[str, Any]
+    ) -> None:
+        """File ``snapshot`` under ``job``'s content hash, both tiers.
+
+        The disk write is atomic and (by default) durable: temp file,
+        optional fsync, ``os.replace`` — racing writers of the same key
+        converge on one intact entry because the snapshot is a pure
+        function of the key.
+        """
+        key = self.key(job)
+        self._remember(key, snapshot)
+        entry = _frame_entry(
+            {"key": canonical_job_key(job), "stats": snapshot}
+        )
+        path = self._entry_path(key)
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(entry)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            return  # a cache that cannot persist is still a cache
+        with self._lock:
+            self.stores += 1
+        _obs.resultcache_stored()
+
+    # -- invalidation ---------------------------------------------------
+    def prune_stale(self) -> int:
+        """Delete entry directories written by older engine builds.
+
+        Returns the number of stale fingerprint directories removed.
+        Safe to call on every server start: the current fingerprint's
+        directory and the quarantine area are never touched.
+        """
+        removed = 0
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for child in children:
+            if not child.is_dir() or not child.name.startswith("fp-"):
+                continue
+            if child == self.dir:
+                continue
+            shutil.rmtree(child, ignore_errors=True)
+            removed += 1
+        if removed:
+            _obs.resultcache_invalidated(removed)
+        return removed
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Counters for the server's ``status`` response."""
+        with self._lock:
+            return {
+                "fingerprint": self.fingerprint,
+                "entries_memory": len(self._memory),
+                "capacity": self.capacity,
+                "hits_memory": self.hits_memory,
+                "hits_disk": self.hits_disk,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "quarantined": self.quarantined,
+            }
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self.hits_memory + self.hits_disk
+
+
+class Singleflight:
+    """Collapse concurrent identical async work: one execution, N waiters.
+
+    The first caller of :meth:`run` for a key becomes the **leader**
+    and executes the supplier; every caller that arrives while the
+    leader is in flight awaits the same future and receives the same
+    result (or exception).  Unlike the micro-batcher's gather window,
+    this holds for the *entire* execution, so identical jobs collapse
+    across batch windows too.
+
+    Single event loop only (plain dict state, no locks needed).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future[Any]] = {}
+        self.leaders = 0
+        self.waits = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, supplier: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, bool]:
+        """``(result, shared)``: shared is True for non-leader callers."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.waits += 1
+            _obs.resultcache_singleflight()
+            return await asyncio.shield(existing), True
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Any] = loop.create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved for waiterless leaders
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)

@@ -23,10 +23,17 @@ Scale-out shape (the part that transfers to any serving stack):
 * **Sharded workers** — persistent worker processes with trace-affinity
   routing (:mod:`repro.serve.workers`), restart-on-crash, in-process
   fallback.
-* **Backpressure** — admission control with a bounded in-flight budget:
-  a request that would exceed ``max_pending`` jobs gets an immediate
-  ``overloaded`` error (load shedding) instead of unbounded queueing;
-  oversized frames are rejected from the header alone.
+* **Backpressure** — layered admission control (:mod:`repro.serve.admission`):
+  optional per-client token-bucket rate limiting (``rate_limited``
+  responses carry ``retry_after``), optional weighted fair queueing, and
+  the bounded in-flight budget: a request that would exceed
+  ``max_pending`` jobs gets an ``overloaded`` error (load shedding)
+  instead of unbounded queueing; oversized frames are rejected from the
+  header alone.
+* **Result caching** — with ``--result-cache`` a content-addressed
+  result cache (:mod:`repro.serve.resultcache`) answers repeated jobs
+  from memory or disk without touching a worker, and a singleflight
+  layer collapses concurrent identical jobs to one execution.
 * **Graceful drain** — on SIGTERM (or the ``drain`` op) the listeners
   close first (new connections are refused), in-flight requests finish
   and are answered, the batcher flushes, the shards stop, and the
@@ -41,6 +48,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import functools
 import os
 import signal
 import sys
@@ -53,7 +61,15 @@ from repro.engine.runner import SweepJob, available_cpus
 from repro.engine.trace_store import TraceStore, default_store
 from repro.obs.exposition import CONTENT_TYPE, render
 from repro.obs.metrics import default_registry
+from repro.obs import instrument as _obs
+from repro.serve.admission import (
+    ANONYMOUS,
+    AdmissionController,
+    AdmissionOverload,
+    RateLimited,
+)
 from repro.serve.batcher import MicroBatcher, SimulationError
+from repro.serve.resultcache import ResultCache, Singleflight
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -98,6 +114,19 @@ class ServeConfig:
         metrics_port: optional plain-HTTP listener answering ``GET
             /metrics`` with the Prometheus text exposition (``None``
             disables; ``0`` binds an ephemeral port).
+        result_cache: content-addressed result cache root; ``None``
+            disables the cache, ``""`` uses the default root
+            (``$REPRO_RESULT_CACHE`` or ``~/.cache/bcache-repro/results``).
+        cache_capacity: in-process result-cache LRU entry budget.
+        rate_limit: per-client admission rate in jobs/second
+            (``0`` disables rate limiting).
+        rate_burst: per-client token-bucket burst (defaults to the
+            rate when 0).
+        fair_queue: per-client bounded wait-queue depth used when the
+            in-flight budget is exhausted; ``0`` sheds immediately
+            (the original behaviour).
+        queue_timeout: max seconds a fairly-queued request may wait
+            before being shed.
     """
 
     host: str | None = "127.0.0.1"
@@ -109,6 +138,12 @@ class ServeConfig:
     max_pending: int = 256
     max_frame: int = MAX_FRAME_BYTES
     metrics_port: int | None = None
+    result_cache: str | None = None
+    cache_capacity: int = 4096
+    rate_limit: float = 0.0
+    rate_burst: float = 0.0
+    fair_queue: int = 0
+    queue_timeout: float = 2.0
 
 
 @dataclass(slots=True)
@@ -121,6 +156,7 @@ class ServerMetrics:
     completed: int = 0
     errors: int = 0
     shed: int = 0
+    rate_limited: int = 0
     protocol_errors: int = 0
     connections_total: int = 0
     started_at: float = field(default_factory=time.monotonic)
@@ -157,10 +193,18 @@ class SimServer:
         self.metrics = ServerMetrics()
         self.pool: ShardPool | None = None
         self.batcher: MicroBatcher | None = None
+        self.cache: ResultCache | None = None
+        self.singleflight = Singleflight()
+        self.admission = AdmissionController(
+            config.max_pending,
+            rate=config.rate_limit,
+            burst=config.rate_burst,
+            queue_depth=config.fair_queue,
+            queue_timeout=config.queue_timeout,
+        )
         self._servers: list[asyncio.AbstractServer] = []
         self._metrics_servers: list[asyncio.AbstractServer] = []
         self._writers: set[asyncio.StreamWriter] = set()
-        self._inflight_jobs = 0
         self._active_requests = 0
         self._idle: asyncio.Event | None = None
         self._stopped: asyncio.Event | None = None
@@ -180,7 +224,19 @@ class SimServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
-        self.pool = ShardPool(config.shards, store=self.store)
+        if config.result_cache is not None:
+            # Building the cache fingerprints the engine sources (file
+            # reads) and prunes stale generations — do it off-loop.
+            loop = asyncio.get_running_loop()
+            root = config.result_cache or None
+            self.cache = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    ResultCache, root, capacity=config.cache_capacity
+                ),
+            )
+            await loop.run_in_executor(None, self.cache.prune_stale)
+        self.pool = ShardPool(config.shards, store=self.store, cache=self.cache)
         self.batcher = MicroBatcher(
             self.pool, window=config.window, max_batch=config.max_batch
         )
@@ -285,6 +341,15 @@ class SimServer:
     ) -> None:
         self.metrics.connections_total += 1
         self._writers.add(writer)
+        # Default client identity: the TCP peer host (Unix sockets and
+        # unnamed peers share the anonymous bucket).  A request may
+        # override it with an explicit ``client`` field.
+        peer = writer.get_extra_info("peername")
+        client = (
+            str(peer[0])
+            if isinstance(peer, tuple) and len(peer) >= 2
+            else ANONYMOUS
+        )
         try:
             while True:
                 try:
@@ -304,7 +369,7 @@ class SimServer:
                     return
                 if payload is None:  # clean EOF
                     return
-                response = await self._handle_request(payload)
+                response = await self._handle_request(payload, client)
                 if "id" in payload:
                     response["id"] = payload["id"]
                 try:
@@ -354,32 +419,63 @@ class SimServer:
                 await writer.wait_closed()
 
     # -- request handling ----------------------------------------------
-    def _admit(self, jobs: int) -> bool:
-        """Bounded-queue admission: can ``jobs`` more enter the batcher?"""
-        if self._inflight_jobs + jobs > self.config.max_pending:
-            self.metrics.shed += 1
-            return False
-        self._inflight_jobs += jobs
+    async def _admit(self, client: str, jobs: int) -> None:
+        """Admission gate: rate limit, fair queue, in-flight budget.
+
+        Raises :class:`RateLimited` or :class:`AdmissionOverload`; on
+        return the jobs are accounted and the caller must pair with
+        :meth:`_release`.
+        """
+        await self.admission.acquire(client, jobs)
         self._active_requests += 1
         assert self._idle is not None
         self._idle.clear()
-        return True
 
     def _release(self, jobs: int) -> None:
-        self._inflight_jobs -= jobs
+        self.admission.release(jobs)
         self._active_requests -= 1
         if self._active_requests == 0:
             assert self._idle is not None
             self._idle.set()
 
-    async def _handle_request(self, payload: dict[str, Any]) -> dict[str, Any]:
+    @staticmethod
+    def _client_of(payload: dict[str, Any], fallback: str) -> str:
+        """Client identity: explicit ``client`` field, else peer name."""
+        client = payload.get("client")
+        if isinstance(client, str) and client:
+            return client
+        return fallback
+
+    async def _execute(self, job: SweepJob) -> dict[str, Any]:
+        """Run one admitted job through cache, singleflight, batcher."""
+        assert self.batcher is not None
+        if self.cache is None:
+            return await self.batcher.submit(job)
+        key = self.cache.key(job)
+        hit = self.cache.lookup_memory(key)
+        if hit is not None:
+            return hit
+        # Collapse concurrent identical jobs before they reach the
+        # batcher; the winning execution consults the disk tier and
+        # writes through inside the shard pool.
+        snapshot, shared = await self.singleflight.run(
+            key, functools.partial(self.batcher.submit, job)
+        )
+        if shared:
+            _obs.resultcache_singleflight()
+        result: dict[str, Any] = snapshot
+        return result
+
+    async def _handle_request(
+        self, payload: dict[str, Any], client: str = ANONYMOUS
+    ) -> dict[str, Any]:
         self.metrics.requests += 1
         op = payload.get("op")
         try:
             if op == "simulate":
-                return await self._op_simulate(payload)
+                return await self._op_simulate(payload, client)
             if op == "sweep":
-                return await self._op_sweep(payload)
+                return await self._op_sweep(payload, client)
             if op == "status":
                 return {"ok": True, **self.status()}
             if op == "metrics":
@@ -396,19 +492,31 @@ class SimServer:
             self.metrics.errors += 1
             return {"ok": False, "error": "bad_request", "detail": str(exc)}
 
-    async def _op_simulate(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _shed_response(self, exc: Exception) -> dict[str, Any]:
+        """Map an admission failure to its wire-level error response."""
+        if isinstance(exc, RateLimited):
+            self.metrics.rate_limited += 1
+            return {"ok": False, "error": "rate_limited",
+                    "retry_after": round(exc.retry_after, 3),
+                    "detail": str(exc)}
+        self.metrics.shed += 1
+        return {"ok": False, "error": "overloaded",
+                "detail": f"{exc}; retry with backoff"}
+
+    async def _op_simulate(
+        self, payload: dict[str, Any], client: str
+    ) -> dict[str, Any]:
         if self._draining:
             return {"ok": False, "error": "draining"}
         job = _job_from_payload(
-            {k: v for k, v in payload.items() if k not in ("op", "id")}
+            {k: v for k, v in payload.items() if k not in ("op", "id", "client")}
         )
-        if not self._admit(1):
-            return {"ok": False, "error": "overloaded",
-                    "detail": f"in-flight job budget ({self.config.max_pending}) "
-                              "exhausted; retry with backoff"}
-        assert self.batcher is not None
         try:
-            snapshot = await self.batcher.submit(job)
+            await self._admit(self._client_of(payload, client), 1)
+        except (RateLimited, AdmissionOverload) as exc:
+            return self._shed_response(exc)
+        try:
+            snapshot = await self._execute(job)
         except SimulationError as exc:
             self.metrics.errors += 1
             return {"ok": False, "error": "simulation_failed", "detail": str(exc)}
@@ -418,7 +526,9 @@ class SimServer:
         self.metrics.completed += 1
         return {"ok": True, "stats": snapshot}
 
-    async def _op_sweep(self, payload: dict[str, Any]) -> dict[str, Any]:
+    async def _op_sweep(
+        self, payload: dict[str, Any], client: str
+    ) -> dict[str, Any]:
         if self._draining:
             return {"ok": False, "error": "draining"}
         raw_jobs = payload.get("jobs")
@@ -429,14 +539,13 @@ class SimServer:
             else self._reject_job(entry)
             for entry in raw_jobs
         ]
-        if not self._admit(len(jobs)):
-            return {"ok": False, "error": "overloaded",
-                    "detail": f"sweep of {len(jobs)} jobs would exceed the "
-                              f"in-flight budget ({self.config.max_pending})"}
-        assert self.batcher is not None
+        try:
+            await self._admit(self._client_of(payload, client), len(jobs))
+        except (RateLimited, AdmissionOverload) as exc:
+            return self._shed_response(exc)
         try:
             outcomes = await asyncio.gather(
-                *(self.batcher.submit(job) for job in jobs),
+                *(self._execute(job) for job in jobs),
                 return_exceptions=True,
             )
         finally:
@@ -493,13 +602,20 @@ class SimServer:
                 "completed": metrics.completed,
                 "errors": metrics.errors,
                 "shed": metrics.shed,
+                "rate_limited": metrics.rate_limited,
                 "protocol_errors": metrics.protocol_errors,
-                "inflight_jobs": self._inflight_jobs,
+                "inflight_jobs": self.admission.inflight,
                 "max_pending": self.config.max_pending,
+                "singleflight_leaders": self.singleflight.leaders,
+                "singleflight_waits": self.singleflight.waits,
                 "fallback_batches": self.pool.fallback_batches,
                 "shard_restarts_total": int(restart_counter.total()),
             },
             "batcher": self.batcher.metrics.snapshot(),
+            "admission": self.admission.snapshot(),
+            "resultcache": (
+                self.cache.snapshot() if self.cache is not None else None
+            ),
             "shards": shards,
         }
 
@@ -538,6 +654,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="serve GET /metrics (Prometheus text format) "
                         "over plain HTTP on this port (0 = ephemeral; "
                         "default: disabled)")
+    parser.add_argument("--result-cache", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="enable the content-addressed result cache; "
+                        "optional DIR overrides the default root "
+                        "($REPRO_RESULT_CACHE or "
+                        "~/.cache/bcache-repro/results)")
+    parser.add_argument("--cache-capacity", type=int, default=4096,
+                        metavar="N",
+                        help="in-process result-cache LRU entries "
+                        "(default 4096)")
+    parser.add_argument("--rate-limit", type=float, default=0.0, metavar="R",
+                        help="per-client admission rate in jobs/second "
+                        "(default 0 = unlimited)")
+    parser.add_argument("--rate-burst", type=float, default=0.0, metavar="B",
+                        help="per-client token-bucket burst "
+                        "(default: the rate)")
+    parser.add_argument("--fair-queue", type=int, default=0, metavar="N",
+                        help="per-client fair wait-queue depth when the "
+                        "in-flight budget is exhausted (default 0 = shed "
+                        "immediately)")
+    parser.add_argument("--queue-timeout", type=float, default=2.0,
+                        metavar="S",
+                        help="max seconds a fairly-queued request may wait "
+                        "(default 2.0)")
     return parser
 
 
@@ -552,6 +692,12 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         max_batch=args.max_batch,
         max_pending=args.max_pending,
         metrics_port=args.metrics_port,
+        result_cache=args.result_cache,
+        cache_capacity=args.cache_capacity,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        fair_queue=args.fair_queue,
+        queue_timeout=args.queue_timeout,
     )
 
 
@@ -572,7 +718,9 @@ async def _amain(config: ServeConfig, store: TraceStore | None) -> int:
         f"bcache-serve: ready tcp={tcp_text} unix={config.unix_path or '-'} "
         f"metrics={metrics_text} shards={config.shards} "
         f"window_ms={config.window * 1000:g} "
-        f"max_pending={config.max_pending} pid={os.getpid()}",
+        f"max_pending={config.max_pending} "
+        f"cache={'on' if config.result_cache is not None else 'off'} "
+        f"rate={config.rate_limit:g} pid={os.getpid()}",
         flush=True,
     )
     try:

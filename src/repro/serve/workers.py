@@ -36,7 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from random import Random
 from multiprocessing.connection import Connection
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.engine.resilience import RetryPolicy
 from repro.engine.runner import SweepJob, execute_job
@@ -45,6 +45,9 @@ from repro.engine.trace_store import TraceStore, default_store, set_default_stor
 from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
 from repro.obs.metrics import default_registry
+
+if TYPE_CHECKING:  # annotation only; the pool works without a cache
+    from repro.serve.resultcache import ResultCache
 
 #: One batch result entry: ``("ok", snapshot)`` or ``("error", message)``.
 ShardResult = tuple[str, Any]
@@ -144,6 +147,11 @@ class ShardPool:
         retry: restart backoff for dead shards; after its attempts are
             exhausted the batch runs in-process instead of failing.
         seed: seed for the (deterministic) backoff jitter.
+        cache: optional :class:`~repro.serve.resultcache.ResultCache`;
+            when set, every batch consults it before the pipe round
+            trip (cached jobs never reach a worker) and fresh results
+            are written through.  Lookups and writes happen on the
+            pool's ``shard-io`` executor threads, never the event loop.
     """
 
     def __init__(
@@ -152,11 +160,13 @@ class ShardPool:
         store: TraceStore | None = None,
         retry: RetryPolicy = RetryPolicy(max_attempts=2, base_delay=0.05),
         seed: int = 2006,
+        cache: "ResultCache | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.store = store if store is not None else default_store()
         self.retry = retry
+        self.cache = cache
         self._rng = Random(seed)
         self._ctx = multiprocessing.get_context()
         self._registry = SharedTraceRegistry()
@@ -235,6 +245,38 @@ class ShardPool:
         return self._roundtrip(shard_id, list(jobs))
 
     def _roundtrip(self, shard_id: int, jobs: list[SweepJob]) -> list[ShardResult]:
+        """One batch: result-cache filter, then the shard round trip.
+
+        Runs on a ``shard-io`` executor thread (so the cache's
+        synchronous disk tier is fine here).  With a cache attached,
+        jobs it can answer never reach the worker pipe; the remainder
+        execute and are written through.
+        """
+        cache = self.cache
+        if cache is None:
+            return self._dispatch(shard_id, jobs)
+        results: list[ShardResult | None] = [None] * len(jobs)
+        misses: list[int] = []
+        for index, job in enumerate(jobs):
+            snapshot = cache.get(job)
+            if snapshot is not None:
+                results[index] = ("ok", snapshot)
+            else:
+                misses.append(index)
+        if misses:
+            fresh = self._dispatch(shard_id, [jobs[i] for i in misses])
+            for index, outcome in zip(misses, fresh):
+                results[index] = outcome
+                status, payload = outcome
+                if status == "ok":
+                    cache.put(jobs[index], payload)
+        merged: list[ShardResult] = []
+        for entry in results:
+            assert entry is not None  # every index is cached or dispatched
+            merged.append(entry)
+        return merged
+
+    def _dispatch(self, shard_id: int, jobs: list[SweepJob]) -> list[ShardResult]:
         """Send one batch to a shard and wait for its results.
 
         Runs on a ``shard-io`` executor thread; the per-shard lock keeps

@@ -1,0 +1,7 @@
+# lint-path: src/repro/experiments/example.py
+def execute_job(job, store):
+    return run(job.spec, job.benchmark, job.seed)
+
+
+def lookup(cache, job):
+    return cache.get(job_hash(job))

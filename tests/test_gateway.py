@@ -1,0 +1,318 @@
+"""The HTTP gateway: sans-IO request parsing and the full proxy path.
+
+The :class:`RequestDecoder` is exercised exactly like the native
+``FrameDecoder`` — bytes in, requests out, no sockets — including the
+hostile inputs (oversized heads/bodies, chunked uploads, garbage).
+The end-to-end tests boot a real :class:`SimServer` plus a
+:class:`Gateway` in one event loop and speak raw HTTP/1.1 over TCP:
+simulate must stay bit-identical through two proxies, sweeps must
+stream NDJSON in completion order, and backend rate limits must
+surface as 429 + ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine.runner import SweepJob, execute_job
+from repro.serve.gateway import (
+    Gateway,
+    GatewayConfig,
+    HttpError,
+    RequestDecoder,
+    render_response,
+)
+from repro.serve.server import ServeConfig, SimServer
+
+JOB = SweepJob(spec="mf8_bas8", benchmark="gcc", n=3000, with_kinds=True)
+JOB_PAYLOAD = {"spec": JOB.spec, "benchmark": JOB.benchmark, "n": JOB.n,
+               "with_kinds": True}
+
+
+# ----------------------------------------------------------------------
+# RequestDecoder (sans-IO)
+# ----------------------------------------------------------------------
+def _request_bytes(
+    method: str = "POST",
+    path: str = "/v1/simulate",
+    body: bytes = b'{"a":1}',
+    extra: str = "",
+    version: str = "HTTP/1.1",
+) -> bytes:
+    head = (
+        f"{method} {path} {version}\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+class TestRequestDecoder:
+    def test_single_feed_roundtrip(self):
+        [request] = RequestDecoder().feed(_request_bytes())
+        assert request.method == "POST"
+        assert request.path == "/v1/simulate"
+        assert request.body == b'{"a":1}'
+        assert request.keep_alive  # HTTP/1.1 default
+
+    def test_byte_at_a_time_feeds(self):
+        decoder = RequestDecoder()
+        raw = _request_bytes()
+        requests = []
+        for i in range(len(raw)):
+            requests.extend(decoder.feed(raw[i:i + 1]))
+        assert len(requests) == 1
+        assert requests[0].body == b'{"a":1}'
+
+    def test_pipelined_requests_in_one_feed(self):
+        raw = _request_bytes(body=b"one") + _request_bytes(body=b"two!")
+        requests = RequestDecoder().feed(raw)
+        assert [r.body for r in requests] == [b"one", b"two!"]
+
+    def test_query_string_is_stripped_from_path(self):
+        [request] = RequestDecoder().feed(
+            _request_bytes(method="GET", path="/v1/status?verbose=1", body=b"")
+        )
+        assert request.path == "/v1/status"
+
+    def test_connection_close_and_http10_semantics(self):
+        [r] = RequestDecoder().feed(
+            _request_bytes(extra="Connection: close\r\n")
+        )
+        assert not r.keep_alive
+        [r] = RequestDecoder().feed(_request_bytes(version="HTTP/1.0"))
+        assert not r.keep_alive  # 1.0 closes unless the client opts in
+        [r] = RequestDecoder().feed(
+            _request_bytes(version="HTTP/1.0",
+                           extra="Connection: keep-alive\r\n")
+        )
+        assert r.keep_alive
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            RequestDecoder().feed(b"GARBAGE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_chunked_upload_is_411(self):
+        raw = (b"POST /v1/simulate HTTP/1.1\r\n"
+               b"Transfer-Encoding: chunked\r\n\r\n")
+        with pytest.raises(HttpError) as exc:
+            RequestDecoder().feed(raw)
+        assert exc.value.status == 411
+
+    def test_declared_oversize_body_is_413_before_buffering(self):
+        decoder = RequestDecoder(max_body=16)
+        head = b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 17\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            decoder.feed(head)  # body bytes never arrive — head is enough
+        assert exc.value.status == 413
+
+    def test_oversize_header_block_is_431(self):
+        with pytest.raises(HttpError) as exc:
+            RequestDecoder().feed(b"A" * (17 * 1024))
+        assert exc.value.status == 431
+
+    def test_bad_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            RequestDecoder().feed(raw)
+        assert exc.value.status == 400
+
+    def test_render_response_shape(self):
+        raw = render_response(200, b'{"ok":true}', keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 11" in head
+        assert b"Connection: close" in head
+        assert body == b'{"ok":true}'
+
+
+# ----------------------------------------------------------------------
+# End to end: SimServer + Gateway in one loop, raw HTTP over TCP
+# ----------------------------------------------------------------------
+def gateway_stack(scenario, *, server_overrides=None, **gateway_overrides):
+    """Boot server + gateway, run ``scenario(server, gateway, addr)``."""
+
+    async def runner():
+        defaults = dict(port=0, shards=1, window=0.01)
+        defaults.update(server_overrides or {})
+        server = SimServer(ServeConfig(**defaults))
+        await server.start()
+        host, port = server.tcp_address
+        gateway = Gateway(GatewayConfig(
+            port=0, backend=f"{host}:{port}", **gateway_overrides
+        ))
+        await gateway.start()
+        try:
+            return await scenario(server, gateway, gateway.address)
+        finally:
+            await gateway.drain()
+            await server.drain()
+
+    return asyncio.run(runner())
+
+
+async def http(addr, method, path, body=None, headers=None):
+    """One raw HTTP/1.1 exchange; returns (status, headers, body bytes).
+
+    Sends ``Connection: close`` and reads to EOF, de-chunking when the
+    response used chunked transfer encoding.
+    """
+    reader, writer = await asyncio.open_connection(*addr)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                f"Connection: close\r\nContent-Length: {len(payload)}\r\n")
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + payload)
+        await writer.drain()
+        raw = await reader.read(-1)
+    finally:
+        writer.close()
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    lines = head_bytes.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    response_headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    if response_headers.get("transfer-encoding") == "chunked":
+        body_bytes = _dechunk(body_bytes)
+    return status, response_headers, body_bytes
+
+
+def _dechunk(raw: bytes) -> bytes:
+    out = bytearray()
+    while raw:
+        size_text, _, raw = raw.partition(b"\r\n")
+        size = int(size_text, 16)
+        if size == 0:
+            break
+        out.extend(raw[:size])
+        raw = raw[size + 2:]  # chunk data + trailing CRLF
+    return bytes(out)
+
+
+class TestGatewayEndToEnd:
+    def test_simulate_is_bit_identical_through_both_tiers(self):
+        async def scenario(server, gateway, addr):
+            return await http(addr, "POST", "/v1/simulate", JOB_PAYLOAD)
+
+        status, headers, body = gateway_stack(scenario)
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        response = json.loads(body)
+        assert response["ok"] is True
+        assert response["stats"] == execute_job(JOB).snapshot()
+
+    def test_sweep_streams_ndjson_with_indices_and_summary(self):
+        jobs = [
+            {"spec": spec, "benchmark": "gcc", "n": 2000}
+            for spec in ("dm", "2way", "mf8_bas8")
+        ]
+
+        async def scenario(server, gateway, addr):
+            return await http(addr, "POST", "/v1/sweep", {"jobs": jobs})
+
+        status, headers, body = gateway_stack(scenario)
+        assert status == 200
+        assert headers["content-type"] == "application/x-ndjson"
+        assert headers["transfer-encoding"] == "chunked"
+        lines = [json.loads(line) for line in body.splitlines() if line]
+        summary = lines[-1]
+        assert summary == {"done": True, "jobs": 3, "ok": 3, "errors": 0}
+        results = lines[:-1]
+        # Completion order is arbitrary; indices must cover every job.
+        assert sorted(r["index"] for r in results) == [0, 1, 2]
+        for r in results:
+            job = SweepJob(**jobs[r["index"]])
+            assert r["stats"] == execute_job(job).snapshot()
+
+    def test_status_nests_gateway_snapshot(self):
+        async def scenario(server, gateway, addr):
+            return await http(addr, "GET", "/v1/status")
+
+        status, _, body = gateway_stack(scenario)
+        assert status == 200
+        response = json.loads(body)
+        assert response["ok"] is True
+        assert "server" in response and "batcher" in response
+        assert response["gateway"]["requests"] >= 1
+
+    def test_healthz_404_405_and_bad_json(self):
+        async def scenario(server, gateway, addr):
+            healthz = await http(addr, "GET", "/healthz")
+            missing = await http(addr, "GET", "/v1/nope")
+            wrong_method = await http(addr, "GET", "/v1/simulate")
+            reader, writer = await asyncio.open_connection(*addr)
+            writer.write(b"POST /v1/simulate HTTP/1.1\r\nHost: t\r\n"
+                         b"Connection: close\r\nContent-Length: 9\r\n\r\n"
+                         b"not json!")
+            await writer.drain()
+            raw = await reader.read(-1)
+            writer.close()
+            return healthz, missing, wrong_method, raw
+
+        healthz, missing, wrong_method, raw = gateway_stack(scenario)
+        assert healthz[0] == 200
+        assert json.loads(healthz[2]) == {"ok": True, "draining": False}
+        assert missing[0] == 404
+        assert wrong_method[0] == 405
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_metrics_scrape_covers_the_gateway_series(self):
+        async def scenario(server, gateway, addr):
+            # Complete one request first so the shared registry has a
+            # gateway series to expose.
+            await http(addr, "GET", "/healthz")
+            return await http(addr, "GET", "/metrics")
+
+        status, headers, body = gateway_stack(scenario)
+        assert status == 200
+        assert "text/plain" in headers["content-type"]
+        assert "repro_gateway_requests_total" in body.decode("utf-8")
+
+    def test_backend_rate_limit_maps_to_429_with_retry_after(self):
+        async def scenario(server, gateway, addr):
+            tag = {"x-bcache-client": "hammer"}
+            first = await http(addr, "POST", "/v1/simulate", JOB_PAYLOAD,
+                               headers=tag)
+            second = await http(addr, "POST", "/v1/simulate", JOB_PAYLOAD,
+                                headers=tag)
+            # A different identity has its own bucket and is admitted.
+            other = await http(addr, "POST", "/v1/simulate", JOB_PAYLOAD,
+                               headers={"x-bcache-client": "polite"})
+            return first, second, other
+
+        first, second, other = gateway_stack(
+            scenario,
+            server_overrides=dict(rate_limit=1.0, rate_burst=1.0),
+        )
+        assert first[0] == 200
+        assert second[0] == 429
+        assert int(second[1]["retry-after"]) >= 1
+        assert json.loads(second[2])["error"] == "rate_limited"
+        assert other[0] == 200
+
+    def test_result_cache_serves_repeats_without_recompute(self, tmp_path):
+        async def scenario(server, gateway, addr):
+            responses = [
+                await http(addr, "POST", "/v1/simulate", JOB_PAYLOAD)
+                for _ in range(3)
+            ]
+            status = await http(addr, "GET", "/v1/status")
+            return responses, status
+
+        responses, status = gateway_stack(
+            scenario,
+            server_overrides=dict(result_cache=str(tmp_path / "rc")),
+        )
+        bodies = [json.loads(body) for _, _, body in responses]
+        assert all(b["ok"] for b in bodies)
+        assert bodies[0]["stats"] == bodies[1]["stats"] == bodies[2]["stats"]
+        cache = json.loads(status[2])["resultcache"]
+        assert cache["stores"] == 1
+        assert cache["hits_memory"] >= 2  # repeats never reached a shard

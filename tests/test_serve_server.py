@@ -281,7 +281,7 @@ class TestSimServer:
             try:
                 with pytest.raises(OverloadedError):
                     await client.sweep(jobs)
-                return server._inflight_jobs
+                return server.admission.inflight
             finally:
                 await client.close()
 
