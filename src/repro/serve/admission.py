@@ -26,6 +26,18 @@ This module layers two classic mechanisms in front of that budget:
 Everything is single-event-loop state (plain dicts and deques); the
 server calls :meth:`AdmissionController.acquire`/``release`` from its
 request coroutines.
+
+**Trust model.** Client identity defaults to the peer address but may
+be overridden by the request payload (``client`` field, or the
+gateway's ``x-bcache-client`` header), and that override is *not*
+authenticated.  Per-client rate limiting is therefore a fairness
+device for cooperating clients, not a security boundary: an
+adversarial caller can rotate identities to mint fresh burst budgets.
+The bucket table is LRU-bounded (``max_clients``) so identity rotation
+cannot grow server memory without bound, and the global ``max_pending``
+budget still caps total work regardless of how identities are spread.
+Deployments that need enforceable per-tenant limits must authenticate
+the identity upstream (or strip the override and key on peer address).
 """
 
 from __future__ import annotations
@@ -113,6 +125,11 @@ class AdmissionController:
             being shed — the explicit bound on queueing delay.
         weights: optional per-client grant weights (grants per
             round-robin turn; default 1).
+        max_clients: bound on tracked client identities; beyond it the
+            least-recently-seen bucket is evicted (identity is
+            caller-supplied and unauthenticated, so the table must not
+            grow with the number of identities a caller invents — see
+            the module docstring's trust model).
         clock: monotonic time source (injectable for tests).
     """
 
@@ -125,6 +142,7 @@ class AdmissionController:
         queue_depth: int = 0,
         queue_timeout: float = 2.0,
         weights: dict[str, int] | None = None,
+        max_clients: int = 1024,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.max_pending = max(1, max_pending)
@@ -133,9 +151,12 @@ class AdmissionController:
         self.queue_depth = max(0, queue_depth)
         self.queue_timeout = max(0.0, queue_timeout)
         self.weights = dict(weights) if weights else {}
+        self.max_clients = max(1, max_clients)
         self._clock = clock
         self._inflight = 0
-        self._buckets: dict[str, TokenBucket] = {}
+        #: client -> token bucket, most-recently-seen last (LRU order).
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.buckets_evicted = 0
         #: client -> FIFO of waiters; OrderedDict doubles as the
         #: round-robin rotation order (move_to_end after each grant).
         self._queues: "OrderedDict[str, deque[_Waiter]]" = OrderedDict()
@@ -162,6 +183,8 @@ class AdmissionController:
             "inflight": self._inflight,
             "waiting": self.waiting(),
             "clients_tracked": len(self._buckets),
+            "max_clients": self.max_clients,
+            "buckets_evicted": self.buckets_evicted,
             "rate_limited": self.rate_limited,
             "queued": self.queued,
             "shed_queue_full": self.shed_queue_full,
@@ -184,6 +207,11 @@ class AdmissionController:
             if bucket is None:
                 bucket = TokenBucket(rate=self.rate, burst=self.burst)
                 self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+                    self.buckets_evicted += 1
+            else:
+                self._buckets.move_to_end(client)
             retry_after = bucket.try_acquire(float(jobs), self._clock())
             if retry_after > 0.0:
                 self.rate_limited += 1

@@ -343,6 +343,15 @@ class AsyncServeClient:
         _raise_for_error(response)
         return response
 
+    def abort(self) -> None:
+        """Close the transport immediately, without awaiting teardown.
+
+        Unlike :meth:`close` this never suspends, so it is safe from a
+        ``CancelledError`` handler (a cancelled caller must not be
+        interrupted again mid-cleanup).
+        """
+        self._writer.close()
+
     async def close(self) -> None:
         self._writer.close()
         try:

@@ -343,20 +343,29 @@ class BackendPool:
         except (OSError, asyncio.TimeoutError) as exc:
             _obs.gateway_backend_error("connect")
             raise HttpError(502, f"backend unreachable: {exc}") from exc
+        done = False
         try:
             response = await client.request(payload)
+            done = True
+            return response
         except (asyncio.TimeoutError, TimeoutError) as exc:
             _obs.gateway_backend_error("timeout")
-            await client.close()
-            self._release(None)
             raise HttpError(504, "backend deadline exceeded") from exc
         except (ConnectionError, ProtocolError, OSError) as exc:
             _obs.gateway_backend_error("transport")
-            await client.close()
-            self._release(None)
             raise HttpError(502, f"backend connection failed: {exc}") from exc
-        self._release(client)
-        return response
+        finally:
+            if done:
+                self._release(client)
+            else:
+                # Any failure — including CancelledError when a sweep
+                # stream aborts mid-request — leaves a half-finished
+                # native request on this connection, so it must not be
+                # reused.  Restore the slot first (the pool must never
+                # leak capacity), then close without suspending: a
+                # cancelled caller may not await again here.
+                self._release(None)
+                client.abort()
 
     async def close(self) -> None:
         for _ in range(self.size):

@@ -61,7 +61,6 @@ from repro.engine.runner import SweepJob, available_cpus
 from repro.engine.trace_store import TraceStore, default_store
 from repro.obs.exposition import CONTENT_TYPE, render
 from repro.obs.metrics import default_registry
-from repro.obs import instrument as _obs
 from repro.serve.admission import (
     ANONYMOUS,
     AdmissionController,
@@ -69,7 +68,7 @@ from repro.serve.admission import (
     RateLimited,
 )
 from repro.serve.batcher import MicroBatcher, SimulationError
-from repro.serve.resultcache import ResultCache, Singleflight
+from repro.serve.resultcache import CacheKeyError, ResultCache, Singleflight
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -175,8 +174,23 @@ def _job_from_payload(payload: dict[str, Any]) -> SweepJob:
         raise BadRequest(f"bad job description: {exc}") from exc
     if not isinstance(job.spec, str) or not isinstance(job.benchmark, str):
         raise BadRequest("'spec' and 'benchmark' must be strings")
-    if not isinstance(job.n, int) or not 0 < job.n <= MAX_TRACE_N:
+    if (isinstance(job.n, bool) or not isinstance(job.n, int)
+            or not 0 < job.n <= MAX_TRACE_N):
         raise BadRequest(f"'n' must be an int in (0, {MAX_TRACE_N}]")
+    # Every remaining field is type-checked too: these all feed the
+    # canonical result-cache/coalescing key, which only admits exact
+    # scalars — an unchecked {"seed": 1.5} would otherwise surface as
+    # a CacheKeyError deep in the batcher instead of a bad_request.
+    for name in ("seed", "size", "line_size"):
+        value = getattr(job, name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise BadRequest(f"{name!r} must be an int")
+    if job.size <= 0 or job.line_size <= 0:
+        raise BadRequest("'size' and 'line_size' must be positive")
+    if not isinstance(job.policy, str):
+        raise BadRequest("'policy' must be a string")
+    if not isinstance(job.with_kinds, bool):
+        raise BadRequest("'with_kinds' must be a boolean")
     if job.side not in ("data", "instr", "combined"):
         raise BadRequest(f"bad side {job.side!r}")
     if job.side == "combined" and not job.with_kinds:
@@ -457,12 +471,11 @@ class SimServer:
             return hit
         # Collapse concurrent identical jobs before they reach the
         # batcher; the winning execution consults the disk tier and
-        # writes through inside the shard pool.
-        snapshot, shared = await self.singleflight.run(
+        # writes through inside the shard pool.  Singleflight.run
+        # itself counts the dedup metric for shared callers.
+        snapshot, _shared = await self.singleflight.run(
             key, functools.partial(self.batcher.submit, job)
         )
-        if shared:
-            _obs.resultcache_singleflight()
         result: dict[str, Any] = snapshot
         return result
 
@@ -488,7 +501,11 @@ class SimServer:
                 self.request_drain()
                 return {"ok": True, "draining": True}
             raise BadRequest(f"unknown op {op!r}")
-        except BadRequest as exc:
+        except (BadRequest, CacheKeyError) as exc:
+            # CacheKeyError is the canonical-key layer rejecting a job
+            # field _job_from_payload let through — still the client's
+            # fault, so answer bad_request instead of dropping the
+            # connection.
             self.metrics.errors += 1
             return {"ok": False, "error": "bad_request", "detail": str(exc)}
 

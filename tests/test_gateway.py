@@ -19,12 +19,14 @@ import pytest
 
 from repro.engine.runner import SweepJob, execute_job
 from repro.serve.gateway import (
+    BackendPool,
     Gateway,
     GatewayConfig,
     HttpError,
     RequestDecoder,
     render_response,
 )
+from repro.serve.protocol import read_frame, write_frame
 from repro.serve.server import ServeConfig, SimServer
 
 JOB = SweepJob(spec="mf8_bas8", benchmark="gcc", n=3000, with_kinds=True)
@@ -127,6 +129,49 @@ class TestRequestDecoder:
         assert b"Content-Length: 11" in head
         assert b"Connection: close" in head
         assert body == b'{"ok":true}'
+
+
+# ----------------------------------------------------------------------
+# BackendPool (against a scripted fake backend)
+# ----------------------------------------------------------------------
+class TestBackendPool:
+    def test_cancelled_request_releases_the_slot(self):
+        # _route_sweep cancels its per-job tasks when the client
+        # disconnects mid-stream; an aborted request must return its
+        # slot or the pool deadlocks once every slot has leaked.
+        async def scenario():
+            import contextlib
+
+            release = asyncio.Event()
+
+            async def handle(reader, writer):
+                with contextlib.suppress(Exception):
+                    payload = await read_frame(reader, 1 << 20)
+                    if payload and payload.get("stall"):
+                        await release.wait()
+                    await write_frame(writer, {"ok": True}, 1 << 20)
+                writer.close()
+
+            backend = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = backend.sockets[0].getsockname()[:2]
+            pool = BackendPool(f"{host}:{port}", size=1, timeout=5.0)
+            stalled = asyncio.ensure_future(pool.request({"stall": True}))
+            await asyncio.sleep(0.05)  # let it lease the only slot
+            stalled.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await stalled
+            # The single slot must be back: a fresh request completes
+            # instead of hanging in _lease forever.
+            response = await asyncio.wait_for(
+                pool.request({"stall": False}), 5.0
+            )
+            release.set()  # unblock the first handler before teardown
+            await pool.close()
+            backend.close()
+            await backend.wait_closed()
+            return response
+
+        assert asyncio.run(scenario()) == {"ok": True}
 
 
 # ----------------------------------------------------------------------

@@ -207,6 +207,63 @@ class TestSingleflight:
         assert len(results) == 3
         assert all(isinstance(r, RuntimeError) for r in results)
 
+    def test_cancelled_leader_does_not_poison_waiters(self):
+        # The execution is owned by the flight, not the leader's
+        # request coroutine: tearing down the leader's connection must
+        # not fail the N unrelated callers sharing the flight.
+        async def scenario():
+            flight = Singleflight()
+            gate = asyncio.Event()
+
+            async def supplier():
+                await gate.wait()
+                return SNAP
+
+            leader = asyncio.ensure_future(flight.run("k", supplier))
+            await asyncio.sleep(0)
+            waiters = [
+                asyncio.ensure_future(flight.run("k", supplier))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            leader.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            gate.set()
+            results = await asyncio.gather(*waiters)
+            return flight, results
+
+        flight, results = asyncio.run(scenario())
+        assert [r for r, _ in results] == [SNAP] * 3
+        assert all(shared for _, shared in results)
+        assert flight.inflight() == 0
+
+    def test_last_caller_cancellation_cancels_the_execution(self):
+        # No interested caller left -> the work is not orphaned.
+        async def scenario():
+            flight = Singleflight()
+            started = asyncio.Event()
+            cancelled = asyncio.Event()
+
+            async def supplier():
+                started.set()
+                try:
+                    await asyncio.sleep(60)
+                except asyncio.CancelledError:
+                    cancelled.set()
+                    raise
+
+            leader = asyncio.ensure_future(flight.run("k", supplier))
+            await started.wait()
+            leader.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            await asyncio.wait_for(cancelled.wait(), 1.0)
+            return flight
+
+        flight = asyncio.run(scenario())
+        assert flight.inflight() == 0
+
     def test_sequential_calls_both_lead(self):
         async def scenario():
             flight = Singleflight()
@@ -337,6 +394,27 @@ class TestAdmissionController:
         ctl = asyncio.run(scenario())
         assert ctl.shed_timeout == 1
         assert ctl.waiting() == 0  # timed-out waiter fully discarded
+
+    def test_bucket_table_is_lru_bounded(self):
+        # Client identity is caller-supplied and unauthenticated, so
+        # an identity-rotating caller must not grow the bucket table
+        # without bound: least-recently-seen buckets are evicted.
+        async def scenario():
+            clock = _Clock()
+            ctl = AdmissionController(
+                1000, rate=1.0, burst=5.0, max_clients=3, clock=clock
+            )
+            for name in ("a", "b", "c"):
+                await ctl.acquire(name, 1)
+            await ctl.acquire("a", 1)  # refresh a: b becomes the LRU
+            await ctl.acquire("d", 1)  # over the cap: b is evicted
+            return ctl
+
+        ctl = asyncio.run(scenario())
+        assert set(ctl._buckets) == {"c", "a", "d"}
+        assert ctl.buckets_evicted == 1
+        assert ctl.snapshot()["clients_tracked"] == 3
+        assert ctl.snapshot()["max_clients"] == 3
 
     def test_queue_depth_bound_sheds(self):
         async def scenario():

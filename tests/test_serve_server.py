@@ -453,6 +453,28 @@ class TestJobValidation:
         job = _job_from_payload({"spec": "dm", "benchmark": "gzip", "n": 500})
         assert job == SweepJob(spec="dm", benchmark="gzip", n=500)
 
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("seed", 1.5),     # would raise CacheKeyError in the batcher
+            ("seed", "2006"),
+            ("size", None),
+            ("size", 0),
+            ("line_size", -32),
+            ("policy", 7),
+            ("with_kinds", "yes"),
+            ("n", True),       # bool is not an int for key purposes
+        ],
+    )
+    def test_bad_scalar_types_rejected_up_front(self, field, value):
+        # Every job field feeds the canonical cache key, which only
+        # admits exact scalars; a lossy value must be a bad_request at
+        # the door, not a CacheKeyError mid-pipeline.
+        with pytest.raises(BadRequest):
+            _job_from_payload(
+                {"spec": "dm", "benchmark": "gzip", field: value}
+            )
+
 
 class TestParseAddress:
     def test_host_port(self):
