@@ -4,7 +4,7 @@ PYTHON ?= python
 LINT_FORMAT ?= text
 LINT_JOBS ?= 0
 
-.PHONY: install dev test lint typecheck bench bench-engine chaos serve gateway gateway-smoke loadgen top cluster experiments experiments-full examples clean
+.PHONY: install dev test lint typecheck bench bench-engine chaos serve gateway gateway-smoke trace loadgen top cluster experiments experiments-full examples clean
 
 install:
 	pip install -e .
@@ -49,6 +49,12 @@ gateway:
 # repeated mix; asserts cache hits, dedup, and bit-identity.
 gateway-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/gateway_smoke.py
+
+# Distributed-tracing smoke: off-tier baseline (bit-identical, no event
+# log) then a REPRO_OBS=full gateway+serve leg whose merged logs must
+# pass `bcache-trace --check` (>=99% complete single-rooted waterfalls).
+trace:
+	PYTHONPATH=src $(PYTHON) scripts/trace_smoke.py
 
 loadgen:
 	PYTHONPATH=src $(PYTHON) -m repro.serve.loadgen \

@@ -1,0 +1,197 @@
+"""Tracing smoke for the serving stack (``make trace`` / CI).
+
+Boots ``bcache-serve`` fronted by ``bcache-gateway`` twice and drives
+each with ``bcache-loadgen`` over HTTP:
+
+1. **off tier** (``REPRO_OBS=off``) — the baseline: zero errors, stats
+   bit-identical to a local replay (``--verify``), and **no** event log
+   written — the tracing layer must be invisible when disabled.
+2. **full tier** (``REPRO_OBS=full``) — serve and gateway write
+   separate event logs; the leg must stay bit-identical, and
+   ``bcache-trace --check`` over both logs (merged by trace id) must
+   find ≥99% complete single-rooted span trees.
+
+The two legs use separate cold result caches, so their request rates
+are comparable; the full-tier rps must stay within
+``$TRACE_SMOKE_RPS_TOLERANCE`` (default 0.25) of the off-tier baseline.
+The design budget for the events tier is ≤5% — the looser CI gate only
+absorbs shared-runner noise; both rates are printed for eyeballing.
+
+Both processes get SIGTERM at the end of each leg and must drain to
+exit 0, so CI never leaks processes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+REQUESTS = 120
+CLIENTS = 8
+MIX = "repeated:6"
+CHECK_THRESHOLD = "0.99"
+
+
+def _env(root: Path, obs: str, log: Path | None = None) -> dict[str, str]:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC)
+    env.setdefault("REPRO_TRACE_STORE", str(root / "traces"))
+    env["REPRO_OBS"] = obs
+    env.pop("REPRO_OBS_LOG", None)
+    if log is not None:
+        env["REPRO_OBS_LOG"] = str(log)
+    return env
+
+
+def start_serve(
+    root: Path, obs: str, log: Path | None
+) -> tuple[subprocess.Popen, Path]:
+    sock = root / "serve.sock"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--unix", str(sock),
+         "--shards", "2", "--result-cache", str(root / "resultcache")],
+        env=_env(root, obs, log), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    assert proc.stdout is not None
+    ready = proc.stdout.readline()
+    if "ready" not in ready:
+        proc.kill()
+        raise SystemExit(f"bcache-serve did not come up: {ready!r}")
+    print(f"serve: {ready.strip()}", flush=True)
+    return proc, sock
+
+
+def start_gateway(
+    root: Path, sock: Path, obs: str, log: Path | None
+) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.gateway", "--port", "0",
+         "--backend", f"unix:{sock}"],
+        env=_env(root, obs, log), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    assert proc.stdout is not None
+    ready = proc.stdout.readline()
+    if "ready" not in ready:
+        proc.kill()
+        raise SystemExit(f"bcache-gateway did not come up: {ready!r}")
+    print(f"gateway: {ready.strip()}", flush=True)
+    address = next(
+        word.split("=", 1)[1]
+        for word in ready.split()
+        if word.startswith("http=")
+    )
+    return proc, f"http://{address}"
+
+
+def run_loadgen(root: Path, url: str, out: Path) -> dict:
+    code = subprocess.call(
+        [sys.executable, "-m", "repro.serve.loadgen", "--gateway", url,
+         "--requests", str(REQUESTS), "--clients", str(CLIENTS),
+         "--mix", MIX, "--verify", "--out", str(out)],
+        env=_env(root, "off"),
+    )
+    if code != 0:
+        raise SystemExit(f"bcache-loadgen exited {code}")
+    return json.loads(out.read_text())
+
+
+def gate(condition: bool, message: str) -> None:
+    print(("PASS" if condition else "FAIL") + f": {message}", flush=True)
+    if not condition:
+        raise SystemExit(1)
+
+
+def drain(proc: subprocess.Popen, name: str) -> str:
+    with contextlib.suppress(ProcessLookupError):
+        proc.send_signal(signal.SIGTERM)
+    try:
+        output, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise SystemExit(f"{name} did not drain within 60s")
+    gate(proc.returncode == 0, f"{name} drained to exit 0 on SIGTERM")
+    return output or ""
+
+
+def run_leg(
+    root: Path, obs: str, serve_log: Path | None, gateway_log: Path | None
+) -> dict:
+    serve_proc, sock = start_serve(root, obs, serve_log)
+    gateway_proc, url = start_gateway(root, sock, obs, gateway_log)
+    try:
+        started = time.monotonic()
+        report = run_loadgen(root, url, root / "loadgen.json")
+        print(f"leg took {time.monotonic() - started:.1f}s", flush=True)
+    finally:
+        drain(gateway_proc, "bcache-gateway")
+        drain(serve_proc, "bcache-serve")
+    gate(report["errors"] == 0, f"{obs}-tier leg finished with zero errors")
+    gate(report.get("verified_identical") is True,
+         f"{obs}-tier stats bit-identical to local replay")
+    return report
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("TRACE_SMOKE_RPS_TOLERANCE", "0.25"))
+    with tempfile.TemporaryDirectory(prefix="trace-smoke-") as tmp:
+        root = Path(tmp)
+
+        print("=== trace-smoke: leg 1 (REPRO_OBS=off baseline) ===",
+              flush=True)
+        off_root = root / "off"
+        off_root.mkdir()
+        off_log = off_root / "serve-events.jsonl"
+        off = run_leg(off_root, "off", off_log, off_root / "gw.jsonl")
+        gate(not off_log.exists() and not (off_root / "gw.jsonl").exists(),
+             "off tier wrote no event logs")
+
+        print("=== trace-smoke: leg 2 (REPRO_OBS=full, traced) ===",
+              flush=True)
+        full_root = root / "full"
+        full_root.mkdir()
+        serve_log = full_root / "serve-events.jsonl"
+        gateway_log = full_root / "gateway-events.jsonl"
+        full = run_leg(full_root, "full", serve_log, gateway_log)
+        gate(serve_log.exists() and gateway_log.exists(),
+             "full tier wrote both event logs")
+
+        off_rps = float(off.get("rps", 0.0))
+        full_rps = float(full.get("rps", 0.0))
+        overhead = 1.0 - full_rps / off_rps if off_rps else 0.0
+        print(f"rps off={off_rps:.1f} full={full_rps:.1f} "
+              f"overhead={overhead:+.1%} (budget 5%, gate {tolerance:.0%})",
+              flush=True)
+        gate(full_rps >= off_rps * (1.0 - tolerance),
+             f"full-tier rps within {tolerance:.0%} of the off baseline")
+
+        code = subprocess.call(
+            [sys.executable, "-m", "repro.obs.traceview",
+             str(gateway_log), str(serve_log),
+             "--check", "--threshold", CHECK_THRESHOLD],
+            env=_env(root, "off"),
+        )
+        gate(code == 0,
+             f"bcache-trace --check: >={CHECK_THRESHOLD} of traces are "
+             "complete single-rooted trees")
+        subprocess.call(
+            [sys.executable, "-m", "repro.obs.traceview",
+             str(gateway_log), str(serve_log), "--stage-summary"],
+            env=_env(root, "off"),
+        )
+    print("trace-smoke: all gates passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

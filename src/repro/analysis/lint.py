@@ -77,6 +77,15 @@ BCL018    result-cache key discipline: ``execute_job`` must not read a
           ``repr(...)`` or an f-string — may feed a cache-key function
           (``canonical_job_key``/``job_hash``); representation drift
           splits one logical job across many keys
+BCL019    trace propagation discipline: spans opened inside serve or
+          cluster coroutines (``span``/``stage_span``/``stage_event``)
+          must thread the request context via ``trace=`` (an
+          ambient-only span silently detaches from its waterfall the
+          moment a task boundary drops the contextvar), and trace ids
+          must never be minted from clocks or randomness
+          (``time.*``/``random.*``/``uuid4``/``urandom``/…) — a worker
+          that mints a nondeterministic id orphans its spans and breaks
+          replay
 ========  =============================================================
 
 Rules BCL013–BCL015 run on the :mod:`repro.analysis.flow`
@@ -131,6 +140,9 @@ RULES: dict[str, str] = {
     "coroutine (wrap in asyncio.wait_for)",
     "BCL018": "result-cache key discipline: execute_job reads a job field "
     "outside the canonical hash, or str()/repr()/f-string feeds a cache key",
+    "BCL019": "trace discipline: span/stage_span/stage_event in a serve or "
+    "cluster coroutine without trace=, or a trace id minted from "
+    "clock/randomness",
 }
 
 #: Rules that need the flow engine rather than the syntactic visitor.
@@ -205,6 +217,19 @@ CACHE_KEY_FUNCS = frozenset({"canonical_job_key", "job_hash", "cache_key"})
 #: Registry factory methods whose first argument is a metric name that
 #: must satisfy the exposition contract (BCL012).
 METRIC_FACTORY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Span-opening observability calls.  BCL019: inside serve/cluster
+#: coroutines each must thread the request's TraceContext explicitly —
+#: relying on the ambient contextvar detaches the span from its
+#: waterfall as soon as a task boundary drops the context.
+TRACE_SPAN_CALLS = frozenset({"span", "stage_span", "stage_event"})
+
+#: Nondeterministic sources banned from trace-id minting (BCL019);
+#: ``time.*`` and ``random.*`` attribute calls are banned wholesale.
+NONDET_TRACE_SOURCES = frozenset(
+    {"uuid4", "urandom", "token_hex", "token_bytes", "getrandbits",
+     "randbytes"}
+)
 
 #: Prometheus-safe, repo-prefixed metric names (mirrors
 #: ``repro.obs.metrics.METRIC_NAME_RE``; duplicated so the linter stays
@@ -768,6 +793,45 @@ class _Linter(ast.NodeVisitor):
                 "^repro_[a-z0-9_]+$",
             )
 
+        # BCL019 (a): a span opened on the request path must carry the
+        # request's TraceContext explicitly.  The ambient contextvar is
+        # a convenience, not a guarantee — create_task / executor hops
+        # drop it, and the span lands parentless in the event log.
+        if (
+            self.serve_module
+            and self._in_coroutine
+            and name in TRACE_SPAN_CALLS
+            and not any(kw.arg == "trace" for kw in node.keywords)
+        ):
+            self._add(
+                node,
+                "BCL019",
+                f"{name}(...) in a serve/cluster coroutine must thread the "
+                "request context explicitly (trace=...); ambient context "
+                "does not survive task boundaries",
+            )
+
+        # BCL019 (b): trace identity must be deterministic.  An id
+        # minted from a clock or an entropy source cannot be re-derived
+        # on replay, and a worker minting its own id (instead of
+        # deriving from the propagated parent) orphans its spans.
+        is_mint = name == "mint_trace_id" or (
+            isinstance(func, ast.Attribute)
+            and func.attr == "new"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "TraceContext"
+        )
+        if is_mint:
+            culprit = self._nondet_trace_arg(node)
+            if culprit:
+                self._add(
+                    node,
+                    "BCL019",
+                    f"trace id minted from {culprit}; derive it from a "
+                    "deterministic request key (client id / ordinal / "
+                    "propagated parent), never from clocks or randomness",
+                )
+
         # BCL016: the columnar refactor's contract.  Batch kernels flow
         # flat address/kind columns straight from the trace store; one
         # Access object per reference would resurrect the allocation
@@ -879,6 +943,35 @@ class _Linter(ast.NodeVisitor):
 
     def _is_awaited(self, node: ast.Call) -> bool:
         return node in self._awaited_calls
+
+    @staticmethod
+    def _nondet_trace_arg(node: ast.Call) -> str:
+        """BCL019: describe a nondeterministic mint source, or ``""``.
+
+        Unlike BCL018's shallow check, the whole argument subtree is
+        walked: ``f"gw/{time.time()}"`` hides the clock one level down.
+        """
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if isinstance(func, ast.Attribute):
+                    base = (
+                        func.value.id
+                        if isinstance(func.value, ast.Name)
+                        else ""
+                    )
+                    if base in {"time", "random"}:
+                        return f"{base}.{func.attr}()"
+                    if func.attr in NONDET_TRACE_SOURCES:
+                        return f"{func.attr}()"
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id in NONDET_TRACE_SOURCES
+                ):
+                    return f"{func.id}()"
+        return ""
 
     @staticmethod
     def _non_canonical_arg(node: ast.expr) -> str:

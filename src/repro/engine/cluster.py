@@ -72,6 +72,8 @@ from repro.engine.runner import SweepJob, execute_job
 from repro.engine.trace_store import TraceStore, default_store
 from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
+from repro.obs import tracectx
+from repro.obs.tracectx import TraceContext
 from repro.serve.client import AsyncServeClient, ServeError
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.resultcache import ResultCache
@@ -287,14 +289,22 @@ class NodeHandle:
             size = self.cpus_usable * 2
         return max(1, min(self.config.max_batch, size))
 
-    async def run_batch(self, jobs: Sequence[SweepJob]) -> list[CacheStats]:
-        """Dispatch one batch under a size-scaled deadline."""
+    async def run_batch(
+        self, jobs: Sequence[SweepJob], trace: str | None = None
+    ) -> list[CacheStats]:
+        """Dispatch one batch under a size-scaled deadline.
+
+        ``trace`` (wire form) rides the sweep payload so the node's
+        request-path spans join the coordinator's trace.
+        """
         client = await self._ensure_client()
         deadline = (
             self.config.request_timeout + self.config.per_job_timeout * len(jobs)
         )
         start = time.monotonic()
-        stats_list = await asyncio.wait_for(client.sweep(jobs), deadline)
+        stats_list = await asyncio.wait_for(
+            client.sweep(jobs, trace=trace), deadline
+        )
         if len(stats_list) != len(jobs):
             raise ProtocolError(
                 f"node {self.address} returned {len(stats_list)} results "
@@ -441,8 +451,20 @@ class ClusterCoordinator:
             self._queue.append(_Task(index))
         self._inflight = {node.address: {} for node in self.nodes}
         if self._remaining:
+            # Root the sweep's distributed trace in the job list itself:
+            # hashing the first job key + count is deterministic across
+            # reruns (no random, no clock — rule BCL019), so two runs of
+            # the same sweep produce comparable trace ids.
+            trace = (
+                TraceContext.new(
+                    f"cluster/{self._keys[0]}/{len(jobs)}"
+                )
+                if obs_events.enabled()
+                else None
+            )
             with obs_events.span(
                 "cluster.sweep",
+                trace=trace,
                 jobs=len(jobs),
                 pending=len(self._remaining),
                 nodes=len(self.nodes),
@@ -533,9 +555,14 @@ class ClusterCoordinator:
             node.stats.dispatched += len(batch)
             try:
                 self._apply_node_faults(node, batch)
-                stats_list = await node.run_batch(
-                    [self._jobs[task.index] for task in batch]
-                )
+                with _obs.stage_span(
+                    "cluster_node", trace=tracectx.current(),
+                    node=node.address, jobs=len(batch),
+                ) as ctx:
+                    stats_list = await node.run_batch(
+                        [self._jobs[task.index] for task in batch],
+                        trace=ctx.to_wire() if ctx is not None else None,
+                    )
             except _DISPATCH_ERRORS as exc:
                 for task in batch:
                     inflight.pop(task.index, None)

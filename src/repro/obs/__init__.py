@@ -8,6 +8,9 @@ A dependency-free observability layer shared by every subsystem:
 * :mod:`repro.obs.events` — ``span``/``emit`` tracing onto a crash-safe
   JSONL event log, tiered by ``REPRO_OBS=off|events|full``;
 * :mod:`repro.obs.instrument` — the pre-named hooks hot paths call;
+* :mod:`repro.obs.tracectx` — deterministic distributed trace contexts
+  (W3C ``traceparent``, head sampling keyed by ``hash(trace_id)``);
+* :mod:`repro.obs.traceview` — the ``bcache-trace`` waterfall analyzer;
 * :mod:`repro.obs.top` — the live ``bcache-top`` sweep monitor.
 
 This package is a leaf: it must not import ``repro.caches``,
@@ -18,6 +21,7 @@ from repro.obs.events import (
     EventLog,
     configure,
     emit,
+    emit_raw,
     enabled,
     log_to,
     metrics_enabled,
@@ -27,6 +31,14 @@ from repro.obs.events import (
     span,
     tail_events,
 )
+from repro.obs.tracectx import (
+    TraceContext,
+    mint_trace_id,
+    sample_rate,
+    sampled_for,
+)
+from repro.obs.tracectx import current as current_trace
+from repro.obs.tracectx import use as use_trace
 from repro.obs.exposition import CONTENT_TYPE, parse_text, render
 from repro.obs.metrics import (
     Counter,
@@ -46,18 +58,25 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "TraceContext",
     "configure",
+    "current_trace",
     "default_registry",
     "emit",
+    "emit_raw",
     "enabled",
     "log_to",
     "metrics_enabled",
+    "mint_trace_id",
     "mode",
     "parse_text",
     "read_events",
     "render",
     "reset",
+    "sample_rate",
+    "sampled_for",
     "set_default_registry",
     "span",
     "tail_events",
+    "use_trace",
 ]

@@ -28,6 +28,18 @@ Spans are context managers only (lint rule BCL012)::
 Each span emits one event on exit carrying the monotonic start, the
 duration, the pid, and whether the body raised.  Point events go
 through :func:`emit`.
+
+Spans join a distributed trace by threading a
+:class:`~repro.obs.tracectx.TraceContext`::
+
+    with span("serve.request", trace=ctx) as child:
+        ...  # child is ctx.child("serve.request"); nested spans that
+             # pass trace=tracectx.current() parent under it
+
+A traced span's event additionally carries ``trace_id``/``span_id``/
+``parent_id``, which is everything ``bcache-trace`` needs to rebuild
+the request waterfall.  An unsampled context disables recording for
+that span (the body still runs, the ids are simply not logged).
 """
 
 from __future__ import annotations
@@ -40,6 +52,9 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, BinaryIO, Iterator
+
+from repro.obs import tracectx
+from repro.obs.tracectx import TraceContext
 
 log = logging.getLogger("repro.obs")
 
@@ -94,14 +109,35 @@ class EventLog:
             "pid": os.getpid(),
             **fields,
         }
+        self.emit_record(record)
+
+    def emit_record(self, record: dict[str, Any]) -> None:
+        """Append a pre-built record verbatim; never raises."""
         try:
             line = json.dumps(record, separators=(",", ":"), default=str)
-            self._ensure_open().write(line.encode("utf-8") + b"\n")
+            self._write_line(line.encode("utf-8") + b"\n")
             self.emitted += 1
         except (OSError, ValueError, TypeError) as exc:
             self.dropped += 1
             if self.dropped == 1:  # warn once, not once per event
                 log.warning("event log %s: dropping events (%s)", self.path, exc)
+
+    def _write_line(self, data: bytes) -> None:
+        """One whole line per ``write``; finish short writes immediately.
+
+        Concurrent appenders rely on O_APPEND making each ``write(2)``
+        land contiguously; an unbuffered ``FileIO.write`` may still
+        return short (signal delivery, near-full disk), and stopping
+        there would leave a torn *head* that a neighbour's line then
+        splices into — corrupting two records, not one.  Retrying the
+        remainder immediately bounds the damage to this line, which the
+        torn/corrupt-tolerant readers already skip.
+        """
+        handle = self._ensure_open()
+        written = handle.write(data)
+        while written is not None and written < len(data):
+            data = data[written:]
+            written = handle.write(data)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -228,20 +264,60 @@ def emit(name: str, **fields: Any) -> None:
     state.sink().emit(name, **fields)
 
 
+def emit_raw(record: dict[str, Any]) -> None:
+    """Append one pre-built event record verbatim (no-op while off).
+
+    The cross-process span merge path: shard workers build complete
+    span records — their own ``t``/``mono``/``pid`` — buffer them, and
+    ship them back with the batch response; the parent writes them here
+    unchanged, so the merged log reads as if the worker had appended
+    directly.  Junk (non-dict, no ``name``) is dropped silently, the
+    same contract as :meth:`EventLog.emit`.
+    """
+    state = _state()
+    if state.mode == "off":
+        return
+    if not isinstance(record, dict) or not record.get("name"):
+        return
+    state.sink().emit_record(record)
+
+
 @contextlib.contextmanager
-def span(name: str, **attrs: Any) -> Iterator[None]:
+def span(
+    name: str, *, trace: TraceContext | None = None, **attrs: Any
+) -> Iterator[TraceContext | None]:
     """Time a block; emit one event on exit with duration and outcome.
 
     Must be used in context-manager form (``with span(...):`` — rule
     BCL012); manual ``__enter__`` calls leak the frame on error paths.
+
+    When ``trace`` is a sampled :class:`TraceContext`, the span becomes
+    a child of it: the yielded value is the child context (also made
+    ambient via :func:`repro.obs.tracectx.current` for the body), and
+    the emitted event carries ``trace_id``/``span_id``/``parent_id``.
+    An unsampled context suppresses the event entirely (the sampling
+    verdict is a pure function of the trace id, so every hop agrees).
     """
     state = _state()
-    if state.mode == "off":
-        yield
+    if trace is not None and not trace.sampled:
+        yield None
         return
+    if state.mode == "off":
+        yield None
+        return
+    child = trace.child(name) if trace is not None else None
+    if child is not None:
+        attrs = {
+            "trace_id": child.trace_id,
+            "span_id": child.span_id,
+            "parent_id": child.parent_id,
+            **attrs,
+        }
+    scope = tracectx.use(child) if child is not None else contextlib.nullcontext()
     start = time.monotonic()
     try:
-        yield
+        with scope:
+            yield child
     except BaseException:
         state.sink().emit(
             name, dur_s=round(time.monotonic() - start, 6), ok=False, **attrs

@@ -17,10 +17,14 @@ loops can skip the second clock read entirely when telemetry is off.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import time
+from typing import Any, Iterator
 
 from repro.obs import events
 from repro.obs.metrics import SIZE_BUCKETS, default_registry
+from repro.obs.tracectx import TraceContext
 
 
 def kernel_clock() -> float:
@@ -103,10 +107,14 @@ def trace_store_quarantined(spec: str, reason: str) -> None:
 
 
 def shm_segment(event: str, name: str, nbytes: int) -> None:
-    """One shared-memory segment lifecycle step (export|attach|unlink|reap)."""
+    """One shared-memory segment lifecycle step (export|attach|unlink|reap).
+
+    The segment rides as ``segment=`` — ``name`` is the event-name
+    parameter of :func:`events.emit` and would collide.
+    """
     if not events.enabled():
         return
-    events.emit(f"shm.{event}", name=name, bytes=nbytes)
+    events.emit(f"shm.{event}", segment=name, bytes=nbytes)
     if events.metrics_enabled():
         registry = default_registry()
         registry.counter(
@@ -154,6 +162,121 @@ def bench_iteration(spec: str, flavor: str, iteration: int,
             "repro_bench_iteration_seconds",
             "Raw per-iteration wall time of bcache-bench hot loops",
         ).observe(seconds, spec=spec, flavor=flavor)
+
+
+# ----------------------------------------------------------------------
+# Request-path stage attribution (tracing tentpole).  The histogram is
+# always on — stages only exist inside serve/cluster processes, which
+# are instrumented by definition — while the span events follow the
+# REPRO_OBS tier and the context's sampling verdict.
+# ----------------------------------------------------------------------
+#: The stage taxonomy ``bcache-trace --stage-summary`` reports over.
+STAGES = (
+    "gateway",        # whole HTTP request at the gateway
+    "gateway_parse",  # header/body parse + routing
+    "serve_request",  # whole request inside the serve process
+    "admission",      # rate-limit check + fair-queue wait
+    "resultcache",    # memory-tier result-cache probe
+    "singleflight",   # wait on the (possibly shared) execution
+    "batch_window",   # gather-window wait inside the micro-batcher
+    "shard",          # shard queue + worker round trip
+    "kernel",         # execute_job inside the shard worker
+    "serialize",      # response encode + socket write
+    "cluster_node",   # one dispatched batch: node round trip
+)
+
+
+def _observe_stage(stage: str, seconds: float) -> None:
+    default_registry().histogram(
+        "repro_stage_seconds",
+        "Request-path wall time attributed per pipeline stage",
+    ).observe(seconds, stage=stage)
+
+
+@contextlib.contextmanager
+def stage_span(
+    stage: str, *, trace: TraceContext | None = None, **attrs: Any
+) -> Iterator[TraceContext | None]:
+    """Time one pipeline stage: histogram always, span event when traced.
+
+    Yields the child :class:`TraceContext` (or ``None`` when untraced /
+    unsampled / tier off) so callers can forward it downstream.
+    """
+    start = time.monotonic()
+    try:
+        with events.span(f"stage.{stage}", trace=trace, stage=stage,
+                         **attrs) as child:
+            yield child
+    finally:
+        _observe_stage(stage, time.monotonic() - start)
+
+
+def stage_event(
+    stage: str,
+    seconds: float,
+    *,
+    trace: TraceContext | None = None,
+    **attrs: Any,
+) -> None:
+    """Record a stage measured retroactively (e.g. a batch-window wait).
+
+    The emitted record's wall time is *now*, so readers recover the
+    stage's start as ``t - dur_s`` — identical to a live span.
+    """
+    _observe_stage(stage, seconds)
+    if not events.enabled():
+        return
+    if trace is not None:
+        if not trace.sampled:
+            return
+        events.emit_raw(stage_record(stage, trace, seconds, **attrs))
+    else:
+        events.emit(f"stage.{stage}", stage=stage,
+                    dur_s=round(seconds, 6), ok=True, **attrs)
+
+
+def stage_record_for(
+    stage: str, ctx: TraceContext, seconds: float, **attrs: Any
+) -> dict[str, Any]:
+    """A span record whose identity *is* ``ctx`` (pre-derived child).
+
+    The micro-batcher derives the ``shard`` stage's context up front so
+    it can hand it to the worker as the ``kernel`` span's parent, then
+    emits the shard record itself once the round trip lands — this
+    builds that record without deriving a second child.
+    """
+    _observe_stage(stage, seconds)
+    return {
+        "name": f"stage.{stage}",
+        "t": round(time.time(), 6),
+        "mono": round(time.monotonic(), 6),
+        "pid": os.getpid(),
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.span_id,
+        "parent_id": ctx.parent_id,
+        "stage": stage,
+        "dur_s": round(seconds, 6),
+        "ok": True,
+        **attrs,
+    }
+
+
+def stage_record(
+    stage: str, trace: TraceContext, seconds: float, **attrs: Any
+) -> dict[str, Any]:
+    """A complete span record for ``stage``, ready for cross-process merge.
+
+    Shard workers call this at measurement time — capturing their own
+    ``t``/``mono``/``pid`` — buffer the records, and return them with
+    the batch response; the parent replays them via
+    :func:`repro.obs.events.emit_raw`.  The matching
+    ``repro_stage_seconds`` observation lands in the *caller's*
+    registry, so in workers it rides the existing
+    ``drain_deltas``/``merge_deltas`` metric path.
+    """
+    return stage_record_for(
+        stage, trace.child(f"stage.{stage}"), seconds, **attrs
+    )
 
 
 # ----------------------------------------------------------------------

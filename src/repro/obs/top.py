@@ -195,12 +195,32 @@ def _metric_value(
         return None
 
 
+def _family_total(
+    families: dict[str, Family], family: str
+) -> float | None:
+    """Sum a counter family across all its label combinations."""
+    entry = families.get(family)
+    if entry is None:
+        return None
+    values = [
+        sample.value for sample in entry.samples if sample.name == family
+    ]
+    return sum(values) if values else None
+
+
 def render_server(
     status: dict[str, Any],
     families: dict[str, Family] | None,
     width: int = 80,
+    gateway_rps: float | None = None,
 ) -> str:
-    """One connect-mode frame from a status dict + parsed metrics."""
+    """One connect-mode frame from a status dict + parsed metrics.
+
+    ``gateway_rps`` is the caller-computed request rate from the
+    ``repro_gateway_requests_total`` family (a rate needs two samples,
+    so the poll loop owns it); ``None`` renders ``-`` — the usual case
+    when the polled endpoint is a plain serve node, not a gateway.
+    """
     lines: list[str] = []
     server = status.get("server", {})
     batcher = status.get("batcher", {})
@@ -220,6 +240,24 @@ def render_server(
         f"mean size {batcher.get('mean_batch_size', 0.0):.2f}  "
         f"coalesced {batcher.get('coalesced', 0)}  "
         f"errors {batcher.get('batch_errors', 0)}"
+    )
+    resultcache = status.get("resultcache") or {}
+    admission = status.get("admission") or {}
+    hits = int(resultcache.get("hits_memory", 0) or 0) + int(
+        resultcache.get("hits_disk", 0) or 0
+    )
+    lookups = hits + int(resultcache.get("misses", 0) or 0)
+    hit_text = f"{hits / lookups:.1%}" if lookups else "-"
+    dedups = int(server.get("singleflight_waits", 0) or 0) + int(
+        batcher.get("coalesced", 0) or 0
+    )
+    drops = int(
+        admission.get("rate_limited", server.get("rate_limited", 0)) or 0
+    )
+    rps_text = f"{gateway_rps:.1f}" if gateway_rps is not None else "-"
+    lines.append(
+        f"serve    cache hit {hit_text} ({hits}/{lookups})  "
+        f"dedup {dedups}  rate-limited {drops}  gateway {rps_text} rps"
     )
     if families:
         jobs_done = _metric_value(
@@ -461,6 +499,7 @@ def _run_connect(args: argparse.Namespace) -> int:
     if "," in args.connect:
         return _run_fleet(args)
     frames = 0
+    last_gateway: tuple[float, float] | None = None  # (total, when)
     while True:
         try:
             status, families = _poll_server(args.connect)
@@ -470,8 +509,22 @@ def _run_connect(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 4
+        # Gateway rps needs two samples of the requests counter; the
+        # first frame (and --once) render "-".
+        gateway_rps: float | None = None
+        if families is not None:
+            total = _family_total(families, "repro_gateway_requests_total")
+            if total is not None:
+                now = time.monotonic()
+                if last_gateway is not None and now > last_gateway[1]:
+                    gateway_rps = max(
+                        0.0, (total - last_gateway[0])
+                        / (now - last_gateway[1])
+                    )
+                last_gateway = (total, now)
         _emit_frame(
-            f"server: {args.connect}\n" + render_server(status, families),
+            f"server: {args.connect}\n"
+            + render_server(status, families, gateway_rps=gateway_rps),
             args.once,
         )
         frames += 1

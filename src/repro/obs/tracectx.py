@@ -1,0 +1,205 @@
+"""Request-scoped trace context: deterministic ids, W3C wire form, sampling.
+
+A :class:`TraceContext` names one request's position in a distributed
+trace: a 128-bit ``trace_id`` shared by every span of the request, a
+64-bit ``span_id`` for the current span, and the parent span's id (so
+``bcache-trace`` can rebuild the tree).  It crosses process boundaries
+in two forms:
+
+* the W3C ``traceparent`` HTTP header
+  (``00-<32 hex trace_id>-<16 hex span_id>-<2 hex flags>``) at the
+  gateway, and
+* a ``trace`` field carrying the same string inside serve protocol
+  frames, micro-batcher jobs, shard-worker payloads and cluster
+  dispatch payloads.
+
+**Determinism.**  Nothing here touches ``random``, ``uuid`` or wall
+clocks (lint rule BCL019 enforces this in workers).  Trace ids are
+minted by hashing a caller-supplied key (connection ordinal, job hash,
+run id), and child span ids are derived by hashing
+``(trace_id, parent span, name, pid, per-process ordinal)`` — re-running
+the same workload yields the same ids, so trace-based diffs between
+runs are meaningful.
+
+**Sampling.**  Head-based and keyed by ``hash(trace_id)``: the sampling
+decision is a pure function of the trace id and the rate
+(``REPRO_TRACE_SAMPLE``, default 1.0), so every hop of a distributed
+request — gateway, server, workers, cluster nodes — independently
+reaches the same verdict without coordination, and a rerun samples the
+same requests.  The hash is the first 8 bytes of blake2b, uniform over
+``[0, 1)``; PAPERS.md's birthday-paradox analysis is why the id space
+is 128 bits (collisions across even million-request runs stay
+negligible) while the sampling key only needs 64.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import itertools
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+ENV_SAMPLE = "REPRO_TRACE_SAMPLE"
+
+#: ``traceparent`` shape we accept: version 00, lowercase hex fields.
+_TRACEPARENT = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+#: all-zero ids are invalid per the W3C spec
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+#: per-process ordinal folded into derived span ids so two children of
+#: the same parent with the same name still get distinct ids.
+_SEQ = itertools.count()
+
+
+def _digest(*parts: str, size: int) -> str:
+    h = hashlib.blake2b(digest_size=size)
+    for part in parts:
+        h.update(part.encode("utf-8", "surrogateescape"))
+        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return h.hexdigest()
+
+
+def mint_trace_id(key: str) -> str:
+    """A 128-bit trace id derived from ``key`` (no randomness, no clock).
+
+    Callers pass something already unique to the request — the gateway
+    uses ``<listen addr>/<connection ordinal>/<request ordinal>``, the
+    serve CLI uses the job hash plus a per-connection counter — so ids
+    are reproducible run to run.
+    """
+    digest = _digest("trace", key, size=16)
+    return digest if digest != _ZERO_TRACE else "1" * 32
+
+
+def derive_span_id(trace_id: str, parent_id: str | None, name: str) -> str:
+    """A child span id: deterministic given the process's event order."""
+    digest = _digest(
+        trace_id, parent_id or "", name, str(os.getpid()), str(next(_SEQ)),
+        size=8,
+    )
+    return digest if digest != _ZERO_SPAN else "1" * 16
+
+
+def sample_rate() -> float:
+    """The head-sampling rate from ``REPRO_TRACE_SAMPLE`` (default 1.0)."""
+    raw = os.environ.get(ENV_SAMPLE, "").strip()
+    if not raw:
+        return 1.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, rate))
+
+
+def sampled_for(trace_id: str, rate: float | None = None) -> bool:
+    """The deterministic sampling verdict for ``trace_id``.
+
+    ``hash(trace_id)`` mapped to ``[0, 1)`` compared against the rate:
+    every process sharing the trace id reaches the same answer.
+    """
+    if rate is None:
+        rate = sample_rate()
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    bucket = int(_digest("sample", trace_id, size=8), 16) / float(1 << 64)
+    return bucket < rate
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One span's identity within a distributed trace (immutable)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    sampled: bool = True
+
+    @classmethod
+    def new(cls, key: str, *, rate: float | None = None) -> "TraceContext":
+        """Mint a root context for a request identified by ``key``."""
+        trace_id = mint_trace_id(key)
+        return cls(
+            trace_id=trace_id,
+            span_id=derive_span_id(trace_id, None, "root"),
+            parent_id=None,
+            sampled=sampled_for(trace_id, rate),
+        )
+
+    def child(self, name: str) -> "TraceContext":
+        """The context for a child span named ``name``."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_span_id(self.trace_id, self.span_id, name),
+            parent_id=self.span_id,
+            sampled=self.sampled,
+        )
+
+    # -- wire forms -----------------------------------------------------
+    def to_traceparent(self) -> str:
+        """W3C ``traceparent`` header value (flags carry ``sampled``)."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        """Parse a ``traceparent`` header; ``None`` when absent/invalid."""
+        if not header:
+            return None
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None:
+            return None
+        trace_id, span_id, flags = match.groups()
+        if trace_id == _ZERO_TRACE or span_id == _ZERO_SPAN:
+            return None
+        try:
+            sampled = bool(int(flags, 16) & 0x01)
+        except ValueError:  # pragma: no cover - regex guarantees hex
+            return None
+        return cls(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+    def to_wire(self) -> str:
+        """The protocol-frame form of this context (the header string)."""
+        return self.to_traceparent()
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "TraceContext | None":
+        """Parse a ``trace`` payload field; tolerant of junk (→ ``None``)."""
+        if isinstance(value, str):
+            return cls.from_traceparent(value)
+        if isinstance(value, Mapping):
+            return cls.from_traceparent(value.get("traceparent"))
+        return None
+
+
+# ----------------------------------------------------------------------
+# Ambient context (per task/thread via contextvars)
+# ----------------------------------------------------------------------
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The active trace context, if a request is being traced."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use(ctx: TraceContext | None) -> Iterator[None]:
+    """Make ``ctx`` the ambient context for the body (restores on exit)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)

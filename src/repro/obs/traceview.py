@@ -1,0 +1,469 @@
+"""``bcache-trace`` — waterfall analyzer for distributed trace spans.
+
+Reads one or more obs event logs (JSONL, as written by ``repro.obs``
+under ``REPRO_OBS=events|full``), keeps every record that carries a
+``trace_id``/``span_id`` pair, and reconstructs per-request span trees:
+
+* **Waterfalls** — an ASCII gantt per trace, one row per span, bars
+  positioned on the trace's wall-clock window.  The critical path (the
+  greedy walk into whichever child ends last) is marked ``*`` so the
+  stage that actually gated the request is visible at a glance.
+* **--slowest N** — only the N longest traces, longest first.
+* **--stage-summary** — per-stage latency attribution: count, total,
+  mean, max and *self* time (span duration minus child durations), so
+  the stage columns sum to roughly the end-to-end total instead of
+  double-counting parents.
+* **--export FILE** — Chrome trace-event JSON (load in
+  ``chrome://tracing`` or Perfetto).
+* **--check** — machine gate for CI: the fraction of traces that form
+  a complete single-rooted tree must reach ``--threshold``.
+
+Multiple log files merge by ``trace_id`` before reconstruction — a
+2-node cluster run hands ``bcache-trace`` one log per node and gets
+coordinator → node → shard waterfalls stitched across processes.
+Spans record their *end* wall-clock time ``t`` plus ``dur_s``; start is
+recovered as ``t - dur_s``, which is comparable across processes and
+hosts with sane clocks.
+
+A root context minted at the edge (gateway, serve, cluster) is itself
+never emitted — only its children are — so a *complete* tree is one
+where every unresolvable parent reference points at that single
+unrecorded root (or the external ``traceparent``): one dangling parent
+id, shared by all top-level spans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.obs import events as obs_events
+
+#: Width of the waterfall bar column, in characters.
+BAR_WIDTH = 40
+
+
+# ----------------------------------------------------------------------
+# Model: records -> spans -> per-trace trees
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Span:
+    """One traced event record, with wall-clock start recovered."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    dur: float
+    pid: int
+    ok: bool
+    attrs: dict[str, Any]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.dur
+
+    @property
+    def stage(self) -> str | None:
+        """Stage label, for ``stage.*`` spans (None otherwise)."""
+        stage = self.attrs.get("stage")
+        if isinstance(stage, str) and stage:
+            return stage
+        if self.name.startswith("stage."):
+            return self.name[len("stage."):]
+        return None
+
+
+#: Record keys that become Span fields, not attrs.
+_CORE_KEYS = frozenset(
+    {"name", "t", "mono", "pid", "trace_id", "span_id", "parent_id",
+     "dur_s", "ok"}
+)
+
+
+def span_from_record(record: dict[str, Any]) -> Span | None:
+    """Build a Span from an event record; None if it isn't traced."""
+    trace_id = record.get("trace_id")
+    span_id = record.get("span_id")
+    if not isinstance(trace_id, str) or not isinstance(span_id, str):
+        return None
+    if not trace_id or not span_id:
+        return None
+    try:
+        end = float(record.get("t", 0.0))
+        dur = max(0.0, float(record.get("dur_s", 0.0)))
+    except (TypeError, ValueError):
+        return None
+    parent = record.get("parent_id")
+    parent_id = parent if isinstance(parent, str) and parent else None
+    pid = record.get("pid")
+    return Span(
+        name=str(record.get("name") or "?"),
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        start=end - dur,
+        dur=dur,
+        pid=pid if isinstance(pid, int) else 0,
+        ok=bool(record.get("ok", True)),
+        attrs={k: v for k, v in record.items() if k not in _CORE_KEYS},
+    )
+
+
+@dataclass(slots=True)
+class Trace:
+    """All spans sharing one trace_id, indexed for tree walks."""
+
+    trace_id: str
+    spans: dict[str, Span] = field(default_factory=dict)
+
+    def add(self, span: Span) -> None:
+        # Last write wins on span_id collisions (idempotent re-reads).
+        self.spans[span.span_id] = span
+
+    def roots(self) -> list[Span]:
+        """Spans whose parent is absent or not recorded in this trace."""
+        return sorted(
+            (
+                span
+                for span in self.spans.values()
+                if span.parent_id is None or span.parent_id not in self.spans
+            ),
+            key=lambda span: span.start,
+        )
+
+    def unresolved_parents(self) -> set[str]:
+        """Distinct unresolvable parent references among the spans.
+
+        Each root span contributes its ``parent_id``; a root with *no*
+        parent contributes its own span id (two parentless spans are
+        two separate roots, not one shared virtual root).
+        """
+        return {
+            span.parent_id if span.parent_id is not None else span.span_id
+            for span in self.roots()
+        }
+
+    def children(self) -> dict[str, list[Span]]:
+        """parent span_id -> children sorted by start time."""
+        table: dict[str, list[Span]] = {}
+        for span in self.spans.values():
+            if span.parent_id is not None and span.parent_id in self.spans:
+                table.setdefault(span.parent_id, []).append(span)
+        for siblings in table.values():
+            siblings.sort(key=lambda span: (span.start, span.span_id))
+        return table
+
+    @property
+    def start(self) -> float:
+        return min(span.start for span in self.spans.values())
+
+    @property
+    def end(self) -> float:
+        return max(span.end for span in self.spans.values())
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def is_complete(self) -> bool:
+        """True when the spans form one single-rooted tree.
+
+        The root context minted at the edge (and an external
+        ``traceparent``) is never itself recorded, so *its* id is
+        allowed to dangle — but every unresolvable parent reference
+        must point at that one id.  Two spans hanging off *different*
+        unrecorded parents mean a hop dropped its spans.
+        """
+        return len(self.spans) > 0 and len(self.unresolved_parents()) == 1
+
+    def critical_path(self) -> set[str]:
+        """Span ids on the greedy latest-ending chain from the root.
+
+        Top-level spans all hang off the same virtual root when the
+        trace is complete; the walk starts at whichever ends last.
+        """
+        roots = self.roots()
+        if not roots or not self.is_complete():
+            return set()
+        children = self.children()
+        path: set[str] = set()
+        node = max(roots, key=lambda span: span.end)
+        while True:
+            path.add(node.span_id)
+            below = children.get(node.span_id)
+            if not below:
+                return path
+            node = max(below, key=lambda span: span.end)
+
+
+def load_spans(paths: Iterable[Path]) -> dict[str, Trace]:
+    """Read every log, keep traced records, group by trace_id."""
+    traces: dict[str, Trace] = {}
+    for path in paths:
+        for record in obs_events.read_events(path):
+            span = span_from_record(record)
+            if span is None:
+                continue
+            trace = traces.get(span.trace_id)
+            if trace is None:
+                trace = traces[span.trace_id] = Trace(span.trace_id)
+            trace.add(span)
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _bar(span: Span, t0: float, extent: float, width: int) -> str:
+    """Position the span's duration bar inside the trace window."""
+    if extent <= 0.0:
+        return "#" * width
+    lo = int((span.start - t0) / extent * width)
+    hi = int(round((span.end - t0) / extent * width))
+    lo = max(0, min(width - 1, lo))
+    hi = max(lo + 1, min(width, hi))
+    return "·" * lo + "#" * (hi - lo) + "·" * (width - hi)
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def _walk(
+    span: Span, children: dict[str, list[Span]], depth: int,
+    seen: set[str],
+) -> Iterator[tuple[Span, int]]:
+    if span.span_id in seen:  # cycle guard (corrupt logs)
+        return
+    seen.add(span.span_id)
+    yield span, depth
+    for child in children.get(span.span_id, []):
+        yield from _walk(child, children, depth + 1, seen)
+
+
+def render_waterfall(trace: Trace, width: int = BAR_WIDTH) -> str:
+    """One trace as an indented ASCII gantt with critical-path marks."""
+    lines: list[str] = []
+    roots = trace.roots()
+    children = trace.children()
+    critical = trace.critical_path()
+    t0, extent = trace.start, trace.duration
+    header = (
+        f"trace {trace.trace_id}  spans {len(trace.spans)}  "
+        f"dur {_fmt_ms(extent)}"
+    )
+    if not trace.is_complete():
+        header += (
+            f"  [INCOMPLETE: {len(trace.unresolved_parents())} "
+            "unresolved parents]"
+        )
+    lines.append(header)
+    seen: set[str] = set()
+    for root in roots:
+        for span, depth in _walk(root, children, 0, seen):
+            mark = " *" if span.span_id in critical else "  "
+            flag = "" if span.ok else "  !err"
+            label = ("  " * depth + span.name)[:28]
+            lines.append(
+                f"  {label:<28} |{_bar(span, t0, extent, width)}| "
+                f"{_fmt_ms(span.dur):>10}{mark}{flag}"
+            )
+    return "\n".join(lines)
+
+
+def self_times(trace: Trace) -> dict[str, float]:
+    """span_id -> duration minus recorded child durations (clamped)."""
+    children = trace.children()
+    out: dict[str, float] = {}
+    for span in trace.spans.values():
+        below = sum(child.dur for child in children.get(span.span_id, []))
+        out[span.span_id] = max(0.0, span.dur - below)
+    return out
+
+
+@dataclass(slots=True)
+class StageStats:
+    count: int = 0
+    total: float = 0.0
+    self_total: float = 0.0
+    max_dur: float = 0.0
+
+
+def stage_summary(traces: dict[str, Trace]) -> dict[str, StageStats]:
+    """Aggregate per-stage latency attribution across all traces."""
+    table: dict[str, StageStats] = {}
+    for trace in traces.values():
+        selfs = self_times(trace)
+        for span in trace.spans.values():
+            stage = span.stage
+            if stage is None:
+                continue
+            stats = table.get(stage)
+            if stats is None:
+                stats = table[stage] = StageStats()
+            stats.count += 1
+            stats.total += span.dur
+            stats.self_total += selfs[span.span_id]
+            stats.max_dur = max(stats.max_dur, span.dur)
+    return table
+
+
+def render_stage_summary(table: dict[str, StageStats]) -> str:
+    lines = [
+        f"{'stage':<16} {'count':>7} {'total':>10} {'self':>10} "
+        f"{'mean':>10} {'max':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for stage in sorted(table, key=lambda s: -table[s].self_total):
+        stats = table[stage]
+        mean = stats.total / stats.count if stats.count else 0.0
+        lines.append(
+            f"{stage:<16} {stats.count:>7} {_fmt_ms(stats.total):>10} "
+            f"{_fmt_ms(stats.self_total):>10} {_fmt_ms(mean):>10} "
+            f"{_fmt_ms(stats.max_dur):>10}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def chrome_trace(traces: dict[str, Trace]) -> dict[str, Any]:
+    """Traces as a Chrome trace-event JSON object (``ph: "X"``)."""
+    events: list[dict[str, Any]] = []
+    for trace in sorted(traces.values(), key=lambda t: t.start):
+        for span in sorted(trace.spans.values(), key=lambda s: s.start):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.stage or "span",
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.dur * 1e6,
+                    "pid": span.pid,
+                    "tid": span.pid,
+                    "args": {
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id or "",
+                        **span.attrs,
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# --check: CI gate
+# ----------------------------------------------------------------------
+def check_traces(
+    traces: dict[str, Trace], threshold: float
+) -> tuple[bool, str]:
+    """Gate on the fraction of complete single-rooted trace trees."""
+    total = len(traces)
+    if total == 0:
+        return False, "bcache-trace --check: no traces found"
+    complete = sum(1 for trace in traces.values() if trace.is_complete())
+    ratio = complete / total
+    ok = ratio >= threshold
+    broken = [
+        f"  {trace.trace_id}: {len(trace.unresolved_parents())} "
+        f"unresolved parents, {len(trace.spans)} spans"
+        for trace in traces.values()
+        if not trace.is_complete()
+    ]
+    lines = [
+        f"bcache-trace --check: {complete}/{total} traces complete "
+        f"({ratio:.1%}, threshold {threshold:.1%}) — "
+        + ("OK" if ok else "FAIL")
+    ]
+    lines.extend(broken[:10])
+    if len(broken) > 10:
+        lines.append(f"  ... and {len(broken) - 10} more")
+    return ok, "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``bcache-trace``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="bcache-trace",
+        description="Reconstruct per-request span waterfalls from obs "
+        "event logs; merge multiple logs (multi-process / multi-node) "
+        "by trace id.",
+    )
+    parser.add_argument(
+        "logs", nargs="+", metavar="EVENTS_JSONL",
+        help="one or more obs event logs to merge",
+    )
+    parser.add_argument(
+        "--slowest", type=int, default=0, metavar="N",
+        help="render only the N longest traces (default: all)",
+    )
+    parser.add_argument(
+        "--stage-summary", action="store_true",
+        help="print per-stage latency attribution instead of waterfalls",
+    )
+    parser.add_argument(
+        "--export", metavar="FILE", default=None,
+        help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the complete-trace ratio meets --threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.99, metavar="R",
+        help="complete-trace ratio required by --check (default 0.99)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(raw) for raw in args.logs]
+    missing = [str(path) for path in paths if not path.is_file()]
+    if missing:
+        print(
+            f"bcache-trace: no such log: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    traces = load_spans(paths)
+
+    if args.export:
+        Path(args.export).write_text(
+            json.dumps(chrome_trace(traces)), encoding="utf-8"
+        )
+        print(f"bcache-trace: wrote {args.export} "
+              f"({len(traces)} trace(s))")
+
+    if args.check:
+        ok, report = check_traces(traces, args.threshold)
+        print(report)
+        return 0 if ok else 1
+
+    if not traces:
+        print("bcache-trace: no traced spans in the given log(s)",
+              file=sys.stderr)
+        return 1
+
+    if args.stage_summary:
+        print(render_stage_summary(stage_summary(traces)))
+        return 0
+
+    ordered = sorted(traces.values(), key=lambda t: -t.duration)
+    if args.slowest > 0:
+        ordered = ordered[: args.slowest]
+    blocks = [render_waterfall(trace) for trace in ordered]
+    print("\n\n".join(blocks))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,11 +32,14 @@ batcher actually coalesces under concurrency.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engine.runner import SweepJob
+from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
+from repro.obs.tracectx import TraceContext
 from repro.serve.resultcache import canonical_job_key
 from repro.serve.workers import ShardPool
 
@@ -82,6 +85,11 @@ class _Entry:
     job: SweepJob
     futures: list = field(default_factory=list)
     requests: int = 0
+    #: per-waiter ``(trace context or None, submit time)`` — feeds the
+    #: batch_window/shard stage attribution when the batch retires.
+    waiters: list[tuple[TraceContext | None, float]] = field(
+        default_factory=list
+    )
 
 
 class MicroBatcher:
@@ -109,8 +117,13 @@ class MicroBatcher:
         self._inflight: set[asyncio.Task] = set()
 
     # -- submission ----------------------------------------------------
-    async def submit(self, job: SweepJob) -> dict[str, Any]:
+    async def submit(
+        self, job: SweepJob, trace: TraceContext | None = None
+    ) -> dict[str, Any]:
         """Queue one job; returns its ``CacheStats.snapshot()`` dict.
+
+        ``trace`` attributes this waiter's batch-window and shard time
+        to its request's distributed trace.
 
         Raises :class:`SimulationError` if the worker reports a failure
         for this job.
@@ -126,6 +139,7 @@ class MicroBatcher:
             future: asyncio.Future = loop.create_future()
             executing.futures.append(future)
             executing.requests += 1
+            executing.waiters.append((trace, time.monotonic()))
             return await future
         shard = self.pool.shard_of(job)
         bucket = self._pending.setdefault(shard, {})
@@ -138,6 +152,7 @@ class MicroBatcher:
         future = loop.create_future()
         entry.futures.append(future)
         entry.requests += 1
+        entry.waiters.append((trace, time.monotonic()))
         if len(bucket) >= self.max_batch:
             self._flush_shard(shard)
         elif shard not in self._timers:
@@ -176,20 +191,90 @@ class MicroBatcher:
         self.metrics.batched_jobs += len(entries)
         # Registry-only telemetry: no file I/O on the event loop (BCL011).
         _obs.serve_batch_observed(len(entries), self.max_batch, shard)
+        flush_start = time.monotonic()
+        flushed = [len(entry.waiters) for entry in entries]
+        shard_ctxs = [self._close_windows(entry, flush_start)
+                      for entry in entries]
         try:
-            results = await self.pool.run_batch(
-                shard, [entry.job for entry in entries]
-            )
+            jobs = [entry.job for entry in entries]
+            if any(ctx is not None for ctx in shard_ctxs):
+                results = await self.pool.run_batch(
+                    shard,
+                    jobs,
+                    traces=[ctx.to_wire() if ctx is not None else None
+                            for ctx in shard_ctxs],
+                )
+            else:
+                # Untraced batches keep the legacy call shape so duck-typed
+                # pools (and REPRO_OBS=off) see no interface change.
+                results = await self.pool.run_batch(shard, jobs)
         except Exception as exc:
             self._retire(bucket)
             for entry in entries:
                 self._resolve(entry, "error", f"batch failed: {exc}")
             return
+        end = time.monotonic()
         # Retire before resolving, in one scheduling step: once a
         # future resolves nobody may attach to its entry anymore.
         self._retire(bucket)
+        for entry, ctx, seen in zip(entries, shard_ctxs, flushed):
+            self._emit_shard_stages(entry, ctx, seen, shard, flush_start, end)
         for entry, (status, payload) in zip(entries, results):
             self._resolve(entry, status, payload)
+
+    @staticmethod
+    def _close_windows(
+        entry: _Entry, flush_start: float
+    ) -> TraceContext | None:
+        """Record each waiter's gather-window wait; derive the shard span.
+
+        Returns the entry's pre-derived ``shard`` stage context (the
+        first sampled waiter's child) so the worker can parent its
+        ``kernel`` span under it — the shard record itself is emitted
+        by :meth:`_emit_shard_stages` once the round trip lands.
+        """
+        ctx: TraceContext | None = None
+        for waiter_trace, submitted in entry.waiters:
+            _obs.stage_event(
+                "batch_window",
+                max(0.0, flush_start - submitted),
+                trace=waiter_trace,
+            )
+            if ctx is None and waiter_trace is not None and waiter_trace.sampled:
+                ctx = waiter_trace.child("stage.shard")
+        return ctx
+
+    def _emit_shard_stages(
+        self,
+        entry: _Entry,
+        ctx: TraceContext | None,
+        seen: int,
+        shard: int,
+        flush_start: float,
+        end: float,
+    ) -> None:
+        """Attribute the worker round trip to every waiter's trace.
+
+        The first sampled waiter owns the pre-derived context ``ctx``
+        (the kernel span's parent); every other waiter gets its own
+        shard span.  Late attachers (cross-window singleflight, index
+        ``>= seen``) are billed from their attach time, not the flush.
+        """
+        leader_pending = ctx is not None
+        for index, (waiter_trace, submitted) in enumerate(entry.waiters):
+            start = flush_start if index < seen else submitted
+            seconds = max(0.0, end - start)
+            if (leader_pending and waiter_trace is not None
+                    and waiter_trace.sampled):
+                leader_pending = False
+                assert ctx is not None
+                obs_events.emit_raw(
+                    _obs.stage_record_for("shard", ctx, seconds, shard=shard)
+                )
+            else:
+                _obs.stage_event(
+                    "shard", seconds, trace=waiter_trace, shard=shard
+                )
 
     def _retire(self, bucket: dict[str, _Entry]) -> None:
         for key, entry in bucket.items():

@@ -239,8 +239,17 @@ class ServeClient:
     def simulate(self, job: SweepJob | dict[str, Any]) -> CacheStats:
         return _stats_from(self.request({"op": "simulate", **_job_payload(job)}))
 
-    def sweep(self, jobs: Sequence[SweepJob | dict[str, Any]]) -> list[CacheStats]:
-        payload = {"op": "sweep", "jobs": [_job_payload(job) for job in jobs]}
+    def sweep(
+        self,
+        jobs: Sequence[SweepJob | dict[str, Any]],
+        trace: str | None = None,
+    ) -> list[CacheStats]:
+        payload: dict[str, Any] = {
+            "op": "sweep",
+            "jobs": [_job_payload(job) for job in jobs],
+        }
+        if trace:
+            payload["trace"] = trace
         return _sweep_stats_from(self.request(payload))
 
     def status(self) -> dict[str, Any]:
@@ -328,9 +337,16 @@ class AsyncServeClient:
         return _stats_from(await self.request({"op": "simulate", **_job_payload(job)}))
 
     async def sweep(
-        self, jobs: Sequence[SweepJob | dict[str, Any]]
+        self,
+        jobs: Sequence[SweepJob | dict[str, Any]],
+        trace: str | None = None,
     ) -> list[CacheStats]:
-        payload = {"op": "sweep", "jobs": [_job_payload(job) for job in jobs]}
+        payload: dict[str, Any] = {
+            "op": "sweep",
+            "jobs": [_job_payload(job) for job in jobs],
+        }
+        if trace:
+            payload["trace"] = trace
         return _sweep_stats_from(await self.request(payload))
 
     async def status(self) -> dict[str, Any]:

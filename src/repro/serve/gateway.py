@@ -53,9 +53,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
+from repro.obs import tracectx
 from repro.obs.exposition import CONTENT_TYPE, render
 from repro.obs.metrics import default_registry
+from repro.obs.tracectx import TraceContext
 from repro.serve.client import AsyncServeClient
 from repro.serve.protocol import ProtocolError
 
@@ -520,22 +523,27 @@ class Gateway:
         started = time.monotonic()
         status = 500
         keep_alive = request.keep_alive and not self._draining
+        trace = self._trace_for(request)
         try:
             try:
-                if request.method == "POST" and request.path == "/v1/sweep":
-                    status = await self._route_sweep(
-                        request, writer, peer_host, keep_alive
-                    )
-                else:
-                    status, body, ctype, extra = await self._route_simple(
-                        request, peer_host
-                    )
-                    writer.write(
-                        render_response(
-                            status, body, ctype, extra, keep_alive=keep_alive
+                with _obs.stage_span("gateway", trace=trace,
+                                     path=request.path):
+                    if (request.method == "POST"
+                            and request.path == "/v1/sweep"):
+                        status = await self._route_sweep(
+                            request, writer, peer_host, keep_alive
                         )
-                    )
-                    await writer.drain()
+                    else:
+                        status, body, ctype, extra = await self._route_simple(
+                            request, peer_host
+                        )
+                        writer.write(
+                            render_response(
+                                status, body, ctype, extra,
+                                keep_alive=keep_alive,
+                            )
+                        )
+                        await writer.drain()
             except HttpError as exc:
                 status = exc.status
                 writer.write(self._error_bytes(exc, keep_alive=keep_alive))
@@ -550,6 +558,30 @@ class Gateway:
                 request.path, status, time.monotonic() - started
             )
         return keep_alive
+
+    def _trace_for(self, request: HttpRequest) -> TraceContext | None:
+        """The request's root trace context, if the request is traced.
+
+        A W3C ``traceparent`` header wins on every tier (the caller
+        already decided to trace, and its sampling flag rides the
+        header); otherwise a root is minted for simulate/sweep requests
+        whenever events are recorded.  Minted ids hash the pid and the
+        request ordinal — deterministic, no ``random``, no wall clock
+        (rule BCL019) — and their sampling verdict is the pure function
+        ``sampled_for(hash(trace_id))``, so reruns sample identically.
+        """
+        trace = TraceContext.from_traceparent(
+            request.headers.get("traceparent")
+        )
+        if trace is not None:
+            return trace
+        if not obs_events.enabled():
+            return None
+        if request.path not in ("/v1/simulate", "/v1/sweep"):
+            return None
+        return TraceContext.new(
+            f"gateway/{os.getpid()}/{self.metrics.requests}"
+        )
 
     # -- routing -------------------------------------------------------
     async def _route_simple(
@@ -583,10 +615,14 @@ class Gateway:
         if path == "/v1/simulate":
             if method != "POST":
                 raise HttpError(405, "simulate is POST-only")
-            payload = self._parse_json_object(request.body)
+            with _obs.stage_span("gateway_parse", trace=tracectx.current()):
+                payload = self._parse_json_object(request.body)
             payload.setdefault(
                 "client", self._client_identity(request, peer_host)
             )
+            ctx = tracectx.current()
+            if ctx is not None and ctx.sampled:
+                payload["trace"] = ctx.to_wire()
             response = await self.pool.request({"op": "simulate", **payload})
             self._check_backend(response)
             return 200, _json_body(response), _JSON_TYPE, {}
@@ -600,16 +636,19 @@ class Gateway:
         keep_alive: bool,
     ) -> int:
         """NDJSON-streamed sweep: one line per job, completion order."""
-        payload = self._parse_json_object(request.body)
-        jobs = payload.get("jobs")
-        if not isinstance(jobs, list) or not jobs:
-            raise HttpError(400, "'sweep' needs a non-empty 'jobs' list")
-        for entry in jobs:
-            if not isinstance(entry, dict):
-                raise HttpError(400, "sweep jobs must be JSON objects")
+        with _obs.stage_span("gateway_parse", trace=tracectx.current()):
+            payload = self._parse_json_object(request.body)
+            jobs = payload.get("jobs")
+            if not isinstance(jobs, list) or not jobs:
+                raise HttpError(400, "'sweep' needs a non-empty 'jobs' list")
+            for entry in jobs:
+                if not isinstance(entry, dict):
+                    raise HttpError(400, "sweep jobs must be JSON objects")
         client = payload.get("client")
         if not (isinstance(client, str) and client):
             client = self._client_identity(request, peer_host)
+        ctx = tracectx.current()
+        wire = ctx.to_wire() if ctx is not None and ctx.sampled else None
         self.metrics.streams += 1
         head = (
             f"HTTP/1.1 200 OK\r\nContent-Type: {_NDJSON_TYPE}\r\n"
@@ -619,9 +658,10 @@ class Gateway:
         writer.write(head.encode("latin-1"))
 
         async def one(index: int, job: dict[str, Any]) -> dict[str, Any]:
-            response = await self.pool.request(
-                {"op": "simulate", "client": client, **job}
-            )
+            backend_payload = {"op": "simulate", "client": client, **job}
+            if wire is not None:
+                backend_payload["trace"] = wire
+            response = await self.pool.request(backend_payload)
             return {"index": index, **response}
 
         ok = errors = 0

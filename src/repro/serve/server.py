@@ -59,8 +59,12 @@ from typing import Any
 
 from repro.engine.runner import SweepJob, available_cpus
 from repro.engine.trace_store import TraceStore, default_store
+from repro.obs import events as obs_events
+from repro.obs import instrument as _obs
+from repro.obs import tracectx
 from repro.obs.exposition import CONTENT_TYPE, render
 from repro.obs.metrics import default_registry
+from repro.obs.tracectx import TraceContext
 from repro.serve.admission import (
     ANONYMOUS,
     AdmissionController,
@@ -218,6 +222,7 @@ class SimServer:
         )
         self._servers: list[asyncio.AbstractServer] = []
         self._metrics_servers: list[asyncio.AbstractServer] = []
+        self._trace_seq = 0
         self._writers: set[asyncio.StreamWriter] = set()
         self._active_requests = 0
         self._idle: asyncio.Event | None = None
@@ -383,11 +388,15 @@ class SimServer:
                     return
                 if payload is None:  # clean EOF
                     return
-                response = await self._handle_request(payload, client)
+                trace = self._trace_for(payload)
+                response = await self._handle_request(payload, client, trace)
                 if "id" in payload:
                     response["id"] = payload["id"]
                 try:
-                    await write_frame(writer, response, self.config.max_frame)
+                    with _obs.stage_span("serialize", trace=trace):
+                        await write_frame(
+                            writer, response, self.config.max_frame
+                        )
                 except ConnectionError:
                     return
         finally:
@@ -460,35 +469,71 @@ class SimServer:
             return client
         return fallback
 
-    async def _execute(self, job: SweepJob) -> dict[str, Any]:
+    def _trace_for(self, payload: dict[str, Any]) -> TraceContext | None:
+        """The request's trace context: wire field, else a minted root.
+
+        A ``trace`` field (the gateway's, or any native client's) is
+        honoured on every tier — the caller already decided to trace —
+        while server-minted roots only exist when events are recorded,
+        so ``REPRO_OBS=off`` stays byte-identical with zero id churn.
+        Minted ids hash the pid and a request ordinal: deterministic,
+        no ``random``, no wall clock (rule BCL019).
+        """
+        if payload.get("op") not in ("simulate", "sweep"):
+            return None
+        trace = TraceContext.from_wire(payload.get("trace"))
+        if trace is not None:
+            return trace
+        if not obs_events.enabled():
+            return None
+        self._trace_seq += 1
+        return TraceContext.new(f"serve/{os.getpid()}/{self._trace_seq}")
+
+    async def _execute(
+        self, job: SweepJob, trace: TraceContext | None = None
+    ) -> dict[str, Any]:
         """Run one admitted job through cache, singleflight, batcher."""
         assert self.batcher is not None
         if self.cache is None:
-            return await self.batcher.submit(job)
+            return await self.batcher.submit(job, trace=trace)
         key = self.cache.key(job)
-        hit = self.cache.lookup_memory(key)
+        with _obs.stage_span("resultcache", trace=trace):
+            hit = self.cache.lookup_memory(key)
         if hit is not None:
             return hit
         # Collapse concurrent identical jobs before they reach the
         # batcher; the winning execution consults the disk tier and
         # writes through inside the shard pool.  Singleflight.run
         # itself counts the dedup metric for shared callers.
-        snapshot, _shared = await self.singleflight.run(
-            key, functools.partial(self.batcher.submit, job)
-        )
+        with _obs.stage_span("singleflight", trace=trace):
+            # Only the flight leader's submit actually runs, so its
+            # batch/shard spans nest under the leader's singleflight
+            # span; waiters' singleflight spans cover their shared wait.
+            submit = functools.partial(
+                self.batcher.submit, job, trace=tracectx.current()
+            )
+            snapshot, _shared = await self.singleflight.run(key, submit)
         result: dict[str, Any] = snapshot
         return result
 
     async def _handle_request(
-        self, payload: dict[str, Any], client: str = ANONYMOUS
+        self,
+        payload: dict[str, Any],
+        client: str = ANONYMOUS,
+        trace: TraceContext | None = None,
     ) -> dict[str, Any]:
         self.metrics.requests += 1
         op = payload.get("op")
+        if trace is None:
+            trace = self._trace_for(payload)
         try:
             if op == "simulate":
-                return await self._op_simulate(payload, client)
+                with _obs.stage_span("serve_request", trace=trace,
+                                     op="simulate"):
+                    return await self._op_simulate(payload, client)
             if op == "sweep":
-                return await self._op_sweep(payload, client)
+                with _obs.stage_span("serve_request", trace=trace, op="sweep"):
+                    return await self._op_sweep(payload, client)
             if op == "status":
                 return {"ok": True, **self.status()}
             if op == "metrics":
@@ -526,14 +571,17 @@ class SimServer:
         if self._draining:
             return {"ok": False, "error": "draining"}
         job = _job_from_payload(
-            {k: v for k, v in payload.items() if k not in ("op", "id", "client")}
+            {k: v for k, v in payload.items()
+             if k not in ("op", "id", "client", "trace")}
         )
+        trace = tracectx.current()
         try:
-            await self._admit(self._client_of(payload, client), 1)
+            with _obs.stage_span("admission", trace=trace):
+                await self._admit(self._client_of(payload, client), 1)
         except (RateLimited, AdmissionOverload) as exc:
             return self._shed_response(exc)
         try:
-            snapshot = await self._execute(job)
+            snapshot = await self._execute(job, trace=trace)
         except SimulationError as exc:
             self.metrics.errors += 1
             return {"ok": False, "error": "simulation_failed", "detail": str(exc)}
@@ -556,13 +604,15 @@ class SimServer:
             else self._reject_job(entry)
             for entry in raw_jobs
         ]
+        trace = tracectx.current()
         try:
-            await self._admit(self._client_of(payload, client), len(jobs))
+            with _obs.stage_span("admission", trace=trace):
+                await self._admit(self._client_of(payload, client), len(jobs))
         except (RateLimited, AdmissionOverload) as exc:
             return self._shed_response(exc)
         try:
             outcomes = await asyncio.gather(
-                *(self._execute(job) for job in jobs),
+                *(self._execute(job, trace=trace) for job in jobs),
                 return_exceptions=True,
             )
         finally:

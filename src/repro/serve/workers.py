@@ -45,6 +45,7 @@ from repro.engine.trace_store import TraceStore, default_store, set_default_stor
 from repro.obs import events as obs_events
 from repro.obs import instrument as _obs
 from repro.obs.metrics import default_registry
+from repro.obs.tracectx import TraceContext
 
 if TYPE_CHECKING:  # annotation only; the pool works without a cache
     from repro.serve.resultcache import ResultCache
@@ -68,11 +69,21 @@ def _shard_entry(
     of re-reading blobs from disk; two-element batches (the pre-shm
     protocol) are still accepted.
 
-    Each response is ``(results, metric deltas)``: under
+    Each response is ``(results, metric deltas, span deltas)``: under
     ``REPRO_OBS=full`` the worker drains its process-local registry
     (engine job counts, trace-store hits, kernel timings) after every
     batch and the parent merges the deltas into the server registry,
     so ``/metrics`` covers the workers, not just the parent process.
+
+    Batches may also carry a fourth element: per-job trace contexts
+    (``traceparent`` strings or ``None``, aligned with the payloads).
+    A traced job's ``execute_job`` call is timed into a ``kernel``
+    stage-span record — built *here*, with this process's clocks and
+    pid — and the records travel back as the span deltas, which the
+    parent replays into its event log (mirroring the metric-delta
+    path).  Span records are never written locally, so a batch that is
+    retried after a worker crash contributes its spans exactly once:
+    with whichever worker's response the parent actually received.
     """
     store = TraceStore(store_root, fsync=False)
     set_default_store(store)
@@ -87,21 +98,33 @@ def _shard_entry(
             break
         if len(message) >= 3:
             store.adopt_manifest(message[2])
+        traces: Sequence[str | None] = (
+            message[3] if len(message) >= 4 else []
+        )
         results: list[ShardResult] = []
-        for payload in message[1]:
+        span_deltas: list[dict[str, Any]] = []
+        for index, payload in enumerate(message[1]):
+            wire = traces[index] if index < len(traces) else None
+            ctx = TraceContext.from_wire(wire) if wire else None
+            started = time.monotonic()
             try:
                 stats = execute_job(SweepJob(**payload))
             except Exception as exc:
                 results.append(("error", f"{type(exc).__name__}: {exc}"))
             else:
                 results.append(("ok", stats.snapshot()))
+            if ctx is not None and ctx.sampled and obs_events.enabled():
+                span_deltas.append(_obs.stage_record(
+                    "kernel", ctx, time.monotonic() - started,
+                    benchmark=payload.get("benchmark", ""),
+                ))
         deltas = (
             default_registry().drain_deltas()
             if obs_events.metrics_enabled()
             else []
         )
         try:
-            conn.send((results, deltas))
+            conn.send((results, deltas, span_deltas))
         except (OSError, BrokenPipeError):
             break
     store.release_shared()  # detach segments before the owner unlinks them
@@ -228,23 +251,43 @@ class ShardPool:
 
     # -- execution -----------------------------------------------------
     async def run_batch(
-        self, shard_id: int, jobs: Sequence[SweepJob]
+        self,
+        shard_id: int,
+        jobs: Sequence[SweepJob],
+        traces: Sequence[str | None] | None = None,
     ) -> list[ShardResult]:
-        """Run one batch on one shard without blocking the event loop."""
+        """Run one batch on one shard without blocking the event loop.
+
+        ``traces`` (aligned with ``jobs``) carries per-job trace
+        contexts in wire form; a traced job's kernel execution comes
+        back as a span delta and lands in the parent's event log.
+        """
         import asyncio
 
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._executor, self._roundtrip, shard_id, list(jobs)
+            self._executor, self._roundtrip, shard_id, list(jobs),
+            list(traces) if traces is not None else None,
         )
 
     def run_batch_blocking(
-        self, shard_id: int, jobs: Sequence[SweepJob]
+        self,
+        shard_id: int,
+        jobs: Sequence[SweepJob],
+        traces: Sequence[str | None] | None = None,
     ) -> list[ShardResult]:
         """Synchronous batch execution (tests and the drain path)."""
-        return self._roundtrip(shard_id, list(jobs))
+        return self._roundtrip(
+            shard_id, list(jobs),
+            list(traces) if traces is not None else None,
+        )
 
-    def _roundtrip(self, shard_id: int, jobs: list[SweepJob]) -> list[ShardResult]:
+    def _roundtrip(
+        self,
+        shard_id: int,
+        jobs: list[SweepJob],
+        traces: list[str | None] | None = None,
+    ) -> list[ShardResult]:
         """One batch: result-cache filter, then the shard round trip.
 
         Runs on a ``shard-io`` executor thread (so the cache's
@@ -254,7 +297,7 @@ class ShardPool:
         """
         cache = self.cache
         if cache is None:
-            return self._dispatch(shard_id, jobs)
+            return self._dispatch(shard_id, jobs, traces)
         results: list[ShardResult | None] = [None] * len(jobs)
         misses: list[int] = []
         for index, job in enumerate(jobs):
@@ -264,7 +307,11 @@ class ShardPool:
             else:
                 misses.append(index)
         if misses:
-            fresh = self._dispatch(shard_id, [jobs[i] for i in misses])
+            fresh = self._dispatch(
+                shard_id,
+                [jobs[i] for i in misses],
+                [traces[i] for i in misses] if traces is not None else None,
+            )
             for index, outcome in zip(misses, fresh):
                 results[index] = outcome
                 status, payload = outcome
@@ -276,13 +323,20 @@ class ShardPool:
             merged.append(entry)
         return merged
 
-    def _dispatch(self, shard_id: int, jobs: list[SweepJob]) -> list[ShardResult]:
+    def _dispatch(
+        self,
+        shard_id: int,
+        jobs: list[SweepJob],
+        traces: list[str | None] | None = None,
+    ) -> list[ShardResult]:
         """Send one batch to a shard and wait for its results.
 
         Runs on a ``shard-io`` executor thread; the per-shard lock keeps
         request/response pairs on the pipe strictly alternating.
         """
         payloads = [asdict(job) for job in jobs]
+        if traces is not None and not any(traces):
+            traces = None  # untraced batch: keep the 3-element message
         self._inflight[shard_id] += 1
         _obs.serve_queue_depth(shard_id, self._inflight[shard_id])
         try:
@@ -293,16 +347,25 @@ class ShardPool:
                     shard = self._shards[shard_id]
                     delta = self._manifest_delta(shard_id, jobs)
                     try:
-                        shard.conn.send(("batch", payloads, delta))
+                        if traces is not None:
+                            shard.conn.send(("batch", payloads, delta, traces))
+                        else:
+                            shard.conn.send(("batch", payloads, delta))
                         response = shard.conn.recv()
                     except (EOFError, OSError, BrokenPipeError):
                         self._restart(shard_id, attempt)
                         continue
                     self._sent_keys[shard_id].update(delta)
-                    results, deltas = self._split_response(response)
+                    results, deltas, span_deltas = self._split_response(response)
                     if isinstance(results, list) and len(results) == len(jobs):
                         if deltas:
                             default_registry().merge_deltas(deltas)
+                        # Replay worker span records only once the
+                        # response is accepted: a retried batch merges
+                        # the spans of the attempt that answered, never
+                        # both (no drop, no double-merge).
+                        for record in span_deltas:
+                            obs_events.emit_raw(record)
                         shard.batches += 1
                         shard.jobs += len(jobs)
                         return results
@@ -345,20 +408,26 @@ class ShardPool:
         return delta
 
     @staticmethod
-    def _split_response(response: Any) -> tuple[Any, list]:
-        """``(results, deltas)`` from a shard response.
+    def _split_response(response: Any) -> tuple[Any, list, list]:
+        """``(results, metric deltas, span deltas)`` from a shard response.
 
-        Current workers answer ``(results, metric deltas)``; a plain
-        ``list`` (the pre-telemetry protocol) is still accepted so a
-        parent can drain a worker started by an older build.
+        Current workers answer the 3-tuple; the 2-tuple
+        ``(results, metric deltas)`` and a plain ``list`` (the two
+        earlier protocols) are still accepted so a parent can drain a
+        worker started by an older build.
         """
         if (
             isinstance(response, tuple)
-            and len(response) == 2
+            and len(response) in (2, 3)
             and isinstance(response[1], list)
         ):
-            return response[0], response[1]
-        return response, []
+            spans = (
+                response[2]
+                if len(response) == 3 and isinstance(response[2], list)
+                else []
+            )
+            return response[0], response[1], spans
+        return response, [], []
 
     def _restart(self, shard_id: int, attempt: int) -> None:
         """Replace a dead shard process after a deterministic backoff."""

@@ -1,0 +1,12 @@
+# lint-path: src/repro/serve/example.py
+"""Spans that drop the request trace; an id minted from the clock."""
+import time
+
+from repro.obs import events as obs_events
+from repro.obs.tracectx import TraceContext
+
+
+async def handle(payload):
+    with obs_events.span("serve.request"):
+        TraceContext.new(f"serve/{time.time()}")
+        return {"ok": True}

@@ -1,0 +1,12 @@
+# lint-path: src/repro/serve/example.py
+"""Spans thread the request trace; ids derive from deterministic keys."""
+import os
+
+from repro.obs import events as obs_events
+from repro.obs.tracectx import TraceContext
+
+
+async def handle(payload, trace):
+    with obs_events.span("serve.request", trace=trace):
+        TraceContext.new(f"serve/{os.getpid()}/{payload['id']}")
+        return {"ok": True}
